@@ -1,0 +1,139 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Reproduces §IV-A: learning diagnosis rules via manual iterative analysis.
+// The PIM application developer starts from a bare graph, repeatedly
+// inspects the still-unexplained adjacency changes, codifies one newly
+// discovered rule set, and re-runs — "continually whittling down the number
+// of unexplained flaps". This bench replays that loop, printing the
+// Unknown share after each iteration.
+
+#include <cstdio>
+
+#include "apps/pim_app.h"
+#include "bench/bench_util.h"
+#include "core/knowledge_library.h"
+#include "core/rule_dsl.h"
+#include "simulation/workloads.h"
+
+namespace {
+
+/// Rule-set increments an operator would discover, in plausible order of
+/// obviousness (customer flaps first, rare uplink issues last).
+struct Iteration {
+  const char* what;
+  const char* dsl;
+};
+
+constexpr Iteration kIterations[] = {
+    {"customer-facing interface flaps",
+     R"(rule pim-adjacency-flap -> interface-flap {
+  priority 180
+  symptom start-start 30 10
+  diagnostic start-end 5 30
+  join router
+})"},
+    {"MVPN (de)provisioning",
+     R"(event pim-config-change {
+  location router
+  source router-command-logs
+  desc "a MVPN is either provisioned or de-provisioned on a router"
+}
+rule pim-adjacency-flap -> pim-config-change {
+  priority 200
+  symptom start-start 30 10
+  diagnostic start-end 5 60
+  join router
+})"},
+    {"backbone OSPF re-convergence",
+     R"(rule pim-adjacency-flap -> ospf-reconvergence {
+  priority 150
+  symptom start-start 30 10
+  diagnostic start-end 5 60
+  join logical-link
+})"},
+    {"router / link cost in-out",
+     R"(rule pim-adjacency-flap -> router-cost-inout {
+  priority 185
+  symptom start-start 30 10
+  diagnostic start-end 5 60
+  join router-path
+}
+rule pim-adjacency-flap -> link-cost-outdown {
+  priority 165
+  symptom start-start 30 10
+  diagnostic start-end 5 60
+  join logical-link
+}
+rule pim-adjacency-flap -> link-cost-inup {
+  priority 165
+  symptom start-start 30 10
+  diagnostic start-end 5 60
+  join logical-link
+})"},
+    {"PE uplink PIM adjacency losses",
+     R"(event uplink-pim-adjacency-change {
+  location router
+  source syslog
+  desc "a PE lost a neighbor adjacency on its uplink to the backbone"
+}
+rule pim-adjacency-flap -> uplink-pim-adjacency-change {
+  priority 190
+  symptom start-start 30 10
+  diagnostic start-end 5 60
+  join router
+})"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace grca;
+  bench::World world(bench::bench_params(argc, argv));
+  sim::PimStudyParams params;
+  params.days = 14;
+  params.target_symptoms = 1200;
+  sim::StudyOutput study = sim::run_pim_study(world.sim_net, params);
+  apps::Pipeline pipeline(world.rca_net, study.records);
+
+  // Iteration 0: the Knowledge Library plus only the symptom definition.
+  core::DiagnosisGraph graph;
+  core::load_knowledge_library(graph);
+  core::load_dsl(R"(
+event pim-adjacency-flap {
+  location vpn-neighbor
+  source syslog
+  desc "a PE lost a neighbor adjacency with another PE in the MVPN"
+}
+graph {
+  root pim-adjacency-flap
+}
+)",
+                 graph);
+
+  util::TextTable table(
+      {"Iteration", "Rule set added", "Unknown (%)", "Accuracy (%)"});
+  for (std::size_t iter = 0; iter <= std::size(kIterations); ++iter) {
+    if (iter > 0) core::load_dsl(kIterations[iter - 1].dsl, graph);
+    core::RcaEngine engine(graph, pipeline.store(), pipeline.mapper());
+    std::vector<core::Diagnosis> diagnoses = engine.diagnose_all();
+    std::size_t unknown = 0;
+    for (const core::Diagnosis& d : diagnoses) unknown += d.causes.empty();
+    apps::Score score = apps::score_diagnoses(diagnoses, study.truth,
+                                              apps::pim::canonical_cause);
+    table.add_row({std::to_string(iter),
+                   iter == 0 ? "(symptom only)" : kIterations[iter - 1].what,
+                   util::format_double(100.0 * unknown / diagnoses.size(), 2),
+                   util::format_double(100.0 * score.accuracy(), 2)});
+  }
+  std::fputs(table
+                 .render("IV-A: iteratively whittling down unexplained PIM "
+                         "adjacency changes")
+                 .c_str(),
+             stdout);
+  std::printf(
+      "\nEach row adds the rules an operator would codify after drilling "
+      "into the\nremaining unexplained events with the Result Browser "
+      "(paper: the final\napplication explains > 98%% of events).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Ablation: temporal margin sensitivity. The paper lists "make the temporal
+// joining rules less sensitive" as future work; this bench quantifies the
+// sensitivity by scaling *every* margin in the BGP application's rules by a
+// common factor — from 0 (exact-overlap joins only: misses timestamp jitter
+// and timer delays) to 100x (joins stale events hours away) — reporting
+// accuracy, unknown share and joint verdicts at each setting (Table IV
+// workload).
+
+#include <cstdio>
+
+#include "apps/bgp_flap_app.h"
+#include "bench/bench_util.h"
+#include "core/rule_dsl.h"
+#include "simulation/workloads.h"
+
+namespace {
+
+/// Rebuilds the BGP graph with all margins scaled by `factor`.
+grca::core::DiagnosisGraph with_scale(double factor) {
+  using namespace grca::core;
+  DiagnosisGraph original = grca::apps::bgp::build_graph();
+  DiagnosisGraph out;
+  for (const EventDefinition* def : original.events()) out.define_event(*def);
+  auto scale = [factor](grca::util::TimeSec margin) {
+    return static_cast<grca::util::TimeSec>(margin * factor);
+  };
+  for (DiagnosisRule rule : original.rules()) {
+    rule.temporal.symptom.left = scale(rule.temporal.symptom.left);
+    rule.temporal.symptom.right = scale(rule.temporal.symptom.right);
+    rule.temporal.diagnostic.left = scale(rule.temporal.diagnostic.left);
+    rule.temporal.diagnostic.right = scale(rule.temporal.diagnostic.right);
+    out.add_rule(std::move(rule));
+  }
+  out.set_root(original.root());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace grca;
+  bench::World world(bench::bench_params(argc, argv));
+  sim::BgpStudyParams params;
+  params.days = 14;
+  params.target_symptoms = 1000;
+  sim::StudyOutput study = sim::run_bgp_study(world.sim_net, params);
+  apps::Pipeline pipeline(world.rca_net, study.records);
+
+  util::TextTable table({"Margin scale", "Accuracy (%)", "Unknown (%)",
+                         "Joint causes (%)"});
+  for (double factor : {0.0, 0.1, 0.3, 0.5, 1.0, 3.0, 10.0, 30.0, 100.0}) {
+    core::RcaEngine engine(with_scale(factor), pipeline.store(),
+                           pipeline.mapper());
+    std::vector<core::Diagnosis> diagnoses = engine.diagnose_all();
+    apps::Score score = apps::score_diagnoses(diagnoses, study.truth,
+                                              apps::bgp::canonical_cause);
+    std::size_t unknown = 0, joint = 0;
+    for (const core::Diagnosis& d : diagnoses) {
+      unknown += d.causes.empty();
+      joint += d.causes.size() > 1;
+    }
+    table.add_row({util::format_double(factor, 1),
+                   util::format_double(100.0 * score.accuracy(), 2),
+                   util::format_double(100.0 * unknown / diagnoses.size(), 2),
+                   util::format_double(100.0 * joint / diagnoses.size(), 2)});
+  }
+  std::fputs(table
+                 .render("Ablation: temporal margin scale on the BGP "
+                         "application (Table IV workload)")
+                 .c_str(),
+             stdout);
+  std::printf(
+      "\nAt scale 0 only exactly-overlapping events join: syslog jitter and "
+      "timer delays\nare missed and Unknown balloons. Past ~10x, margins "
+      "join stale events: accuracy\nfalls. The paper derives margins from "
+      "protocol timers (scale 1.0) for this reason.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Scaling microbenches for the platform's hot paths: event-store window
+// queries, temporal-spatial joins, and full diagnoses as the stored event
+// volume grows (the paper's deployment ingests hundreds of millions of
+// records per day; windowed queries must stay sublinear in store size).
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "core/rule_dsl.h"
+#include "routing/bgp.h"
+#include "routing/ospf.h"
+#include "topology/topo_gen.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace grca;
+
+/// A store with n interface-flap events spread over a month on the given
+/// network, plus matching ebgp-flap symptoms for 1% of them.
+struct ScaledStore {
+  core::EventStore store;
+  std::vector<core::EventInstance> symptoms;
+
+  ScaledStore(const topology::Network& net, std::size_t n) {
+    util::Rng rng(99);
+    util::TimeSec start = util::make_utc(2010, 1, 1);
+    util::TimeSec span = 30 * util::kDay;
+    for (std::size_t i = 0; i < n; ++i) {
+      const topology::CustomerSite& c =
+          net.customers()[rng.below(net.customers().size())];
+      const topology::Interface& port = net.interface(c.attachment);
+      util::TimeSec t = start + rng.range(0, span);
+      core::EventInstance flap{
+          "interface-flap",
+          {t, t + rng.range(2, 12)},
+          core::Location::interface(net.router(port.router).name, port.name),
+          {}};
+      store.add(flap);
+      if (i % 100 == 0) {
+        core::EventInstance symptom{
+            "ebgp-flap",
+            {t + 2, t + rng.range(20, 60)},
+            core::Location::router_neighbor(net.router(port.router).name,
+                                            c.neighbor_ip.to_string()),
+            {}};
+        store.add(symptom);
+        symptoms.push_back(std::move(symptom));
+      }
+    }
+  }
+};
+
+const topology::Network& bench_net() {
+  static topology::Network net = topology::generate_isp(topology::TopoParams{});
+  return net;
+}
+
+void BM_EventStoreWindowQuery(benchmark::State& state) {
+  ScaledStore scaled(bench_net(), static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(7);
+  util::TimeSec start = util::make_utc(2010, 1, 1);
+  // Warm: the first query pays the store's lazy sort; that is ingest cost,
+  // not query cost.
+  benchmark::DoNotOptimize(scaled.store.query("interface-flap", start, start));
+  for (auto _ : state) {
+    util::TimeSec at = start + rng.range(0, 30 * util::kDay);
+    benchmark::DoNotOptimize(
+        scaled.store.query("interface-flap", at, at + 600));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EventStoreWindowQuery)
+    ->RangeMultiplier(10)
+    ->Range(1000, 1000000)
+    ->Complexity(benchmark::oLogN)
+    ->Unit(benchmark::kNanosecond);
+
+void BM_DiagnoseVsStoreSize(benchmark::State& state) {
+  const topology::Network& net = bench_net();
+  ScaledStore scaled(net, static_cast<std::size_t>(state.range(0)));
+  routing::OspfSim ospf(net);
+  routing::BgpSim bgp(ospf);
+  core::LocationMapper mapper(net, ospf, bgp);
+  core::DiagnosisGraph graph;
+  core::load_dsl(R"(
+event ebgp-flap {
+  location router-neighbor
+}
+event interface-flap {
+  location interface
+}
+rule ebgp-flap -> interface-flap {
+  priority 180
+  symptom start-start 185 5
+  diagnostic start-end 5 15
+  join interface
+}
+graph {
+  root ebgp-flap
+}
+)",
+                 graph);
+  core::RcaEngine engine(std::move(graph), scaled.store, mapper);
+  benchmark::DoNotOptimize(
+      scaled.store.query("interface-flap", 0, 0));  // pay the lazy sort once
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.diagnose(scaled.symptoms[i % scaled.symptoms.size()]));
+    ++i;
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DiagnoseVsStoreSize)
+    ->RangeMultiplier(10)
+    ->Range(1000, 1000000)
+    ->Complexity(benchmark::oLogN)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SpatialProjection(benchmark::State& state) {
+  const topology::Network& net = bench_net();
+  routing::OspfSim ospf(net);
+  routing::BgpSim bgp(ospf);
+  routing::seed_customer_routes(bgp, net, 0);
+  core::LocationMapper mapper(net, ospf, bgp);
+  const topology::CustomerSite& c = net.customers().back();
+  core::Location loc = core::Location::ingress_destination(
+      net.routers()[0].name,
+      util::Ipv4Addr(c.announced.address().value() + 1).to_string());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mapper.project(loc, core::LocationType::kLogicalLink, 1000));
+  }
+}
+BENCHMARK(BM_SpatialProjection)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Reproduces Fig. 2: the spatial model — location types and the mappings
+// between them. Walks one concrete service location through every
+// conversion utility of §II-B, printing the projections the LocationMapper
+// resolves from configs + route monitors.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "collector/routing_rebuild.h"
+#include "core/location.h"
+#include "routing/bgp.h"
+
+int main(int argc, char** argv) {
+  using namespace grca;
+  bench::World world(bench::bench_params(argc, argv));
+  const topology::Network& net = world.rca_net;
+  routing::OspfSim ospf(net);
+  routing::BgpSim bgp(ospf);
+  routing::seed_customer_routes(bgp, net, 0);
+  core::LocationMapper mapper(net, ospf, bgp);
+
+  auto show = [&](const core::Location& loc, core::LocationType level) {
+    auto projected = mapper.project(loc, level, 1000);
+    std::printf("  %-46s -> %-14s :", loc.key().c_str(),
+                std::string(core::to_string(level)).c_str());
+    std::size_t shown = 0;
+    for (const core::Location& p : projected) {
+      if (shown++ == 6) {
+        std::printf(" ... (%zu total)", projected.size());
+        break;
+      }
+      std::printf(" %s", p.key().c_str());
+    }
+    std::printf("\n");
+  };
+
+  const topology::CustomerSite& cust = net.customers().front();
+  const topology::Interface& port = net.interface(cust.attachment);
+  const topology::Router& per = net.router(port.router);
+  std::printf("Fig. 2 walk: customer %s attached at %s:%s\n\n",
+              cust.name.c_str(), per.name.c_str(), port.name.c_str());
+
+  std::printf("utility 2 (session -> attachment -> containment):\n");
+  core::Location session =
+      core::Location::router_neighbor(per.name, cust.neighbor_ip.to_string());
+  show(session, core::LocationType::kInterface);
+  show(session, core::LocationType::kRouter);
+  show(session, core::LocationType::kLineCard);
+
+  std::printf("\nutilities 5-7 (logical->physical->layer-1):\n");
+  show(session, core::LocationType::kPhysicalLink);
+  show(session, core::LocationType::kLayer1Device);
+  core::Location uplink = core::Location::interface(
+      per.name, net.interface(
+                    net.link(net.links_of_router(per.id)[0]).side_a)
+                    .name);
+  show(uplink, core::LocationType::kLogicalLink);
+  show(uplink, core::LocationType::kLayer1Device);
+
+  std::printf("\nutility 3 (ingress:egress -> OSPF path):\n");
+  const topology::Router& far_per = *std::find_if(
+      net.routers().rbegin(), net.routers().rend(),
+      [&](const topology::Router& r) {
+        return r.role == topology::RouterRole::kProviderEdge &&
+               r.pop != per.pop;
+      });
+  core::Location pair = core::Location::router_pair(per.name, far_per.name);
+  show(pair, core::LocationType::kRouter);
+  show(pair, core::LocationType::kLogicalLink);
+
+  std::printf("\nutility 1 (ingress:destination -> egress via BGP LPM):\n");
+  const topology::CustomerSite& dst = net.customers().back();
+  util::Ipv4Addr inside(dst.announced.address().value() + 9);
+  core::Location ingress_dst =
+      core::Location::ingress_destination(per.name, inside.to_string());
+  show(ingress_dst, core::LocationType::kRouterPair);
+  show(ingress_dst, core::LocationType::kRouter);
+
+  std::printf("\nreverse mapping (layer-1 device -> affected ports):\n");
+  core::Location l1 =
+      core::Location::layer1(net.layer1_devices().front().name);
+  show(l1, core::LocationType::kPhysicalLink);
+  show(l1, core::LocationType::kInterface);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Reproduces Fig. 3: the three expanding options of temporal joining rules
+// (Start/End, Start/Start, End/End), including the paper's worked eBGP
+// hold-timer example, as a sweep over margins and event offsets.
+
+#include <cstdio>
+
+#include "core/temporal.h"
+#include "util/table.h"
+
+int main() {
+  using namespace grca;
+  using core::ExpandOption;
+  using core::TemporalRule;
+  using core::TemporalSide;
+
+  std::printf("Fig. 3: expanding options applied to event [1000, 1060]\n\n");
+  util::TextTable options({"Option", "X", "Y", "Expanded Window"});
+  for (ExpandOption opt : {ExpandOption::kStartEnd, ExpandOption::kStartStart,
+                           ExpandOption::kEndEnd}) {
+    TemporalSide side{opt, 30, 10};
+    util::TimeInterval w = side.expand({1000, 1060});
+    options.add_row({std::string(core::to_string(opt)), "30", "10",
+                     "[" + std::to_string(w.start) + ", " +
+                         std::to_string(w.end) + "]"});
+  }
+  std::fputs(options.render().c_str(), stdout);
+
+  std::printf(
+      "\nWorked example (paper II-C): eBGP flap [1000,2000] with "
+      "(start-start, X=180, Y=5)\nagainst an interface flap with "
+      "(start-end, X=5, Y=5) at varying offsets:\n\n");
+  TemporalRule rule;
+  rule.symptom = {ExpandOption::kStartStart, 180, 5};
+  rule.diagnostic = {ExpandOption::kStartEnd, 5, 5};
+  util::TimeInterval symptom{1000, 2000};
+  util::TextTable sweep({"Interface flap at", "Joined?"});
+  for (util::TimeSec offset : {-600, -300, -180, -100, -10, 0, 3, 20, 300}) {
+    util::TimeInterval diag{1000 + offset, 1001 + offset};
+    sweep.add_row({"[" + std::to_string(diag.start) + ", " +
+                       std::to_string(diag.end) + "]",
+                   rule.joined(symptom, diag) ? "yes" : "no"});
+  }
+  std::fputs(sweep.render().c_str(), stdout);
+  std::printf(
+      "\nThe 180 s backward expansion models the eBGP hold timer: flaps "
+      "join interface\nevents up to three minutes earlier, but not later "
+      "ones.\n");
+  return 0;
+}

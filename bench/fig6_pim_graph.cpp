@@ -1,0 +1,60 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Reproduces Table VII + Fig. 6: the MVPN PIM-adjacency application's events
+// and diagnosis graph. The paper notes only three app-specific events and a
+// handful of app rules were needed on top of the Knowledge Library —
+// development took under 10 hours; this dump shows the same economy.
+
+#include <cstdio>
+#include <set>
+
+#include "apps/pim_app.h"
+#include "core/knowledge_library.h"
+#include "core/rule_dsl.h"
+#include "util/table.h"
+
+int main() {
+  using namespace grca;
+  core::DiagnosisGraph graph = apps::pim::build_graph();
+
+  util::TextTable table({"Event Name", "Event Description", "Data Source"});
+  for (const char* name : {"pim-adjacency-flap", "pim-config-change",
+                           "uplink-pim-adjacency-change"}) {
+    const core::EventDefinition& def = graph.event(name);
+    table.add_row({def.name, def.description, def.data_source});
+  }
+  std::fputs(table
+                 .render("Table VII: Application-specific events for root "
+                         "cause analysis of PIM adjacency change in MVPN")
+                 .c_str(),
+             stdout);
+
+  // Quantify the reuse claim.
+  core::DiagnosisGraph library;
+  core::load_knowledge_library(library);
+  std::printf(
+      "\nreuse: %zu events and %zu rules from the Knowledge Library; only "
+      "%zu app-specific events and %zu app-specific rules added\n",
+      library.events().size(), library.rules().size(),
+      graph.events().size() - library.events().size(),
+      graph.rules().size() - library.rules().size());
+
+  std::printf(
+      "\nFig. 6: Diagnosis graph for PIM adjacency change root cause "
+      "analysis\n");
+  std::printf("root symptom: %s\n", graph.root().c_str());
+  std::set<std::string> visited;
+  auto walk = [&](auto&& self, const std::string& node, int depth) -> void {
+    for (const core::DiagnosisRule& rule : graph.rules_from(node)) {
+      std::printf("%*s%s -> %s  [priority %d, join %s]\n", 2 * depth, "",
+                  rule.symptom.c_str(), rule.diagnostic.c_str(), rule.priority,
+                  std::string(core::to_string(rule.join_level)).c_str());
+      if (visited.insert(rule.diagnostic).second) {
+        self(self, rule.diagnostic, depth + 1);
+      }
+    }
+  };
+  walk(walk, graph.root(), 1);
+  return 0;
+}

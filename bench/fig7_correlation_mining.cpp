@@ -1,0 +1,176 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Reproduces Fig. 7 / §IV-B: the interaction between the Generic RCA Engine
+// and the Correlation Tester that exposed the hidden provisioning bug.
+//
+// Scenario: over three months, routine provisioning activity runs across the
+// network. On a small fraction of occasions, a router software bug makes the
+// provisioning work drive the route processor hot and customer eBGP sessions
+// HTE out ("CPU-related BGP flaps"). The RCA engine classifies every flap;
+// the Result Browser then *prefilters* the flaps down to the CPU-related
+// subset, whose time series is screened against thousands of candidate
+// series with the NICE test. The key finding — reproduced here — is that the
+// provisioning correlation is significant only after prefiltering; fed all
+// BGP flaps, the signal is buried in the noise.
+
+#include <cstdio>
+
+#include "apps/bgp_flap_app.h"
+#include "bench/bench_util.h"
+#include "core/correlation.h"
+#include "simulation/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace grca;
+  bench::World world(bench::bench_params(argc, argv));
+  const topology::Network& sim_net = world.sim_net;
+
+  // ---- Generate three months with the hidden bug --------------------------
+  util::TimeSec start = util::make_utc(2010, 1, 1);
+  const int days = 90;
+  util::TimeSec end = start + days * util::kDay;
+  routing::OspfSim ospf(sim_net);
+  routing::BgpSim bgp(ospf);
+  routing::seed_customer_routes(bgp, sim_net, start - util::kDay);
+  sim::ScenarioEngine eng(sim_net, ospf, bgp, /*seed=*/23);
+  util::Rng& rng = eng.rng();
+
+  std::vector<topology::RouterId> pers;
+  for (const topology::Router& r : sim_net.routers()) {
+    if (r.role == topology::RouterRole::kProviderEdge) pers.push_back(r.id);
+  }
+  // Ordinary flap background: interface flaps, resets, benign CPU spikes.
+  for (int i = 0; i < 1200; ++i) {
+    util::TimeSec t = start + rng.range(0, end - start - 3600);
+    topology::CustomerSiteId site(static_cast<std::uint32_t>(
+        rng.below(sim_net.customers().size())));
+    eng.customer_interface_flap(site, t);
+  }
+  for (int i = 0; i < 2 * days; ++i) {
+    eng.noise_cpu_spike(pers[rng.below(pers.size())],
+                        start + rng.range(0, end - start));
+  }
+  // Provisioning activity: ~6/day across the network; 25% trigger the bug.
+  int buggy = 0, benign = 0;
+  for (int i = 0; i < 6 * days; ++i) {
+    util::TimeSec t = start + rng.range(0, end - start - 3600);
+    bool causes_flaps = rng.chance(0.25);
+    buggy += causes_flaps;
+    benign += !causes_flaps;
+    eng.provisioning(pers[rng.below(pers.size())], t, causes_flaps);
+  }
+  std::printf("provisioning events: %d benign, %d triggering the bug\n",
+              benign, buggy);
+
+  // ---- RCA pass -------------------------------------------------------------
+  apps::Pipeline pipeline(world.rca_net, eng.take_records());
+  core::RcaEngine engine(apps::bgp::build_graph(), pipeline.store(),
+                         pipeline.mapper());
+  std::vector<core::Diagnosis> diagnoses = engine.diagnose_all();
+  std::printf("eBGP flaps diagnosed: %zu\n", diagnoses.size());
+
+  // "CPU-related BGP flaps": HTE evidence + a high-CPU signature + no link
+  // failure evidence (the paper's filter).
+  auto is_cpu_related = [](const core::Diagnosis& d) {
+    return d.has_evidence("ebgp-hte") &&
+           (d.has_evidence("cpu-high-spike") ||
+            d.has_evidence("cpu-high-avg")) &&
+           !d.has_evidence("interface-flap") &&
+           !d.has_evidence("line-protocol-flap");
+  };
+
+  const util::TimeSec bin = 300;
+  core::EventSeries all_flaps, cpu_flaps;
+  all_flaps.bin = cpu_flaps.bin = bin;
+  std::size_t bins = static_cast<std::size_t>((end - start) / bin);
+  all_flaps.values.assign(bins, 0.0);
+  cpu_flaps.values.assign(bins, 0.0);
+  std::size_t cpu_related = 0;
+  for (const core::Diagnosis& d : diagnoses) {
+    std::size_t idx = static_cast<std::size_t>(
+        (d.symptom.when.start - start) / bin);
+    if (idx >= bins) continue;
+    all_flaps.values[idx] = 1.0;
+    if (is_cpu_related(d)) {
+      cpu_flaps.values[idx] = 1.0;
+      ++cpu_related;
+    }
+  }
+  std::printf("CPU-related flaps after prefiltering: %zu\n\n", cpu_related);
+
+  // ---- Candidate series: per-router workflow + per-type syslog events -----
+  struct Candidate {
+    std::string label;
+    core::EventSeries series;
+  };
+  std::vector<Candidate> candidates;
+  auto add_candidate = [&](const std::string& label, const std::string& event,
+                           const std::string& router) {
+    core::EventSeries s = core::make_series(
+        pipeline.store().all(event), start, end, bin,
+        [&](const core::EventInstance& e) {
+          return router.empty() || e.where.a == router;
+        });
+    double total = 0;
+    for (double v : s.values) total += v;
+    if (total >= 3) candidates.push_back(Candidate{label, std::move(s)});
+  };
+  for (const topology::Router& r : world.rca_net.routers()) {
+    add_candidate("workflow-provisioning@" + r.name, "workflow-provisioning",
+                  r.name);
+  }
+  for (const char* event :
+       {"interface-down", "interface-up", "line-protocol-down",
+        "line-protocol-up", "cpu-high-spike", "bgp-notification",
+        "ebgp-hte", "customer-reset-session", "router-reboot"}) {
+    for (const topology::Router& r : world.rca_net.routers()) {
+      add_candidate(std::string(event) + "@" + r.name, event, r.name);
+    }
+    add_candidate(std::string(event) + "@network", event, "");
+  }
+  add_candidate("workflow-provisioning@network", "workflow-provisioning", "");
+  std::printf("candidate series: %zu (paper: 3361)\n", candidates.size());
+
+  // ---- Screen: prefiltered vs unfiltered ------------------------------------
+  std::vector<core::EventSeries> series;
+  for (const Candidate& c : candidates) series.push_back(c.series);
+  core::NiceParams params;
+  params.permutations = 200;
+  params.alpha = 0.01;
+  params.min_score = 0.15;  // operational-significance floor
+  util::Rng rng_a(101), rng_b(102);
+  auto filtered = core::screen_candidates(cpu_flaps, series, params, rng_a);
+  auto unfiltered = core::screen_candidates(all_flaps, series, params, rng_b);
+
+  auto provisioning_hit = [&](const std::vector<core::RankedCorrelation>& hits,
+                              const char* label) {
+    std::printf("\n%s: %zu significant series (paper: 80 of 3361)\n", label,
+                hits.size());
+    bool found = false;
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      const Candidate& c = candidates[hits[i].index];
+      bool is_prov = c.label.find("workflow-provisioning") == 0;
+      if (i < 8 || is_prov) {
+        std::printf("  rank %2zu: score %.3f p=%.3f  %s\n", i + 1,
+                    hits[i].result.score, hits[i].result.p_value,
+                    c.label.c_str());
+      }
+      found |= is_prov;
+    }
+    std::printf("  provisioning correlation %s\n",
+                found ? "REVEALED" : "not significant (buried in noise)");
+    return found;
+  };
+  bool with_filter =
+      provisioning_hit(filtered, "prefiltered (CPU-related flaps only)");
+  bool without_filter = provisioning_hit(unfiltered, "unfiltered (all flaps)");
+
+  std::printf(
+      "\nconclusion: prefiltering by diagnosed root cause %s the hidden "
+      "provisioning bug;\nwithout it the correlation is %s — matching "
+      "the paper's finding.\n",
+      with_filter ? "amplifies and reveals" : "FAILED to reveal",
+      without_filter ? "STILL present (unexpected)" : "lost");
+  return with_filter && !without_filter ? 0 : 1;
+}

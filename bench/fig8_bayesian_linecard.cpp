@@ -1,0 +1,177 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Reproduces Fig. 8 / §IV-C: inferring an *unobservable* root cause with the
+// Bayesian engine.
+//
+// Scenario: one month of eBGP flaps on a PER with several hundred sessions.
+// One line card crashes, flapping its ~125 customer ports within three
+// minutes. No line-card crash signature is part of the diagnosis graph (as
+// in the paper, where the signature had not been incorporated yet), so
+// rule-based reasoning diagnoses each of those flaps as "Interface flap".
+// The Bayesian engine, examining the symptoms jointly (grouped by the line
+// card their evidence sits on), identifies the common hidden cause:
+// "Line-card Issue".
+
+#include <cstdio>
+
+#include "apps/bgp_flap_app.h"
+#include "apps/pipeline.h"
+#include "collector/normalizer.h"
+#include "simulation/scenario.h"
+#include "topology/config.h"
+
+namespace {
+
+using namespace grca;
+namespace t = topology;
+
+/// A PER with one big line card (125 customer ports) and two smaller ones,
+/// dual-homed into a small core.
+t::Network build_per_network() {
+  t::Network net;
+  t::PopId pop = net.add_pop("nyc", util::TimeZone::us_eastern());
+  t::RouterId per = net.add_router("nyc-per1", pop,
+                                   t::RouterRole::kProviderEdge,
+                                   util::Ipv4Addr::parse("10.255.0.1"));
+  t::RouterId cr = net.add_router("nyc-cr1", pop, t::RouterRole::kCore,
+                                  util::Ipv4Addr::parse("10.255.0.2"));
+  t::RouterId rr = net.add_router("nyc-rr1", pop,
+                                  t::RouterRole::kRouteReflector,
+                                  util::Ipv4Addr::parse("10.255.0.3"));
+  net.set_reflectors(per, {rr});
+  t::LineCardId uplink_card = net.add_line_card(per, 9);
+  t::LineCardId cc = net.add_line_card(cr, 0);
+  t::LineCardId rc = net.add_line_card(rr, 0);
+  auto pi = net.add_interface(per, uplink_card, "so-9/0/0",
+                              t::InterfaceKind::kBackbone,
+                              util::Ipv4Addr::parse("10.0.0.1"));
+  auto ci = net.add_interface(cr, cc, "so-0/0/0", t::InterfaceKind::kBackbone,
+                              util::Ipv4Addr::parse("10.0.0.2"));
+  auto ri = net.add_interface(rr, rc, "so-0/0/0", t::InterfaceKind::kBackbone,
+                              util::Ipv4Addr::parse("10.0.0.5"));
+  auto ci2 = net.add_interface(cr, cc, "so-0/0/1", t::InterfaceKind::kBackbone,
+                               util::Ipv4Addr::parse("10.0.0.6"));
+  net.add_logical_link(pi, ci, util::Ipv4Prefix::parse("10.0.0.0/30"), 10, 40.0);
+  net.add_logical_link(ri, ci2, util::Ipv4Prefix::parse("10.0.0.4/30"), 10,
+                       10.0);
+  // Three customer cards: slot 0 with 125 ports (will crash), slots 1-2 with
+  // 40 ports each.
+  std::uint32_t cust_net = util::Ipv4Addr::parse("172.16.0.0").value();
+  std::uint32_t prefix = util::Ipv4Addr::parse("96.0.0.0").value();
+  int seq = 1;
+  for (int slot = 0; slot < 3; ++slot) {
+    t::LineCardId card = net.add_line_card(per, slot);
+    int ports = slot == 0 ? 125 : 40;
+    for (int i = 0; i < ports; ++i) {
+      char ifname[32];
+      std::snprintf(ifname, sizeof ifname, "ge-%d/0/%d", slot, i);
+      auto port = net.add_interface(per, card, ifname,
+                                    t::InterfaceKind::kCustomerFacing,
+                                    util::Ipv4Addr(cust_net + 1));
+      char cname[32];
+      std::snprintf(cname, sizeof cname, "cust-%05d", seq++);
+      net.add_customer_site(cname, port, util::Ipv4Addr(cust_net + 2),
+                            65000 + seq, util::Ipv4Prefix(
+                                util::Ipv4Addr(prefix), 24));
+      cust_net += 4;
+      prefix += 256;
+    }
+  }
+  net.validate();
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  t::Network sim_net = build_per_network();
+  t::Network rca_net = t::build_network_from_configs(
+      t::render_all_configs(sim_net), t::render_layer1_inventory(sim_net));
+
+  // One month: routine flaps across all cards + one line-card crash.
+  util::TimeSec start = util::make_utc(2010, 3, 1);
+  util::TimeSec end = start + 30 * util::kDay;
+  routing::OspfSim ospf(sim_net);
+  routing::BgpSim bgp(ospf);
+  routing::seed_customer_routes(bgp, sim_net, start - util::kDay);
+  sim::ScenarioEngine eng(sim_net, ospf, bgp, 31);
+  util::Rng& rng = eng.rng();
+  for (int i = 0; i < 250; ++i) {
+    t::CustomerSiteId site(static_cast<std::uint32_t>(
+        rng.below(sim_net.customers().size())));
+    eng.customer_interface_flap(site, start + rng.range(0, end - start - 3600));
+  }
+  for (int i = 0; i < 40; ++i) {
+    t::CustomerSiteId site(static_cast<std::uint32_t>(
+        rng.below(sim_net.customers().size())));
+    eng.hte_unknown(site, start + rng.range(0, end - start - 3600));
+  }
+  // The crash: slot 0 (the 125-port card) at mid-month.
+  util::TimeSec crash_time = start + 15 * util::kDay;
+  eng.linecard_crash(sim_net.router(*sim_net.find_router("nyc-per1"))
+                         .line_cards[1],  // slot 0 card (uplink card is [0])
+                     crash_time);
+
+  apps::Pipeline pipeline(rca_net, eng.take_records());
+  core::RcaEngine engine(apps::bgp::build_graph(), pipeline.store(),
+                         pipeline.mapper());
+  std::vector<core::Diagnosis> diagnoses = engine.diagnose_all();
+  std::printf("eBGP flaps in the month: %zu\n", diagnoses.size());
+
+  // ---- Rule-based verdicts around the crash --------------------------------
+  std::size_t crash_window_flaps = 0, rule_iface = 0;
+  for (const core::Diagnosis& d : diagnoses) {
+    if (d.symptom.when.start >= crash_time - 10 &&
+        d.symptom.when.start <= crash_time + 200) {
+      ++crash_window_flaps;
+      rule_iface += d.primary() == "interface-flap";
+    }
+  }
+  std::printf(
+      "flaps within the 3-minute crash window: %zu (paper: 133 on 125 "
+      "sessions)\nrule-based verdict for them: %zu x \"Interface flap\"\n",
+      crash_window_flaps, rule_iface);
+
+  // ---- Bayesian joint inference --------------------------------------------
+  core::BayesEngine bayes = apps::bgp::build_bayes();
+  auto groups = core::group_symptoms(
+      diagnoses, /*window=*/180, [&](const core::Diagnosis& d) {
+        return apps::bgp::linecard_group_key(d, pipeline.mapper());
+      });
+  std::printf("\nsymptom groups (by evidence line card, 180 s window): %zu\n",
+              groups.size());
+
+  std::size_t linecard_groups = 0, linecard_symptoms = 0, consistent = 0,
+              compared = 0;
+  for (const core::SymptomGroup& group : groups) {
+    auto verdict = bayes.classify(apps::bgp::group_features(group));
+    if (verdict.cause == "linecard-issue") {
+      ++linecard_groups;
+      linecard_symptoms += group.members.size();
+      std::printf(
+          "  line-card issue inferred: %zu flaps grouped on one card "
+          "(first at %s)\n",
+          group.members.size(),
+          util::format_utc(group.members.front()->symptom.when.start).c_str());
+    } else if (group.members.size() == 1) {
+      // Individually, rule-based and Bayesian verdicts should agree.
+      const core::Diagnosis& d = *group.members.front();
+      ++compared;
+      bool rule_iface_v = d.primary() == "interface-flap" ||
+                          d.primary() == "sonet-restoration";
+      bool bayes_iface_v = verdict.cause == "interface-issue";
+      bool rule_cpu = d.has_evidence("ebgp-hte");
+      bool bayes_cpu = verdict.cause == "cpu-high-issue";
+      consistent += (rule_iface_v && bayes_iface_v) || (rule_cpu && bayes_cpu) ||
+                    d.primary() == "unknown";
+    }
+  }
+  std::printf(
+      "\nBayesian engine: %zu group(s) reclassified as Line-card Issue, "
+      "covering %zu flaps\n(rule-based had called each an Interface flap); "
+      "%zu/%zu singleton verdicts consistent\nbetween the two engines — "
+      "matching the paper's account.\n",
+      linecard_groups, linecard_symptoms, consistent, compared);
+  return linecard_groups >= 1 && linecard_symptoms >= 100 ? 0 : 1;
+}

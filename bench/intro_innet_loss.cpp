@@ -1,0 +1,62 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The paper's §I motivating scenario, end to end: "when analyzing sporadic
+// packet losses observed by probing traffic transmitted between different
+// points of presence ... one should examine the packet losses over an
+// extended period and diagnose their root causes. Should link congestion be
+// determined to be the primary root cause, capacity augmentation is needed
+// ... if packet losses are found to be largely due to intradomain routing
+// reconvergence, deploying technologies such as MPLS fast reroute becomes a
+// priority."
+//
+// Built entirely from Knowledge Library events and rules — the application
+// adds nothing but the root-symptom choice.
+
+#include "apps/innet_app.h"
+#include "apps/pipeline.h"
+#include "apps/scoring.h"
+#include "bench/bench_util.h"
+#include "simulation/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace grca;
+  bench::World world(bench::bench_params(argc, argv));
+
+  for (const char* regime : {"congestion-dominated", "reconvergence-dominated"}) {
+    sim::InnetStudyParams params;
+    params.days = 30;
+    params.target_symptoms = 600;
+    if (std::string(regime) == "reconvergence-dominated") {
+      params.congestion_pct = 10.0;
+      params.reconvergence_pct = 45.0;
+      params.flap_pct = 25.0;
+      params.unknown_pct = 20.0;
+      params.seed = 29;
+    }
+    sim::StudyOutput study = sim::run_innet_study(world.sim_net, params);
+
+    apps::Pipeline pipeline(world.rca_net, study.records);
+    core::RcaEngine engine(apps::innet::build_graph(), pipeline.store(),
+                           pipeline.mapper());
+    core::ResultBrowser browser(engine.diagnose_all());
+    apps::innet::configure_browser(browser);
+
+    std::printf("\n==== month of inter-PoP probe losses (%s) ====\n", regime);
+    std::fputs(browser.breakdown().render("root cause breakdown").c_str(),
+               stdout);
+    auto pct = bench::canonical_percentages(browser.diagnoses(),
+                                            apps::innet::canonical_cause);
+    std::printf("\nengineering action: %s\n",
+                apps::innet::recommend_action(pct).c_str());
+
+    apps::Score score = apps::score_diagnoses(browser.diagnoses(), study.truth,
+                                              apps::innet::canonical_cause);
+    bench::print_score(score);
+  }
+  std::printf(
+      "\nThe application uses 0 app-specific events and 0 app-specific "
+      "rules: everything\ncomes from the Knowledge Library (the paper's "
+      "reuse claim at its extreme).\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// §V integration: SCORE-style SRLG localization of an *unobservable* layer-1
+// failure, end to end.
+//
+// An optical cross-connect fails silently (no layer-1 alarm is collected —
+// perhaps the device log feed is down). Every circuit through it drops, so
+// the routers report a burst of interface-down syslog. Rule-based G-RCA
+// sees "interface down" leaves with no deeper evidence. Feeding those event
+// locations into the SRLG minimal-set-cover recovers the failed device.
+
+#include <cstdio>
+#include <set>
+
+#include "apps/pipeline.h"
+#include "bench/bench_util.h"
+#include "core/srlg.h"
+#include "simulation/scenario.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace grca;
+  namespace t = topology;
+  bench::World world(bench::bench_params(argc, argv));
+  const t::Network& sim_net = world.sim_net;
+
+  // The victim: the optical cross-connect of PoP #2.
+  const t::Layer1Device* victim = nullptr;
+  for (const t::Layer1Device& d : sim_net.layer1_devices()) {
+    if (d.kind == t::Layer1Kind::kOpticalMesh) {
+      victim = &d;
+      break;
+    }
+  }
+  std::printf("silent failure injected at layer-1 device: %s\n",
+              victim->name.c_str());
+
+  // Fail every circuit through it at t0: interface-down on each affected
+  // port, NO layer-1 log. Plus unrelated background flaps as noise.
+  routing::OspfSim ospf(sim_net);
+  routing::BgpSim bgp(ospf);
+  sim::ScenarioEngine eng(sim_net, ospf, bgp, 77);
+  util::TimeSec t0 = util::make_utc(2010, 5, 1, 3, 0, 0);
+  std::set<std::uint32_t> affected_ports;
+  for (const t::PhysicalLink& pl : sim_net.physical_links()) {
+    bool through = false;
+    for (t::Layer1DeviceId d : pl.path) through |= d == victim->id;
+    if (!through) continue;
+    std::vector<t::InterfaceId> ports;
+    if (pl.logical.valid()) {
+      ports = {sim_net.link(pl.logical).side_a, sim_net.link(pl.logical).side_b};
+    } else {
+      ports = {pl.access_port};
+    }
+    for (t::InterfaceId p : ports) {
+      if (!affected_ports.insert(p.value()).second) continue;
+      const t::Interface& ifc = sim_net.interface(p);
+      eng.emitter().syslog(ifc.router, t0 + eng.rng().range(0, 5),
+                           telemetry::msg::link_updown(ifc.name, false));
+    }
+  }
+  std::printf("ports dropped by the failure: %zu\n", affected_ports.size());
+  for (int i = 0; i < 6; ++i) {
+    // Unrelated customer flaps elsewhere in the same hour (noise).
+    t::CustomerSiteId site(static_cast<std::uint32_t>(
+        eng.rng().below(sim_net.customers().size())));
+    eng.customer_interface_flap(site, t0 - 1800 + eng.rng().range(0, 3600));
+  }
+
+  // Collector side: extract interface-down events in the failure window.
+  apps::Pipeline pipeline(world.rca_net, eng.take_records());
+  std::vector<core::Location> faults;
+  for (const core::EventInstance* e :
+       pipeline.store().query("interface-down", t0 - 2, t0 + 10)) {
+    faults.push_back(e->where);
+  }
+  std::printf("interface-down events in the burst window: %zu\n\n",
+              faults.size());
+
+  // SCORE localization over the config-derived risk model.
+  core::SrlgModel model(world.rca_net);
+  auto result = model.localize(faults);
+  util::TextTable table({"Hypothesis", "Explains", "Hit ratio"});
+  for (const core::RiskHypothesis& h : result.hypotheses) {
+    table.add_row({h.group, std::to_string(h.explained.size()),
+                   util::format_double(h.hit_ratio, 2)});
+  }
+  std::fputs(table.render("SRLG minimal set cover").c_str(), stdout);
+  std::printf("unexplained faults: %zu\n", result.unexplained.size());
+
+  bool found = !result.hypotheses.empty() &&
+               result.hypotheses[0].group == "layer1:" + victim->name;
+  std::printf(
+      "\n%s: the failed device was %s from interface-down events alone — "
+      "no layer-1\nevidence was ever collected (paper §V: SCORE-like "
+      "inference for evidence-free cases).\n",
+      found ? "LOCALIZED" : "MISSED", victim->name.c_str());
+  return found ? 0 : 1;
+}

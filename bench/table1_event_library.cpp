@@ -1,0 +1,31 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Reproduces Table I: common event definitions in the G-RCA Knowledge
+// Library for a tier-1 ISP's IP network.
+
+#include <cstdio>
+
+#include "core/knowledge_library.h"
+#include "util/table.h"
+
+int main() {
+  using namespace grca;
+  core::DiagnosisGraph graph;
+  core::load_knowledge_library(graph);
+  util::TextTable table(
+      {"Event Name", "Event Description", "Location Type", "Data Source"});
+  for (const core::EventDefinition* def : graph.events()) {
+    table.add_row({def->name, def->description,
+                   std::string(core::to_string(def->location_type)),
+                   def->data_source});
+  }
+  std::fputs(
+      table
+          .render("Table I: Common event definitions (G-RCA Knowledge "
+                  "Library)")
+          .c_str(),
+      stdout);
+  std::printf("\n%zu common events defined.\n", graph.events().size());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Reproduces Table VIII: root-cause breakdown of PIM neighbor adjacency
+// changes in the MVPN service over two weeks (§III-C.2), including the
+// paper's coverage claim (> 98% of adjacency changes classified).
+
+#include "apps/pim_app.h"
+#include "bench/bench_util.h"
+#include "simulation/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace grca;
+  bench::World world(bench::bench_params(argc, argv));
+  sim::PimStudyParams params;
+  params.days = 14;
+  params.target_symptoms = 2000;
+  sim::StudyOutput study = sim::run_pim_study(world.sim_net, params);
+  std::printf("telemetry: %zu raw records over %d days\n",
+              study.records.size(), params.days);
+
+  apps::Pipeline pipeline(world.rca_net, study.records);
+  core::RcaEngine engine(apps::pim::build_graph(), pipeline.store(),
+                         pipeline.mapper());
+  std::vector<core::Diagnosis> diagnoses = engine.diagnose_all();
+
+  core::ResultBrowser browser(std::move(diagnoses));
+  apps::pim::configure_browser(browser);
+  std::fputs(browser.breakdown()
+                 .render("\nTable VIII: Root cause breakdown of PIM "
+                         "adjacency losses")
+                 .c_str(),
+             stdout);
+
+  const std::vector<bench::PaperRow> rows = {
+      {"PIM Configuration Change", 4.04, "pim-config-change"},
+      {"Router Cost In/Out", 10.34, "router-cost-inout"},
+      {"Link Cost Out/Down", 1.50, "link-cost-outdown"},
+      {"Link Cost In/Up", 0.84, "link-cost-inup"},
+      {"OSPF re-convergence", 10.36, "ospf-reconvergence"},
+      {"Uplink PIM adjacency loss", 1.95, "uplink-pim-adjacency-change"},
+      {"interface (customer facing) flap", 69.21, "interface-flap"},
+      {"Unknown", 1.76, "unknown"},
+  };
+  auto measured = bench::canonical_percentages(browser.diagnoses(),
+                                               apps::pim::canonical_cause);
+  bench::print_comparison("\nPaper vs measured (Table VIII)", rows, measured);
+
+  double classified = 100.0;
+  if (auto it = measured.find("unknown"); it != measured.end()) {
+    classified -= it->second;
+  }
+  std::printf("\nclassified: %.2f%% of adjacency changes (paper: > 98%%)\n",
+              classified);
+  apps::Score score = apps::score_diagnoses(browser.diagnoses(), study.truth,
+                                            apps::pim::canonical_cause);
+  bench::print_score(score);
+  std::printf("mean diagnosis time: %.2f ms/symptom (paper: < 5 s)\n",
+              browser.mean_diagnosis_ms());
+  return 0;
+}

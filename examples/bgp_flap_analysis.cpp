@@ -1,0 +1,68 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The §III-A workflow end to end: a month of customer eBGP flaps across the
+// ISP, classified and trended with the Result Browser — the way operations
+// uses the tool to "trend flaps and identify anomalous behavior" and answer
+// customer inquiries with a drill-down.
+//
+//   $ ./bgp_flap_analysis
+
+#include <cstdio>
+
+#include "apps/bgp_flap_app.h"
+#include "apps/pipeline.h"
+#include "simulation/workloads.h"
+#include "topology/config.h"
+#include "topology/topo_gen.h"
+
+int main() {
+  using namespace grca;
+
+  // The simulated ISP and the RCA-side twin reconstructed from configs.
+  topology::TopoParams tp;
+  tp.pops = 8;
+  tp.pers_per_pop = 5;
+  tp.customers_per_per = 8;
+  topology::Network sim_net = topology::generate_isp(tp);
+  topology::Network rca_net = topology::build_network_from_configs(
+      topology::render_all_configs(sim_net),
+      topology::render_layer1_inventory(sim_net));
+  std::printf("ISP: %zu routers, %zu eBGP sessions\n",
+              rca_net.routers().size(), rca_net.customers().size());
+
+  // A month of incidents.
+  sim::BgpStudyParams params;
+  params.days = 30;
+  params.target_symptoms = 1000;
+  sim::StudyOutput study = sim::run_bgp_study(sim_net, params);
+  std::printf("collected %zu raw records\n", study.records.size());
+
+  // Diagnose every flap.
+  apps::Pipeline pipeline(rca_net, study.records);
+  core::RcaEngine engine(apps::bgp::build_graph(), pipeline.store(),
+                         pipeline.mapper());
+  core::ResultBrowser browser(engine.diagnose_all());
+  apps::bgp::configure_browser(browser);
+
+  std::fputs(browser.breakdown().render("\nroot cause breakdown").c_str(),
+             stdout);
+
+  // Weekly trend of the dominant cause (is it getting better or worse?).
+  std::fputs(browser.trend().render("\ndaily trend").c_str(), stdout);
+
+  // A customer calls about a specific flap: drill into the first
+  // interface-flap-caused event for the full story.
+  auto flaps = browser.with_cause("interface-flap");
+  if (!flaps.empty()) {
+    std::printf("\ndrill-down for one customer inquiry:\n%s",
+                browser.drill_down(*flaps.front(), pipeline.context_lookup())
+                    .c_str());
+  }
+
+  // The unexplained residue is what an operator investigates next (§II-E).
+  std::printf("\nunexplained flaps: %zu of %zu — candidates for iterative "
+              "rule learning\n",
+              browser.unknowns().size(), browser.diagnoses().size());
+  return 0;
+}

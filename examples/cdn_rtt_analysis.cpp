@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The §III-B workflow: CDN RTT degradations diagnosed through the spatial
+// model (CDN node -> ingress router -> BGP egress -> OSPF path), including
+// the paper's peering-failure anecdote — a degradation whose root cause is a
+// routing change that moved the client's egress.
+//
+//   $ ./cdn_rtt_analysis
+
+#include <cstdio>
+
+#include "apps/cdn_app.h"
+#include "apps/pipeline.h"
+#include "simulation/workloads.h"
+#include "topology/config.h"
+#include "topology/topo_gen.h"
+
+int main() {
+  using namespace grca;
+  topology::TopoParams tp;
+  tp.pops = 8;
+  tp.pers_per_pop = 5;
+  tp.cdn_nodes = 2;
+  topology::Network sim_net = topology::generate_isp(tp);
+  topology::Network rca_net = topology::build_network_from_configs(
+      topology::render_all_configs(sim_net),
+      topology::render_layer1_inventory(sim_net));
+  const topology::CdnNode& node = rca_net.cdn_nodes().front();
+  std::printf("CDN node %s served from %zu ingress router(s)\n",
+              node.name.c_str(), node.ingress_routers.size());
+
+  sim::CdnStudyParams params;
+  params.days = 30;
+  params.target_symptoms = 800;
+  params.client_prefixes = 50;
+  sim::StudyOutput study = sim::run_cdn_study(sim_net, params);
+
+  apps::Pipeline pipeline(rca_net, study.records, {}, node.ingress_routers);
+  core::RcaEngine engine(apps::cdn::build_graph(), pipeline.store(),
+                         pipeline.mapper());
+  core::ResultBrowser browser(engine.diagnose_all());
+  apps::cdn::configure_browser(browser);
+
+  std::fputs(browser.breakdown().render("\nroot cause breakdown").c_str(),
+             stdout);
+
+  // The peering-failure anecdote: find a degradation caused by an egress
+  // change and show how G-RCA pinpoints the routing shift, letting the CDN
+  // team repair service (re-point DNS) while the network team fixes the
+  // link.
+  auto egress_cases = browser.with_cause("bgp-egress-change");
+  if (!egress_cases.empty()) {
+    const core::Diagnosis& d = *egress_cases.front();
+    std::printf("\nperitering-anecdote style case:\n%s",
+                browser.drill_down(d, pipeline.context_lookup()).c_str());
+    for (const core::EvidenceNode& node_ev : d.evidence) {
+      if (node_ev.event != "bgp-egress-change") continue;
+      for (const core::EventInstance* inst : node_ev.instances) {
+        auto from = inst->attrs.find("from");
+        auto to = inst->attrs.find("to");
+        if (from != inst->attrs.end() && to != inst->attrs.end()) {
+          std::printf(
+              "  -> client egress moved %s -> %s; CDN ops can re-point DNS "
+              "to a node closer to %s while the network issue is repaired\n",
+              from->second.c_str(), to->second.c_str(), to->second.c_str());
+        }
+      }
+    }
+  }
+  std::printf(
+      "\n%.1f%% of degradations had no internal evidence (paper: 74.83%% — "
+      "most CDN\nimpairments originate outside the provider's network)\n",
+      100.0 * browser.unknowns().size() / browser.diagnoses().size());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The §III-C workflow: two weeks of MVPN PIM adjacency changes — thousands
+// of syslog messages per day, infeasible to triage manually — classified by
+// the PIM application so engineers can "focus their effort on those issues
+// that require their attention".
+//
+//   $ ./pim_mvpn_analysis
+
+#include <cstdio>
+
+#include "apps/pim_app.h"
+#include "apps/pipeline.h"
+#include "simulation/workloads.h"
+#include "topology/config.h"
+#include "topology/topo_gen.h"
+
+int main() {
+  using namespace grca;
+  topology::TopoParams tp;
+  tp.pops = 8;
+  tp.pers_per_pop = 5;
+  tp.mvpn_count = 4;
+  tp.mvpn_sites_per_vpn = 10;
+  topology::Network sim_net = topology::generate_isp(tp);
+  topology::Network rca_net = topology::build_network_from_configs(
+      topology::render_all_configs(sim_net),
+      topology::render_layer1_inventory(sim_net));
+
+  sim::PimStudyParams params;
+  params.days = 14;
+  params.target_symptoms = 800;
+  sim::StudyOutput study = sim::run_pim_study(sim_net, params);
+  std::printf("%zu raw records over two weeks\n", study.records.size());
+
+  apps::Pipeline pipeline(rca_net, study.records);
+  core::RcaEngine engine(apps::pim::build_graph(), pipeline.store(),
+                         pipeline.mapper());
+  core::ResultBrowser browser(engine.diagnose_all());
+  apps::pim::configure_browser(browser);
+
+  std::printf("%zu PE-PE adjacency changes diagnosed\n",
+              browser.diagnoses().size());
+  std::fputs(browser.breakdown().render("\nroot cause breakdown").c_str(),
+             stdout);
+
+  // Which changes actually need attention? Customer-side flaps and planned
+  // maintenance are expected churn; what remains is the actionable set.
+  std::size_t expected = 0;
+  for (const char* routine :
+       {"interface-flap", "pim-config-change", "router-cost-inout",
+        "cmd-cost-out", "cmd-cost-in", "link-cost-outdown", "link-cost-inup"}) {
+    expected += browser.with_cause(routine).size();
+  }
+  std::printf(
+      "\n%zu of %zu changes are routine churn (customer activity or planned "
+      "maintenance);\n%zu unexplained changes remain for engineering "
+      "follow-up\n",
+      expected, browser.diagnoses().size(), browser.unknowns().size());
+
+  // Show one unexplained case the way the on-call would see it.
+  if (!browser.unknowns().empty()) {
+    std::printf("\nfirst unexplained case:\n%s",
+                browser
+                    .drill_down(*browser.unknowns().front(),
+                                pipeline.context_lookup())
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The §II-E / §IV-B domain-knowledge-building loop as a runnable program:
+//
+//   1. run the RCA application and vet each configured diagnosis rule with
+//      the Correlation Tester (rules must pass the NICE test in bulk);
+//   2. prefilter symptoms by diagnosed cause with the Result Browser;
+//   3. screen the unexplained / suspicious subset against candidate event
+//      series to discover rules nobody configured.
+//
+//   $ ./rule_mining
+
+#include <cstdio>
+
+#include "apps/bgp_flap_app.h"
+#include "apps/pipeline.h"
+#include "core/correlation.h"
+#include "simulation/workloads.h"
+#include "topology/config.h"
+#include "topology/topo_gen.h"
+
+int main() {
+  using namespace grca;
+  topology::TopoParams tp;
+  tp.pops = 8;
+  tp.pers_per_pop = 5;
+  topology::Network sim_net = topology::generate_isp(tp);
+  topology::Network rca_net = topology::build_network_from_configs(
+      topology::render_all_configs(sim_net),
+      topology::render_layer1_inventory(sim_net));
+
+  // Two months of flaps, plus provisioning activity that sometimes triggers
+  // the hidden CPU bug of §IV-B.
+  util::TimeSec start = util::make_utc(2010, 1, 1);
+  util::TimeSec end = start + 60 * util::kDay;
+  routing::OspfSim ospf(sim_net);
+  routing::BgpSim bgp(ospf);
+  routing::seed_customer_routes(bgp, sim_net, start - util::kDay);
+  sim::ScenarioEngine scenario(sim_net, ospf, bgp, 17);
+  util::Rng& rng = scenario.rng();
+  std::vector<topology::RouterId> pers;
+  for (const topology::Router& r : sim_net.routers()) {
+    if (r.role == topology::RouterRole::kProviderEdge) pers.push_back(r.id);
+  }
+  for (int i = 0; i < 900; ++i) {
+    topology::CustomerSiteId site(static_cast<std::uint32_t>(
+        rng.below(sim_net.customers().size())));
+    scenario.customer_interface_flap(site,
+                                     start + rng.range(0, end - start - 3600));
+  }
+  for (int i = 0; i < 360; ++i) {
+    scenario.provisioning(pers[rng.below(pers.size())],
+                          start + rng.range(0, end - start - 3600),
+                          /*causes_flaps=*/rng.chance(0.25));
+  }
+
+  apps::Pipeline pipeline(rca_net, scenario.take_records());
+  core::RcaEngine engine(apps::bgp::build_graph(), pipeline.store(),
+                         pipeline.mapper());
+  std::vector<core::Diagnosis> diagnoses = engine.diagnose_all();
+  std::printf("diagnosed %zu flaps\n\n", diagnoses.size());
+
+  const util::TimeSec bin = 300;
+  core::NiceParams params;
+  params.alpha = 0.01;
+  params.min_score = 0.1;
+
+  // ---- Step 1: vet a configured rule in bulk --------------------------------
+  // "ebgp-flap -> interface-flap" must show statistical correlation.
+  core::EventSeries flap_series = core::make_series(
+      pipeline.store().all("ebgp-flap"), start, end, bin);
+  core::EventSeries iface_series = core::make_series(
+      pipeline.store().all("interface-flap"), start, end, bin);
+  util::Rng test_rng(3);
+  auto vet = core::nice_test(flap_series, iface_series, params, test_rng);
+  std::printf(
+      "rule vetting: ebgp-flap ~ interface-flap: score %.3f p=%.3f -> %s\n",
+      vet.score, vet.p_value,
+      vet.significant ? "rule confirmed" : "RULE FAILS THE TEST");
+
+  // A deliberately bogus rule must fail: flaps vs router reboots elsewhere.
+  core::EventSeries reboot_series = core::make_series(
+      pipeline.store().all("router-reboot"), start, end, bin);
+  auto bogus = core::nice_test(flap_series, reboot_series, params, test_rng);
+  std::printf(
+      "rule vetting: ebgp-flap ~ router-reboot: score %.3f p=%.3f -> %s\n\n",
+      bogus.score, bogus.p_value,
+      bogus.significant ? "unexpectedly significant"
+                        : "no correlation (rule would be rejected)");
+
+  // ---- Steps 2+3: prefilter, then screen blindly -----------------------------
+  core::EventSeries cpu_related;
+  cpu_related.bin = bin;
+  cpu_related.values.assign(flap_series.values.size(), 0.0);
+  for (const core::Diagnosis& d : diagnoses) {
+    if (!d.has_evidence("ebgp-hte") || d.has_evidence("interface-flap")) {
+      continue;
+    }
+    std::size_t idx =
+        static_cast<std::size_t>((d.symptom.when.start - start) / bin);
+    if (idx < cpu_related.values.size()) cpu_related.values[idx] = 1.0;
+  }
+  core::EventSeries provisioning = core::make_series(
+      pipeline.store().all("workflow-provisioning"), start, end, bin);
+  auto hit = core::nice_test(cpu_related, provisioning, params, test_rng);
+  std::printf(
+      "mining: CPU-related flaps ~ provisioning activity: score %.3f "
+      "p=%.3f -> %s\n",
+      hit.score, hit.p_value,
+      hit.significant ? "NEW RULE DISCOVERED (the hidden software bug)"
+                      : "nothing found");
+  if (hit.significant) {
+    std::printf(
+        "\nan operator would now verify the cases by drill-down and add:\n"
+        "  rule ebgp-hte -> workflow-provisioning {\n"
+        "    priority 160\n    symptom start-start 120 10\n"
+        "    diagnostic start-end 10 120\n    join router\n  }\n");
+  }
+  return hit.significant && vet.significant && !bogus.significant ? 0 : 1;
+}

@@ -1,0 +1,166 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "apps/bgp_flap_app.h"
+
+#include "core/knowledge_library.h"
+#include "core/rule_dsl.h"
+
+namespace grca::apps::bgp {
+
+namespace {
+
+// Fig. 4: gray boxes = application-specific events (Table III), dashed lines
+// = application-specific rules. Numbers on edges = priorities; the deeper
+// cause on a branch gets the higher priority (§II-D.1). The 180/185 s
+// margins model the eBGP hold timer; 5-10 s margins model syslog jitter.
+constexpr std::string_view kAppDsl = R"DSL(
+event ebgp-flap {
+  location router-neighbor
+  source syslog
+  retrieval syslog-ebgp-flap
+  desc "eBGP session goes down and comes up, BGP-5-ADJCHANGE msg"
+}
+event customer-reset-session {
+  location router-neighbor
+  source syslog
+  retrieval syslog-bgp-reset
+  desc "eBGP session is reset by the customer, BGP-5-NOTIFICATION msg"
+}
+event ebgp-hte {
+  location router-neighbor
+  source syslog
+  retrieval syslog-bgp-hte
+  desc "eBGP hold timer expired, BGP-5-NOTIFICATION msg"
+}
+
+rule ebgp-flap -> router-reboot {
+  priority 200
+  symptom start-start 10 5
+  diagnostic start-end 5 10
+  join router
+}
+rule ebgp-flap -> customer-reset-session {
+  priority 190
+  symptom start-start 10 10
+  diagnostic start-end 10 10
+  join router-neighbor
+}
+rule ebgp-flap -> interface-flap {
+  priority 180
+  symptom start-start 185 5
+  diagnostic start-end 5 15
+  join interface
+}
+rule ebgp-flap -> line-protocol-flap {
+  priority 170
+  symptom start-start 185 5
+  diagnostic start-end 5 15
+  join interface
+}
+rule ebgp-flap -> ebgp-hte {
+  priority 100
+  symptom start-start 10 10
+  diagnostic start-end 10 10
+  join router-neighbor
+}
+rule ebgp-hte -> cpu-high-spike {
+  priority 150
+  symptom start-start 40 5
+  diagnostic start-end 5 35
+  join router
+}
+rule ebgp-hte -> cpu-high-avg {
+  priority 140
+  symptom start-start 310 10
+  diagnostic start-end 10 130
+  join router
+}
+
+graph {
+  root ebgp-flap
+}
+)DSL";
+
+}  // namespace
+
+std::string_view app_dsl() { return kAppDsl; }
+
+core::DiagnosisGraph build_graph() {
+  core::DiagnosisGraph graph;
+  core::load_knowledge_library(graph);
+  core::load_dsl(kAppDsl, graph);
+  graph.validate();
+  return graph;
+}
+
+void configure_browser(core::ResultBrowser& browser) {
+  browser.set_display_name("router-reboot", "Router reboot");
+  browser.set_display_name("customer-reset-session", "Customer reset session");
+  browser.set_display_name("cpu-high-avg", "CPU high (average)");
+  browser.set_display_name("cpu-high-spike", "CPU high (spike)");
+  browser.set_display_name("interface-flap", "Interface flap");
+  browser.set_display_name("line-protocol-flap", "Line protocol flap");
+  browser.set_display_name("ebgp-hte", "eBGP HTE (due to unknown reasons)");
+  browser.set_display_name("optical-restoration-regular",
+                           "Regular optical mesh network restoration");
+  browser.set_display_name("optical-restoration-fast",
+                           "Fast optical mesh network restoration");
+  browser.set_display_name("sonet-restoration", "SONET restoration");
+  browser.set_display_name("unknown", "Unknown");
+  browser.set_display_order(
+      {"router-reboot", "customer-reset-session", "cpu-high-avg",
+       "cpu-high-spike", "interface-flap", "line-protocol-flap", "ebgp-hte",
+       "optical-restoration-regular", "optical-restoration-fast",
+       "sonet-restoration", "unknown"});
+}
+
+std::string canonical_cause(const std::string& primary) { return primary; }
+
+core::BayesEngine build_bayes() {
+  using core::FuzzyLevel;
+  core::BayesEngine bayes;
+  // Fig. 8: three virtual root-cause classes. Priors reflect base rates —
+  // interface problems are routine, line-card crashes rare.
+  bayes.add_cause("interface-issue", FuzzyLevel::kMedium);
+  bayes.add_cause("cpu-high-issue", FuzzyLevel::kLow);
+  bayes.add_cause("linecard-issue", FuzzyLevel::kLow);
+  // Observable evidence support.
+  bayes.add_link("interface-issue", "has:interface-flap", FuzzyLevel::kHigh);
+  bayes.add_link("interface-issue", "has:line-protocol-flap",
+                 FuzzyLevel::kMedium);
+  bayes.add_link("cpu-high-issue", "has:cpu-high-spike", FuzzyLevel::kHigh);
+  bayes.add_link("cpu-high-issue", "has:cpu-high-avg", FuzzyLevel::kHigh);
+  bayes.add_link("cpu-high-issue", "has:ebgp-hte", FuzzyLevel::kMedium);
+  // The unobservable cause: a single interface flap is weak support, but a
+  // burst of flaps across one line card is near-conclusive — and that same
+  // burst is strong evidence *against* independent per-interface problems.
+  bayes.add_link("linecard-issue", "has:interface-flap", FuzzyLevel::kMedium);
+  bayes.add_link("linecard-issue", "burst-same-linecard", FuzzyLevel::kHigh);
+  bayes.add_contra_link("interface-issue", "burst-same-linecard",
+                        FuzzyLevel::kHigh);
+  return bayes;
+}
+
+std::string linecard_group_key(const core::Diagnosis& diagnosis,
+                               const core::LocationMapper& mapper) {
+  for (const core::EvidenceNode& node : diagnosis.evidence) {
+    if (node.event != "interface-flap" || node.instances.empty()) continue;
+    auto cards = mapper.project(node.instances.front()->where,
+                                core::LocationType::kLineCard,
+                                diagnosis.symptom.when.start);
+    if (!cards.empty()) return cards.front().key();
+  }
+  return "";
+}
+
+core::FeatureSet group_features(const core::SymptomGroup& group,
+                                int burst_threshold) {
+  core::FeatureSet features = group.features;
+  if (static_cast<int>(group.members.size()) >= burst_threshold) {
+    features["burst-same-linecard"] = true;
+  }
+  return features;
+}
+
+}  // namespace grca::apps::bgp

@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The BGP-flap RCA application (paper §III-A, Fig. 4, Tables III/IV): three
+// application-specific events layered over the Knowledge Library, the Fig. 4
+// diagnosis graph with edge priorities, the Table IV display mapping, and
+// the Fig. 8 Bayesian configuration (virtual causes incl. the unobservable
+// "Line-card Issue").
+#pragma once
+
+#include "core/diagnosis_graph.h"
+#include "core/reasoning_bayes.h"
+#include "core/result_browser.h"
+
+namespace grca::apps::bgp {
+
+/// The application-specific DSL (Table III events + Fig. 4 rules).
+std::string_view app_dsl();
+
+/// Knowledge Library + application config, rooted at ebgp-flap.
+core::DiagnosisGraph build_graph();
+
+/// Table IV row labels and their fixed order.
+void configure_browser(core::ResultBrowser& browser);
+
+/// Maps a diagnosed primary event to the canonical cause label used by the
+/// scenario ground truth (identity for this app).
+std::string canonical_cause(const std::string& primary);
+
+/// The Fig. 8 Bayesian configuration: virtual causes "cpu-high-issue",
+/// "interface-issue", "linecard-issue" over the evidence features.
+core::BayesEngine build_bayes();
+
+/// Grouping key for joint Bayesian inference: the line card carrying the
+/// session's evidenced interface flap ("" when no interface evidence). 133
+/// flaps on one card group together and reveal the line-card issue.
+std::string linecard_group_key(const core::Diagnosis& diagnosis,
+                               const core::LocationMapper& mapper);
+
+/// Derived group features: members' union plus "burst-same-linecard" when
+/// the group has >= `burst_threshold` members (all sharing the key card).
+core::FeatureSet group_features(const core::SymptomGroup& group,
+                                int burst_threshold = 10);
+
+}  // namespace grca::apps::bgp

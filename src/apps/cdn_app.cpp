@@ -1,0 +1,129 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "apps/cdn_app.h"
+
+#include "core/knowledge_library.h"
+#include "core/rule_dsl.h"
+
+namespace grca::apps::cdn {
+
+namespace {
+
+constexpr std::string_view kAppDsl = R"DSL(
+event cdn-rtt-increase {
+  location cdn-client
+  source cdn-monitor
+  retrieval cdnmon-rtt
+  desc "increase in end-to-end round trip time between end-users and CDN servers"
+}
+event cdn-tput-drop {
+  location cdn-client
+  source cdn-monitor
+  retrieval cdnmon-tput
+  desc "decrease in average download throughput"
+}
+event cdn-server-issue {
+  location cdn-node
+  source server-logs
+  retrieval serverlog-load
+  desc "CDN server load is high"
+}
+event cdn-policy-change {
+  location cdn-node
+  source server-logs
+  retrieval serverlog-policy
+  desc "CDN assignment policy changed"
+}
+
+rule cdn-rtt-increase -> cdn-policy-change {
+  priority 190
+  symptom start-start 300 5
+  diagnostic start-end 5 300
+  join cdn-node
+}
+rule cdn-rtt-increase -> cdn-server-issue {
+  priority 185
+  symptom start-start 300 5
+  diagnostic start-end 5 300
+  join cdn-node
+}
+rule cdn-rtt-increase -> bgp-egress-change {
+  priority 170
+  symptom start-start 120 5
+  diagnostic start-end 5 60
+  join router
+}
+rule cdn-rtt-increase -> interface-flap {
+  priority 160
+  symptom start-start 60 5
+  diagnostic start-end 5 15
+  join logical-link
+}
+rule cdn-rtt-increase -> link-loss {
+  priority 155
+  symptom start-start 330 30
+  diagnostic start-end 60 300
+  join logical-link
+}
+rule cdn-rtt-increase -> link-congestion {
+  priority 150
+  symptom start-start 330 30
+  diagnostic start-end 60 300
+  join logical-link
+}
+rule cdn-rtt-increase -> ospf-reconvergence {
+  priority 140
+  symptom start-start 60 5
+  diagnostic start-end 5 60
+  join logical-link
+}
+
+graph {
+  root cdn-rtt-increase
+}
+)DSL";
+
+}  // namespace
+
+std::string_view app_dsl() { return kAppDsl; }
+
+core::DiagnosisGraph build_graph() {
+  core::DiagnosisGraph graph;
+  core::load_knowledge_library(graph);
+  core::load_dsl(kAppDsl, graph);
+  graph.validate();
+  return graph;
+}
+
+void configure_browser(core::ResultBrowser& browser) {
+  browser.set_display_name("cdn-policy-change", "CDN assignment policy change");
+  browser.set_display_name("cdn-server-issue", "CDN server issue");
+  browser.set_display_name("bgp-egress-change",
+                           "Egress Change due to Inter-domain routing change");
+  browser.set_display_name("link-congestion", "Link Congestions");
+  browser.set_display_name("link-loss", "Link Loss");
+  browser.set_display_name("interface-flap", "Interface flap");
+  browser.set_display_name("ospf-reconvergence", "OSPF re-convergence");
+  browser.set_display_name("unknown", "Outside of our network (Unknown)");
+  browser.set_display_order({"cdn-policy-change", "bgp-egress-change",
+                             "link-congestion", "link-loss", "interface-flap",
+                             "ospf-reconvergence", "unknown"});
+}
+
+std::string canonical_cause(const std::string& primary) {
+  // Deeper explanations of a path flap still belong to Table VI's
+  // "Interface flap" row.
+  if (primary == "sonet-restoration" ||
+      primary == "optical-restoration-fast" ||
+      primary == "optical-restoration-regular" ||
+      primary == "line-protocol-flap") {
+    return "interface-flap";
+  }
+  if (primary == "cmd-cost-in" || primary == "cmd-cost-out") {
+    return "ospf-reconvergence";
+  }
+  return primary;
+}
+
+}  // namespace grca::apps::cdn

@@ -1,0 +1,27 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The CDN service-impairment RCA application (paper §III-B, Fig. 5, Tables
+// V/VI): RTT degradations between end-users and CDN servers, diagnosed via
+// the spatial model (CDN node -> ingress router -> BGP egress -> OSPF path).
+#pragma once
+
+#include "core/diagnosis_graph.h"
+#include "core/result_browser.h"
+
+namespace grca::apps::cdn {
+
+/// Application-specific DSL (Table V events + Fig. 5 rules).
+std::string_view app_dsl();
+
+/// Knowledge Library + application config, rooted at cdn-rtt-increase.
+core::DiagnosisGraph build_graph();
+
+/// Table VI row labels and order.
+void configure_browser(core::ResultBrowser& browser);
+
+/// Maps diagnosed primaries onto ground-truth cause labels (e.g. deep
+/// layer-1 causes still count as the "Interface flap" row of Table VI).
+std::string canonical_cause(const std::string& primary);
+
+}  // namespace grca::apps::cdn

@@ -1,0 +1,71 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "apps/innet_app.h"
+
+#include "core/knowledge_library.h"
+#include "core/rule_dsl.h"
+
+namespace grca::apps::innet {
+
+core::DiagnosisGraph build_graph() {
+  core::DiagnosisGraph graph;
+  core::load_knowledge_library(graph);
+  // Every event and rule comes from the library; the "application" is just
+  // the choice of root symptom.
+  core::load_dsl(R"(
+graph {
+  root innet-loss-increase
+}
+)",
+                 graph);
+  graph.validate();
+  return graph;
+}
+
+void configure_browser(core::ResultBrowser& browser) {
+  browser.set_display_name("link-congestion", "Link congestion");
+  browser.set_display_name("ospf-reconvergence", "OSPF re-convergence");
+  browser.set_display_name("interface-flap", "Interface flap");
+  browser.set_display_name("bgp-egress-change", "BGP egress change");
+  browser.set_display_name("cmd-cost-in", "Maintenance (cost-in command)");
+  browser.set_display_name("cmd-cost-out", "Maintenance (cost-out command)");
+  browser.set_display_name("unknown", "Unknown");
+  browser.set_display_order({"link-congestion", "ospf-reconvergence",
+                             "interface-flap", "bgp-egress-change",
+                             "unknown"});
+}
+
+std::string canonical_cause(const std::string& primary) {
+  // Deeper explanations of a path change still belong to the
+  // re-convergence row for action purposes.
+  if (primary == "cmd-cost-in" || primary == "cmd-cost-out" ||
+      primary == "line-protocol-flap" || primary == "sonet-restoration" ||
+      primary == "optical-restoration-fast" ||
+      primary == "optical-restoration-regular") {
+    return "ospf-reconvergence";
+  }
+  return primary;
+}
+
+std::string recommend_action(const std::map<std::string, double>& pct) {
+  auto share = [&](const char* cause) {
+    auto it = pct.find(cause);
+    return it == pct.end() ? 0.0 : it->second;
+  };
+  double congestion = share("link-congestion");
+  double reconvergence = share("ospf-reconvergence") +
+                         share("interface-flap");
+  if (congestion >= reconvergence && congestion > 20.0) {
+    return "primary root cause is link congestion: capacity augmentation is "
+           "needed along the affected paths";
+  }
+  if (reconvergence > 20.0) {
+    return "losses are largely due to routing re-convergence: prioritize "
+           "deploying MPLS fast reroute";
+  }
+  return "no dominant internal cause: continue trending and investigate the "
+         "unexplained residue";
+}
+
+}  // namespace grca::apps::innet

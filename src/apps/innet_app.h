@@ -1,0 +1,33 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The in-network packet-loss application: the paper's motivating §I/§II
+// scenario. End-to-end probes between PoPs report sporadic loss; G-RCA
+// classifies a month of those events in aggregate, and the breakdown drives
+// an engineering action: "should link congestion be determined to be the
+// primary root cause, capacity augmentation is needed ... if packet losses
+// are found to be largely due to intradomain routing reconvergence,
+// deploying technologies such as MPLS fast reroute becomes a priority."
+//
+// Unlike the three §III case studies this one is built *entirely* from
+// Knowledge Library events and rules — zero application-specific events —
+// demonstrating the platform's reuse claim at its extreme.
+#pragma once
+
+#include "core/diagnosis_graph.h"
+#include "core/result_browser.h"
+
+namespace grca::apps::innet {
+
+/// Library + root selection (no app-specific events or rules at all).
+core::DiagnosisGraph build_graph();
+
+void configure_browser(core::ResultBrowser& browser);
+
+std::string canonical_cause(const std::string& primary);
+
+/// The §I engineering recommendation derived from a breakdown.
+/// Returns a short operator-facing sentence.
+std::string recommend_action(const std::map<std::string, double>& percentages);
+
+}  // namespace grca::apps::innet

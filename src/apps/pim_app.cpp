@@ -1,0 +1,127 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "apps/pim_app.h"
+
+#include "core/knowledge_library.h"
+#include "core/rule_dsl.h"
+
+namespace grca::apps::pim {
+
+namespace {
+
+constexpr std::string_view kAppDsl = R"DSL(
+event pim-adjacency-flap {
+  location vpn-neighbor
+  source syslog
+  retrieval syslog-pim-nbrchg
+  desc "a PE lost a neighbor adjacency with another PE in the MVPN"
+}
+event pim-config-change {
+  location router
+  source router-command-logs
+  retrieval tacacs-mvpn
+  desc "a MVPN is either provisioned or de-provisioned on a router"
+}
+event uplink-pim-adjacency-change {
+  location router
+  source syslog
+  retrieval syslog-pim-uplink
+  desc "a PE lost a neighbor adjacency with its directly connected router on its uplink to the backbone"
+}
+
+rule pim-adjacency-flap -> pim-config-change {
+  priority 200
+  symptom start-start 30 10
+  diagnostic start-end 5 60
+  join router
+}
+rule pim-adjacency-flap -> uplink-pim-adjacency-change {
+  priority 190
+  symptom start-start 30 10
+  diagnostic start-end 5 60
+  join router
+}
+rule pim-adjacency-flap -> interface-flap {
+  priority 180
+  symptom start-start 30 10
+  diagnostic start-end 5 30
+  join router
+}
+rule pim-adjacency-flap -> router-cost-inout {
+  # Above the cmd-cost-out chain (180): when a whole router is costed out,
+  # the router-level event subsumes the per-link command evidence.
+  priority 185
+  symptom start-start 30 10
+  diagnostic start-end 5 60
+  join router-path
+}
+rule pim-adjacency-flap -> link-cost-outdown {
+  priority 165
+  symptom start-start 30 10
+  diagnostic start-end 5 60
+  join logical-link
+}
+rule pim-adjacency-flap -> link-cost-inup {
+  priority 165
+  symptom start-start 30 10
+  diagnostic start-end 5 60
+  join logical-link
+}
+rule pim-adjacency-flap -> ospf-reconvergence {
+  priority 150
+  symptom start-start 30 10
+  diagnostic start-end 5 60
+  join logical-link
+}
+
+graph {
+  root pim-adjacency-flap
+}
+)DSL";
+
+}  // namespace
+
+std::string_view app_dsl() { return kAppDsl; }
+
+core::DiagnosisGraph build_graph() {
+  core::DiagnosisGraph graph;
+  core::load_knowledge_library(graph);
+  core::load_dsl(kAppDsl, graph);
+  graph.validate();
+  return graph;
+}
+
+void configure_browser(core::ResultBrowser& browser) {
+  browser.set_display_name("pim-config-change",
+                           "PIM Configuration Change (to add and remove customers)");
+  browser.set_display_name("router-cost-inout", "Router Cost In/Out");
+  browser.set_display_name("link-cost-outdown", "Link Cost Out/Down");
+  browser.set_display_name("link-cost-inup", "Link Cost In/Up");
+  browser.set_display_name("cmd-cost-out", "Link Cost Out/Down");
+  browser.set_display_name("cmd-cost-in", "Link Cost In/Up");
+  browser.set_display_name("ospf-reconvergence", "OSPF re-convergence");
+  browser.set_display_name("uplink-pim-adjacency-change",
+                           "Uplink PIM adjacency loss");
+  browser.set_display_name("interface-flap", "interface (customer facing) flap");
+  browser.set_display_name("unknown", "Unknown");
+  browser.set_display_order({"pim-config-change", "router-cost-inout",
+                             "link-cost-outdown", "link-cost-inup",
+                             "ospf-reconvergence",
+                             "uplink-pim-adjacency-change", "interface-flap",
+                             "unknown"});
+}
+
+std::string canonical_cause(const std::string& primary) {
+  if (primary == "cmd-cost-out") return "link-cost-outdown";
+  if (primary == "cmd-cost-in") return "link-cost-inup";
+  if (primary == "sonet-restoration" ||
+      primary == "optical-restoration-fast" ||
+      primary == "optical-restoration-regular" ||
+      primary == "line-protocol-flap") {
+    return "interface-flap";
+  }
+  return primary;
+}
+
+}  // namespace grca::apps::pim

@@ -1,0 +1,28 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The MVPN PIM-adjacency RCA application (paper §III-C, Fig. 6, Tables
+// VII/VIII): PE-PE PIM neighbor adjacency changes, diagnosed against
+// customer-side flaps, MVPN (de)provisioning, PE uplink adjacency losses and
+// backbone routing events along the PE-PE path.
+#pragma once
+
+#include "core/diagnosis_graph.h"
+#include "core/result_browser.h"
+
+namespace grca::apps::pim {
+
+/// Application-specific DSL (Table VII events + Fig. 6 rules).
+std::string_view app_dsl();
+
+/// Knowledge Library + application config, rooted at pim-adjacency-flap.
+core::DiagnosisGraph build_graph();
+
+/// Table VIII row labels and order.
+void configure_browser(core::ResultBrowser& browser);
+
+/// Maps diagnosed primaries onto ground-truth cause labels (cmd-cost events
+/// fold into the Link Cost rows, layer-1 causes into the interface row).
+std::string canonical_cause(const std::string& primary);
+
+}  // namespace grca::apps::pim

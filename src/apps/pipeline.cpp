@@ -1,0 +1,40 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "apps/pipeline.h"
+
+namespace grca::apps {
+
+Pipeline::Pipeline(const topology::Network& net,
+                   const telemetry::RecordStream& raw,
+                   collector::ExtractOptions options,
+                   std::vector<topology::RouterId> egress_observers)
+    : net_(net),
+      index_(collector::Normalizer(net).normalize_stream(raw)),
+      routing_(net),
+      mapper_(net, routing_.ospf(), routing_.bgp()) {
+  routing_.replay(index_.all());
+  collector::EventExtractor extractor(net, options);
+  extractor.extract(index_.all(), store_);
+  if (!egress_observers.empty()) {
+    extractor.extract_egress_changes(index_.all(), routing_.bgp(),
+                                     egress_observers, store_);
+  }
+}
+
+core::ResultBrowser::ContextLookup Pipeline::context_lookup() const {
+  return [this](const core::Location& where, util::TimeSec from,
+                util::TimeSec to) {
+    std::vector<std::string> lines;
+    for (const core::Location& r :
+         mapper_.project(where, core::LocationType::kRouter, from)) {
+      for (const collector::NormalizedRecord* rec :
+           index_.on_router(r.a, from, to)) {
+        lines.push_back(collector::render(*rec));
+      }
+    }
+    return lines;
+  };
+}
+
+}  // namespace grca::apps

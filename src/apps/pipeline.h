@@ -1,0 +1,50 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The end-to-end RCA-side pipeline (paper Fig. 1, right half): raw telemetry
+// -> Data Collector (normalize + index) -> route-monitor replay -> retrieval
+// processes -> event store, with the LocationMapper wired over the
+// config-derived network and the rebuilt routing view. Every application
+// runs on top of one Pipeline instance.
+#pragma once
+
+#include <vector>
+
+#include "collector/extract.h"
+#include "collector/normalizer.h"
+#include "collector/record_index.h"
+#include "collector/routing_rebuild.h"
+#include "core/location.h"
+#include "core/result_browser.h"
+
+namespace grca::apps {
+
+class Pipeline {
+ public:
+  /// Ingests a raw stream against the (config-derived) network.
+  /// `egress_observers` are the routers at which BGP egress changes are
+  /// evaluated (e.g. CDN ingress routers); empty disables that extraction.
+  Pipeline(const topology::Network& net, const telemetry::RecordStream& raw,
+           collector::ExtractOptions options = {},
+           std::vector<topology::RouterId> egress_observers = {});
+
+  const topology::Network& network() const noexcept { return net_; }
+  const collector::RecordIndex& index() const noexcept { return index_; }
+  const collector::RebuiltRouting& routing() const noexcept { return routing_; }
+  core::EventStore& store() noexcept { return store_; }
+  const core::EventStore& store() const noexcept { return store_; }
+  const core::LocationMapper& mapper() const noexcept { return mapper_; }
+
+  /// Drill-down context source for the Result Browser: raw records on the
+  /// routers spanned by a location.
+  core::ResultBrowser::ContextLookup context_lookup() const;
+
+ private:
+  const topology::Network& net_;
+  collector::RecordIndex index_;
+  collector::RebuiltRouting routing_;
+  core::EventStore store_;
+  core::LocationMapper mapper_;
+};
+
+}  // namespace grca::apps

@@ -1,0 +1,89 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "apps/scoring.h"
+
+#include <algorithm>
+
+namespace grca::apps {
+
+namespace {
+
+/// The (symptom, location) matching key shared by truth entries and
+/// diagnosis symptom locations.
+std::string truth_key(const sim::TruthEntry& entry) {
+  return entry.symptom + "@" + entry.router + "@" + entry.detail;
+}
+
+std::string diagnosis_key(const core::Diagnosis& d) {
+  const core::Location& where = d.symptom.where;
+  std::string detail = where.b;
+  if (!where.c.empty()) detail += "|" + where.c;
+  return d.symptom.name + "@" + where.a + "@" + detail;
+}
+
+}  // namespace
+
+util::TextTable Score::confusion_table() const {
+  std::vector<std::tuple<std::size_t, std::string, std::string>> rows;
+  for (const auto& [truth_cause, diagnosed] : confusion) {
+    for (const auto& [diag_cause, count] : diagnosed) {
+      rows.emplace_back(count, truth_cause, diag_cause);
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return std::get<0>(a) > std::get<0>(b);
+  });
+  util::TextTable table({"Truth Cause", "Diagnosed As", "Count"});
+  for (const auto& [count, truth_cause, diag_cause] : rows) {
+    table.add_row({truth_cause, diag_cause, std::to_string(count)});
+  }
+  return table;
+}
+
+Score score_diagnoses(
+    const std::vector<core::Diagnosis>& diagnoses,
+    const std::vector<sim::TruthEntry>& truth,
+    const std::function<std::string(const std::string&)>& canonical,
+    util::TimeSec tolerance) {
+  struct Entry {
+    util::TimeSec time;
+    const std::string* cause;
+    bool used = false;
+  };
+  std::map<std::string, std::vector<Entry>> index;
+  for (const sim::TruthEntry& e : truth) {
+    index[truth_key(e)].push_back(Entry{e.time, &e.cause});
+  }
+  for (auto& [key, entries] : index) {
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.time < b.time; });
+  }
+
+  Score score;
+  score.truth_total = truth.size();
+  for (const core::Diagnosis& d : diagnoses) {
+    auto it = index.find(diagnosis_key(d));
+    if (it == index.end()) continue;
+    // Nearest unused truth entry within tolerance.
+    Entry* best = nullptr;
+    util::TimeSec best_gap = tolerance + 1;
+    for (Entry& e : it->second) {
+      util::TimeSec gap = std::abs(e.time - d.symptom.when.start);
+      if (!e.used && gap <= tolerance && gap < best_gap) {
+        best = &e;
+        best_gap = gap;
+      }
+    }
+    if (best == nullptr) continue;
+    best->used = true;
+    ++score.matched;
+    std::string diagnosed =
+        canonical ? canonical(d.primary()) : d.primary();
+    ++score.confusion[*best->cause][diagnosed];
+    if (diagnosed == *best->cause) ++score.correct;
+  }
+  return score;
+}
+
+}  // namespace grca::apps

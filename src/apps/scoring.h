@@ -1,0 +1,48 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Scoring harness: matches RCA diagnoses against the scenario engine's
+// ground-truth labels. The paper could only validate diagnoses anecdotally
+// (operator confirmation); the synthetic substrate lets us score every
+// verdict, so the benches report accuracy alongside the breakdown tables.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "simulation/scenario.h"
+#include "util/table.h"
+
+namespace grca::apps {
+
+struct Score {
+  std::size_t truth_total = 0;    // ground-truth symptom entries
+  std::size_t matched = 0;        // diagnoses matched to a truth entry
+  std::size_t correct = 0;        // matched with the right root cause
+  /// confusion[truth-cause][diagnosed-cause] = count.
+  std::map<std::string, std::map<std::string, std::size_t>> confusion;
+
+  double accuracy() const {
+    return matched == 0 ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(matched);
+  }
+
+  /// "truth cause | diagnosed as | count" rows, largest first.
+  util::TextTable confusion_table() const;
+};
+
+/// Matches each diagnosis to the ground-truth entry with the same symptom
+/// name and location (within `tolerance` seconds of the symptom start) and
+/// compares `canonical(primary)` with the truth cause. `canonical` maps
+/// app-level primaries onto truth labels (identity by default).
+Score score_diagnoses(
+    const std::vector<core::Diagnosis>& diagnoses,
+    const std::vector<sim::TruthEntry>& truth,
+    const std::function<std::string(const std::string&)>& canonical = {},
+    util::TimeSec tolerance = 30);
+
+}  // namespace grca::apps

@@ -1,0 +1,128 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "apps/streaming.h"
+
+#include <algorithm>
+
+namespace grca::apps {
+
+using collector::NormalizedRecord;
+using util::TimeSec;
+
+StreamingRca::StreamingRca(const topology::Network& net,
+                           core::DiagnosisGraph graph,
+                           StreamingOptions options)
+    : net_(net),
+      options_(options),
+      normalizer_(net),
+      extractor_(net, options.extract),
+      routing_(net),
+      mapper_(net, routing_.ospf(), routing_.bgp()) {
+  if (options_.extract.flap_pair_window + 120 > options_.freeze_horizon) {
+    throw ConfigError(
+        "StreamingRca: freeze_horizon must exceed the flap pairing window "
+        "(+2 min slack), or flaps spanning the horizon would be lost");
+  }
+  engine_ = std::make_unique<core::RcaEngine>(std::move(graph), store_,
+                                              mapper_);
+}
+
+void StreamingRca::ingest(const telemetry::RawRecord& raw) {
+  NormalizedRecord record;
+  if (!normalizer_.normalize(raw, record)) return;  // unknown device
+  constexpr TimeSec kNever = std::numeric_limits<TimeSec>::min();
+  if ((frozen_cut_ != kNever && record.utc <= frozen_cut_) ||
+      (high_water_ != kNever &&
+       record.utc < high_water_ - options_.max_skew)) {
+    ++dropped_late_;  // arrived after its region was finalized
+    return;
+  }
+  high_water_ = std::max(high_water_, record.utc);
+  // Keep the buffer sorted; most records arrive nearly in order, so the
+  // insertion point is near the back.
+  auto pos = std::upper_bound(buffer_.begin(), buffer_.end(), record.utc,
+                              [](TimeSec t, const NormalizedRecord& r) {
+                                return t < r.utc;
+                              });
+  buffer_.insert(pos, std::move(record));
+}
+
+void StreamingRca::freeze_until(TimeSec new_cut) {
+  if (new_cut <= frozen_cut_) return;
+  // Extraction context: records somewhat before the region (so transitions
+  // and pairings that began earlier resolve) through everything buffered.
+  // On the very first freeze nothing has been finalized, so the whole
+  // buffer is both context and freezable region.
+  constexpr TimeSec kNever = std::numeric_limits<TimeSec>::min();
+  TimeSec context_from =
+      frozen_cut_ == kNever
+          ? kNever
+          : frozen_cut_ - options_.extract.flap_pair_window - 600;
+  auto first = std::lower_bound(buffer_.begin(), buffer_.end(), context_from,
+                                [](const NormalizedRecord& r, TimeSec t) {
+                                  return r.utc < t;
+                                });
+  core::EventStore scratch;
+  if (first != buffer_.end()) {
+    extractor_.extract(
+        std::span<const NormalizedRecord>(
+            &*first, static_cast<std::size_t>(buffer_.end() - first)),
+        scratch);
+  }
+  TimeSec effective_from = std::max(frozen_cut_, context_from);
+  for (const std::string& name : scratch.event_names()) {
+    for (const core::EventInstance& e : scratch.all(name)) {
+      if (e.when.start >= effective_from && e.when.start < new_cut) {
+        store_.add(e);
+      }
+    }
+  }
+  // Routing follows the freeze cut: monitor records in the frozen region are
+  // final and strictly ordered.
+  auto route_first = std::lower_bound(
+      buffer_.begin(), buffer_.end(), routing_cut_,
+      [](const NormalizedRecord& r, TimeSec t) { return r.utc < t; });
+  auto route_last = std::lower_bound(
+      buffer_.begin(), buffer_.end(), new_cut,
+      [](const NormalizedRecord& r, TimeSec t) { return r.utc < t; });
+  if (route_first < route_last) {
+    routing_.replay(std::span<const NormalizedRecord>(
+        &*route_first, static_cast<std::size_t>(route_last - route_first)));
+  }
+  routing_cut_ = new_cut;
+  frozen_cut_ = new_cut;
+  // Trim records that can no longer contribute to any future extraction.
+  TimeSec keep_from =
+      frozen_cut_ - options_.extract.flap_pair_window - 2 * 600;
+  auto keep = std::lower_bound(buffer_.begin(), buffer_.end(), keep_from,
+                               [](const NormalizedRecord& r, TimeSec t) {
+                                 return r.utc < t;
+                               });
+  buffer_.erase(buffer_.begin(), keep);
+}
+
+std::vector<core::Diagnosis> StreamingRca::diagnose_ready(TimeSec ready_cut) {
+  std::vector<core::Diagnosis> out;
+  auto symptoms = store_.all(engine_->graph().root());
+  while (diagnose_cursor_ < symptoms.size() &&
+         symptoms[diagnose_cursor_].when.start < ready_cut) {
+    out.push_back(engine_->diagnose(symptoms[diagnose_cursor_]));
+    ++diagnose_cursor_;
+    ++diagnosed_count_;
+  }
+  return out;
+}
+
+std::vector<core::Diagnosis> StreamingRca::advance(TimeSec now) {
+  freeze_until(now - options_.freeze_horizon);
+  return diagnose_ready(frozen_cut_ - options_.settle);
+}
+
+std::vector<core::Diagnosis> StreamingRca::drain() {
+  if (high_water_ == std::numeric_limits<TimeSec>::min()) return {};
+  freeze_until(high_water_ + 1);
+  return diagnose_ready(std::numeric_limits<TimeSec>::max());
+}
+
+}  // namespace grca::apps

@@ -1,0 +1,524 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "collector/extract.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace grca::collector {
+
+using core::EventInstance;
+using core::EventStore;
+using core::Location;
+using telemetry::SourceType;
+using util::TimeSec;
+
+namespace {
+
+/// A down or up observation waiting to be paired into a flap.
+struct UpDown {
+  TimeSec time;
+  bool up;
+};
+
+/// Pairs down->up sequences per key: emits "<base>-down", "<base>-up" for
+/// each observation and "<base>-flap" spanning each down..up pair within the
+/// window. Unpaired downs produce no flap (the condition persisted).
+template <typename MakeLocation>
+void pair_flaps(const std::string& base,
+                std::map<std::string, std::vector<UpDown>>& observations,
+                TimeSec window, const MakeLocation& make_location,
+                EventStore& store) {
+  for (auto& [key, seq] : observations) {
+    // Deterministic: at equal timestamps, "down" sorts before "up" (the
+    // physically sensible reading of a same-second flap).
+    std::sort(seq.begin(), seq.end(), [](const UpDown& a, const UpDown& b) {
+      return a.time < b.time || (a.time == b.time && !a.up && b.up);
+    });
+    Location where = make_location(key);
+    TimeSec pending_down = -1;
+    for (const UpDown& o : seq) {
+      EventInstance inst;
+      inst.name = base + (o.up ? "-up" : "-down");
+      inst.when = {o.time, o.time};
+      inst.where = where;
+      store.add(std::move(inst));
+      if (!o.up) {
+        pending_down = o.time;
+      } else if (pending_down >= 0 && o.time - pending_down <= window) {
+        EventInstance flap;
+        flap.name = base + "-flap";
+        flap.when = {pending_down, o.time};
+        flap.where = where;
+        store.add(std::move(flap));
+        pending_down = -1;
+      }
+    }
+  }
+}
+
+/// "%LINK-3-UPDOWN: Interface so-0/0/0, changed state to down" -> (iface, up)
+bool parse_updown(const std::string& body, const std::string& marker,
+                  std::string& iface, bool& up) {
+  if (!util::contains(body, marker)) return false;
+  std::size_t pos = body.find("Interface ");
+  if (pos == std::string::npos) return false;
+  pos += 10;
+  std::size_t comma = body.find(',', pos);
+  if (comma == std::string::npos) return false;
+  iface = body.substr(pos, comma - pos);
+  up = util::ends_with(body, "to up");
+  return true;
+}
+
+/// Extracts the token after `marker`.
+bool token_after(const std::string& body, const std::string& marker,
+                 std::string& out) {
+  std::size_t pos = body.find(marker);
+  if (pos == std::string::npos) return false;
+  pos += marker.size();
+  std::size_t end = body.find_first_of(" ,:", pos);
+  out = body.substr(pos, end == std::string::npos ? std::string::npos
+                                                  : end - pos);
+  return !out.empty();
+}
+
+}  // namespace
+
+void EventExtractor::extract(std::span<const NormalizedRecord> records,
+                             EventStore& store) const {
+  // Pending flap pairings, keyed by "<router>|<detail>".
+  std::map<std::string, std::vector<UpDown>> link_updown, proto_updown,
+      bgp_updown;
+  std::map<std::string, std::vector<UpDown>> pim_updown;  // key router|nbr|vpn
+
+  // OSPF cost inference state: previous metric per link id.
+  struct CostEvent {
+    TimeSec time;
+    topology::LogicalLinkId link;
+    bool out;  // cost-out/down vs cost-in/up
+  };
+  std::vector<CostEvent> cost_events;
+  std::map<std::uint32_t, int> prev_metric;
+
+  for (const NormalizedRecord& r : records) {
+    switch (r.source) {
+      case SourceType::kSyslog: {
+        const std::string& body = r.body;
+        std::string iface, token;
+        bool up = false;
+        if (parse_updown(body, "%LINK-3-UPDOWN", iface, up)) {
+          link_updown[r.router + "|" + iface].push_back(UpDown{r.utc, up});
+        } else if (parse_updown(body, "%LINEPROTO-5-UPDOWN", iface, up)) {
+          proto_updown[r.router + "|" + iface].push_back(UpDown{r.utc, up});
+        } else if (util::contains(body, "%BGP-5-ADJCHANGE")) {
+          if (!token_after(body, "neighbor ", token)) break;
+          bool session_up = util::contains(body, " Up");
+          bgp_updown[r.router + "|" + token].push_back(
+              UpDown{r.utc, session_up});
+        } else if (util::contains(body, "%BGP-5-NOTIFICATION")) {
+          if (!token_after(body, "neighbor ", token)) break;
+          EventInstance inst;
+          inst.when = {r.utc, r.utc};
+          inst.where = Location::router_neighbor(r.router, token);
+          if (util::contains(body, "hold time expired")) {
+            inst.name = "ebgp-hte";
+          } else if (util::contains(body, "administrative reset")) {
+            inst.name = "customer-reset-session";
+          } else {
+            inst.name = "bgp-notification";
+          }
+          store.add(std::move(inst));
+        } else if (util::contains(body, "%SYS-5-RESTART")) {
+          store.add(EventInstance{"router-reboot", {r.utc, r.utc},
+                                  Location::router(r.router), {}});
+        } else if (util::contains(body, "%SYS-1-CPURISINGTHRESHOLD")) {
+          store.add(EventInstance{"cpu-high-spike", {r.utc, r.utc},
+                                  Location::router(r.router), {}});
+        } else if (util::contains(body, "%PIM-5-NBRCHG")) {
+          // "%PIM-5-NBRCHG: VRF <vpn>: neighbor <ip> DOWN|UP"
+          std::string vpn, nbr;
+          if (!token_after(body, "VRF ", vpn) ||
+              !token_after(body, "neighbor ", nbr)) {
+            break;
+          }
+          bool adj_up = util::ends_with(body, " UP");
+          if (vpn == "default") {
+            if (!adj_up) {
+              EventInstance inst;
+              inst.name = "uplink-pim-adjacency-change";
+              inst.when = {r.utc, r.utc};
+              inst.where = Location::router(r.router);
+              inst.attrs["neighbor"] = nbr;
+              store.add(std::move(inst));
+            }
+          } else {
+            pim_updown[r.router + "|" + nbr + "|" + vpn].push_back(
+                UpDown{r.utc, adj_up});
+          }
+        } else if (util::contains(body, "%MCE-2-CRASH")) {
+          std::string slot;
+          if (token_after(body, "slot ", slot)) {
+            store.add(EventInstance{"linecard-crash",
+                                    {r.utc, r.utc},
+                                    Location::line_card(r.router,
+                                                        std::stoi(slot)),
+                                    {}});
+          }
+        }
+        break;
+      }
+      case SourceType::kSnmp: {
+        if (r.field == "cpu5min" && r.value >= options_.cpu_avg_threshold) {
+          store.add(EventInstance{"cpu-high-avg", {r.utc - 300, r.utc},
+                                  Location::router(r.router), {}});
+        } else if (r.field == "ifutil" && r.value >= options_.util_threshold) {
+          store.add(EventInstance{"link-congestion", {r.utc - 300, r.utc},
+                                  Location::interface(r.router, r.interface),
+                                  {}});
+        } else if (r.field == "ifcorrupt" &&
+                   r.value >= options_.corrupt_threshold) {
+          store.add(EventInstance{"link-loss", {r.utc - 300, r.utc},
+                                  Location::interface(r.router, r.interface),
+                                  {}});
+        }
+        break;
+      }
+      case SourceType::kLayer1Log: {
+        std::string name;
+        if (util::contains(r.body, "APS")) {
+          name = "sonet-restoration";
+        } else if (util::contains(r.body, "restoration fast")) {
+          name = "optical-restoration-fast";
+        } else if (util::contains(r.body, "restoration regular")) {
+          name = "optical-restoration-regular";
+        } else {
+          break;
+        }
+        EventInstance inst;
+        inst.name = std::move(name);
+        inst.when = {r.utc, r.utc};
+        inst.where = Location::layer1(r.device);
+        std::string ckt;
+        if (token_after(r.body, "circuit ", ckt)) inst.attrs["circuit"] = ckt;
+        store.add(std::move(inst));
+        break;
+      }
+      case SourceType::kTacacs: {
+        const std::string& body = r.body;
+        std::string iface, vpn;
+        auto router = net_.find_router(r.router);
+        if (util::contains(body, "max-metric router-lsa")) {
+          // Router-wide cost-out (or cost-in when prefixed with "no").
+          bool cost_in = util::contains(body, "no max-metric");
+          if (!router) break;
+          for (topology::InterfaceId i : net_.router(*router).interfaces) {
+            const topology::Interface& ifc = net_.interface(i);
+            if (ifc.kind != topology::InterfaceKind::kBackbone) continue;
+            store.add(EventInstance{
+                cost_in ? "cmd-cost-in" : "cmd-cost-out",
+                {r.utc, r.utc},
+                Location::interface(r.router, ifc.name),
+                {}});
+          }
+        } else if (util::contains(body, "set ospf metric") &&
+                   token_after(body, "interface ", iface)) {
+          bool cost_out = util::contains(body, "metric 65535");
+          store.add(EventInstance{cost_out ? "cmd-cost-out" : "cmd-cost-in",
+                                  {r.utc, r.utc},
+                                  Location::interface(r.router, iface),
+                                  {}});
+        } else if (util::contains(body, "mvpn") &&
+                   token_after(body, "vrf ", vpn)) {
+          EventInstance inst;
+          inst.name = "pim-config-change";
+          inst.when = {r.utc, r.utc};
+          inst.where = Location::router(r.router);
+          inst.attrs["vpn"] = vpn;
+          store.add(std::move(inst));
+        }
+        break;
+      }
+      case SourceType::kWorkflowLog: {
+        EventInstance inst;
+        inst.name = "workflow-" + r.field;  // e.g. workflow-provisioning
+        inst.when = {r.utc, r.utc};
+        inst.where = Location::router(r.router);
+        store.add(std::move(inst));
+        break;
+      }
+      case SourceType::kOspfMon: {
+        auto router = net_.find_router(r.router);
+        if (!router) break;
+        auto iface = net_.find_interface(*router, r.interface);
+        if (!iface || !net_.interface(*iface).link.valid()) break;
+        topology::LogicalLinkId link = net_.interface(*iface).link;
+        store.add(EventInstance{"ospf-reconvergence", {r.utc, r.utc},
+                                Location::interface(r.router, r.interface),
+                                {}});
+        int metric = static_cast<int>(r.value);
+        bool now_out = metric == 0xFFFF || metric == -1;
+        auto it = prev_metric.find(link.value());
+        bool was_out =
+            it != prev_metric.end() &&
+            (it->second == 0xFFFF || it->second == -1);
+        prev_metric[link.value()] = metric;
+        if (now_out && !was_out) {
+          cost_events.push_back(CostEvent{r.utc, link, true});
+        } else if (!now_out && was_out) {
+          cost_events.push_back(CostEvent{r.utc, link, false});
+        }
+        break;
+      }
+      case SourceType::kPerfMon: {
+        if (options_.anomaly_detection) break;  // handled by the anomaly pass
+        auto in = r.attrs.find("ingress");
+        auto out = r.attrs.find("egress");
+        if (in == r.attrs.end() || out == r.attrs.end()) break;
+        std::string name;
+        if (r.field == "delay" && r.value >= options_.delay_threshold) {
+          name = "innet-delay-increase";
+        } else if (r.field == "loss" && r.value >= options_.loss_threshold) {
+          name = "innet-loss-increase";
+        } else if (r.field == "tput" &&
+                   r.value <= options_.innet_tput_threshold) {
+          name = "innet-tput-drop";
+        } else {
+          break;
+        }
+        store.add(EventInstance{std::move(name), {r.utc, r.utc},
+                                Location::pop_pair(in->second, out->second),
+                                {}});
+        break;
+      }
+      case SourceType::kCdnMon: {
+        if (options_.anomaly_detection) break;  // handled by the anomaly pass
+        auto node = r.attrs.find("node");
+        auto client = r.attrs.find("client");
+        if (node == r.attrs.end() || client == r.attrs.end()) break;
+        if (r.field == "rtt" && r.value >= options_.rtt_threshold) {
+          store.add(EventInstance{
+              "cdn-rtt-increase", {r.utc, r.utc},
+              Location::cdn_client(node->second, client->second), {}});
+        } else if (r.field == "tput" && r.value <= options_.tput_threshold) {
+          store.add(EventInstance{
+              "cdn-tput-drop", {r.utc, r.utc},
+              Location::cdn_client(node->second, client->second), {}});
+        }
+        break;
+      }
+      case SourceType::kServerLog: {
+        auto node = r.attrs.find("node");
+        if (node == r.attrs.end()) break;
+        if (r.field == "policy-change") {
+          store.add(EventInstance{"cdn-policy-change", {r.utc, r.utc},
+                                  Location::cdn_node(node->second), {}});
+        } else if (r.field == "load" &&
+                   r.value >= options_.server_load_threshold) {
+          store.add(EventInstance{"cdn-server-issue", {r.utc, r.utc},
+                                  Location::cdn_node(node->second), {}});
+        }
+        break;
+      }
+      case SourceType::kBgpMon:
+        break;  // handled by extract_egress_changes
+    }
+  }
+
+  pair_flaps("interface", link_updown, options_.flap_pair_window,
+             [](const std::string& key) {
+               auto parts = util::split(key, '|');
+               return Location::interface(parts[0], parts[1]);
+             },
+             store);
+  pair_flaps("line-protocol", proto_updown, options_.flap_pair_window,
+             [](const std::string& key) {
+               auto parts = util::split(key, '|');
+               return Location::interface(parts[0], parts[1]);
+             },
+             store);
+  pair_flaps("ebgp", bgp_updown, options_.flap_pair_window,
+             [](const std::string& key) {
+               auto parts = util::split(key, '|');
+               return Location::router_neighbor(parts[0], parts[1]);
+             },
+             store);
+  pair_flaps("pim-adjacency", pim_updown, options_.flap_pair_window,
+             [](const std::string& key) {
+               auto parts = util::split(key, '|');
+               return Location::vpn_neighbor(parts[0], parts[1], parts[2]);
+             },
+             store);
+
+  // ---- Router vs link cost-in/out inference ------------------------------
+  // A router is "costed out/in" when every backbone link it terminates
+  // changes cost state within a short window; the constituent link events
+  // are then attributed to the router, not to the links (Table VIII counts
+  // them separately).
+  std::sort(cost_events.begin(), cost_events.end(),
+            [](const CostEvent& a, const CostEvent& b) {
+              return a.time < b.time;
+            });
+  std::set<std::size_t> suppressed;
+  for (std::size_t i = 0; i < cost_events.size(); ++i) {
+    if (suppressed.count(i)) continue;
+    // Candidate routers: both endpoints of this link.
+    const topology::LogicalLink& l = net_.link(cost_events[i].link);
+    for (topology::RouterId router :
+         {net_.interface(l.side_a).router, net_.interface(l.side_b).router}) {
+      auto router_links = net_.links_of_router(router);
+      if (router_links.size() < 2) continue;
+      std::set<std::uint32_t> seen;
+      std::vector<std::size_t> members;
+      for (std::size_t j = i; j < cost_events.size() &&
+                              cost_events[j].time - cost_events[i].time <=
+                                  options_.router_cost_window;
+           ++j) {
+        if (suppressed.count(j)) continue;
+        if (cost_events[j].out != cost_events[i].out) continue;
+        if (std::find(router_links.begin(), router_links.end(),
+                      cost_events[j].link) == router_links.end()) {
+          continue;
+        }
+        if (seen.insert(cost_events[j].link.value()).second) {
+          members.push_back(j);
+        }
+      }
+      // A router-wide cost change: (nearly) every link the router terminates
+      // changed state together. Links already in the target state produce no
+      // transition, so tolerate a small shortfall (>= 80%, at least 2).
+      if (seen.size() >= 2 && 10 * seen.size() >= 8 * router_links.size()) {
+        EventInstance inst;
+        inst.name = "router-cost-inout";
+        inst.when = {cost_events[i].time, cost_events[i].time};
+        inst.where = Location::router(net_.router(router).name);
+        inst.attrs["direction"] = cost_events[i].out ? "out" : "in";
+        store.add(std::move(inst));
+        for (std::size_t j : members) suppressed.insert(j);
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < cost_events.size(); ++i) {
+    if (suppressed.count(i)) continue;
+    const topology::LogicalLink& l = net_.link(cost_events[i].link);
+    const topology::Interface& a = net_.interface(l.side_a);
+    EventInstance inst;
+    inst.name = cost_events[i].out ? "link-cost-outdown" : "link-cost-inup";
+    inst.when = {cost_events[i].time, cost_events[i].time};
+    inst.where =
+        Location::interface(net_.router(a.router).name, a.name);
+    store.add(std::move(inst));
+  }
+
+  if (options_.anomaly_detection) extract_metric_anomalies(records, store);
+}
+
+void EventExtractor::extract_metric_anomalies(
+    std::span<const NormalizedRecord> records, EventStore& store) const {
+  // Rolling robust baseline per (location, metric): median + MAD over the
+  // last `anomaly_window` non-anomalous readings. "Lower is bad" metrics
+  // (throughput) alarm below the baseline, everything else above it.
+  struct Baseline {
+    std::deque<double> window;
+  };
+  std::map<std::string, Baseline> baselines;
+  auto median_of = [](std::vector<double> v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+
+  for (const NormalizedRecord& r : records) {
+    bool is_perf = r.source == SourceType::kPerfMon;
+    bool is_cdn = r.source == SourceType::kCdnMon;
+    if (!is_perf && !is_cdn) continue;
+
+    Location where;
+    std::string event_name;
+    if (is_perf) {
+      auto in = r.attrs.find("ingress");
+      auto out = r.attrs.find("egress");
+      if (in == r.attrs.end() || out == r.attrs.end()) continue;
+      where = Location::pop_pair(in->second, out->second);
+      if (r.field == "delay") event_name = "innet-delay-increase";
+      else if (r.field == "loss") event_name = "innet-loss-increase";
+      else if (r.field == "tput") event_name = "innet-tput-drop";
+      else continue;
+    } else {
+      auto node = r.attrs.find("node");
+      auto client = r.attrs.find("client");
+      if (node == r.attrs.end() || client == r.attrs.end()) continue;
+      where = Location::cdn_client(node->second, client->second);
+      if (r.field == "rtt") event_name = "cdn-rtt-increase";
+      else if (r.field == "tput") event_name = "cdn-tput-drop";
+      else continue;
+    }
+    bool lower_is_bad = r.field == "tput";
+    // CDN baselines are per node+prefix-ish; per-client series are too
+    // sparse, so CDN baselines key on the node and metric only.
+    std::string key = is_cdn ? "cdn|" + r.attrs.at("node") + "|" + r.field
+                             : where.key() + "|" + r.field;
+
+    Baseline& base = baselines[key];
+    bool anomalous = false;
+    if (base.window.size() >= options_.anomaly_min_history) {
+      std::vector<double> values(base.window.begin(), base.window.end());
+      double median = median_of(values);
+      std::vector<double> deviations;
+      deviations.reserve(values.size());
+      for (double v : values) deviations.push_back(std::abs(v - median));
+      double sigma = std::max(1.4826 * median_of(deviations), 1e-3);
+      double z = (r.value - median) / sigma;
+      anomalous = lower_is_bad ? z < -options_.anomaly_k
+                               : z > options_.anomaly_k;
+    }
+    if (anomalous) {
+      EventInstance inst;
+      inst.name = event_name;
+      inst.when = {r.utc, r.utc};
+      inst.where = where;
+      inst.attrs["value"] = util::format_double(r.value, 2);
+      store.add(std::move(inst));
+    } else {
+      base.window.push_back(r.value);
+      if (base.window.size() > options_.anomaly_window) {
+        base.window.pop_front();
+      }
+    }
+  }
+}
+
+void EventExtractor::extract_egress_changes(
+    std::span<const NormalizedRecord> records, const routing::BgpSim& bgp,
+    const std::vector<topology::RouterId>& observers,
+    EventStore& store) const {
+  for (const NormalizedRecord& r : records) {
+    if (r.source != SourceType::kBgpMon) continue;
+    auto prefix_it = r.attrs.find("prefix");
+    if (prefix_it == r.attrs.end()) continue;
+    util::Ipv4Prefix prefix = util::Ipv4Prefix::parse(prefix_it->second);
+    // A representative destination inside the prefix.
+    util::Ipv4Addr rep(prefix.address().value() +
+                       (prefix.length() < 32 ? 1u : 0u));
+    for (topology::RouterId observer : observers) {
+      auto before = bgp.best_egress(observer, rep, r.utc - 1);
+      auto after = bgp.best_egress(observer, rep, r.utc + 1);
+      if (before == after) continue;
+      EventInstance inst;
+      inst.name = "bgp-egress-change";
+      inst.when = {r.utc, r.utc};
+      inst.where = Location::ingress_destination(
+          net_.router(observer).name, rep.to_string());
+      if (before) inst.attrs["from"] = net_.router(*before).name;
+      if (after) inst.attrs["to"] = net_.router(*after).name;
+      store.add(std::move(inst));
+    }
+  }
+}
+
+}  // namespace grca::collector

@@ -1,0 +1,155 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "collector/normalizer.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/strings.h"
+
+namespace grca::collector {
+
+using telemetry::RawRecord;
+using telemetry::SourceType;
+
+std::string render(const NormalizedRecord& record) {
+  std::string out = util::format_utc(record.utc);
+  out += " [";
+  out += telemetry::to_string(record.source);
+  out += "] ";
+  if (!record.router.empty()) {
+    out += record.router;
+    out += " ";
+  } else if (!record.device.empty()) {
+    out += record.device;
+    out += " ";
+  }
+  if (!record.interface.empty()) {
+    out += record.interface;
+    out += " ";
+  }
+  if (!record.field.empty()) {
+    out += record.field;
+    out += "=";
+    out += util::format_double(record.value, 1);
+    out += " ";
+  }
+  out += record.body;
+  for (const auto& [k, v] : record.attrs) {
+    out += " ";
+    out += k;
+    out += "=";
+    out += v;
+  }
+  return out;
+}
+
+Normalizer::Normalizer(const topology::Network& net) : net_(net) {
+  for (const topology::Layer1Device& d : net.layer1_devices()) {
+    l1_by_name_.emplace(d.name, d.id);
+  }
+}
+
+bool Normalizer::normalize(const RawRecord& raw, NormalizedRecord& out) const {
+  out = NormalizedRecord{};
+  out.source = raw.source;
+  out.field = raw.field;
+  out.body = raw.body;
+  out.value = raw.value;
+  out.attrs = raw.attrs;
+  switch (raw.source) {
+    case SourceType::kSyslog: {
+      std::string name = util::to_lower(raw.device);
+      auto router = net_.find_router(name);
+      if (!router) {
+        ++dropped_;
+        return false;
+      }
+      out.router = name;
+      const topology::Router& r = net_.router(*router);
+      out.utc = net_.pop(r.pop).timezone.to_utc(raw.timestamp);
+      return true;
+    }
+    case SourceType::kSnmp: {
+      std::string name = raw.device;
+      if (auto dot = name.find('.'); dot != std::string::npos) {
+        name.resize(dot);  // strip the poller's FQDN suffix
+      }
+      if (!net_.find_router(name)) {
+        ++dropped_;
+        return false;
+      }
+      out.router = name;
+      auto it = raw.attrs.find("interface");
+      if (it != raw.attrs.end()) out.interface = it->second;
+      out.utc = raw.timestamp;  // SNMP poller stamps UTC
+      return true;
+    }
+    case SourceType::kLayer1Log: {
+      auto it = l1_by_name_.find(raw.device);
+      if (it == l1_by_name_.end()) {
+        ++dropped_;
+        return false;
+      }
+      out.device = raw.device;
+      const topology::Layer1Device& d = net_.layer1_device(it->second);
+      out.utc = net_.pop(d.pop).timezone.to_utc(raw.timestamp);
+      return true;
+    }
+    case SourceType::kTacacs:
+    case SourceType::kWorkflowLog: {
+      if (!net_.find_router(raw.device)) {
+        ++dropped_;
+        return false;
+      }
+      out.router = raw.device;
+      out.utc = raw.timestamp;
+      return true;
+    }
+    case SourceType::kOspfMon: {
+      auto rit = raw.attrs.find("router");
+      auto iit = raw.attrs.find("interface");
+      if (rit == raw.attrs.end() || iit == raw.attrs.end() ||
+          !net_.find_router(rit->second)) {
+        ++dropped_;
+        return false;
+      }
+      out.router = rit->second;
+      out.interface = iit->second;
+      out.utc = raw.timestamp;
+      return true;
+    }
+    case SourceType::kBgpMon:
+    case SourceType::kPerfMon:
+    case SourceType::kCdnMon:
+    case SourceType::kServerLog: {
+      out.utc = raw.timestamp;
+      return true;
+    }
+  }
+  ++dropped_;
+  return false;
+}
+
+std::vector<NormalizedRecord> Normalizer::normalize_stream(
+    const telemetry::RecordStream& stream) const {
+  std::vector<NormalizedRecord> out;
+  out.reserve(stream.size());
+  NormalizedRecord record;
+  for (const RawRecord& raw : stream) {
+    if (normalize(raw, record)) out.push_back(std::move(record));
+  }
+  // Content-deterministic order: ties on the timestamp are broken by the
+  // record fields so extraction does not depend on arrival order.
+  std::sort(out.begin(), out.end(),
+            [](const NormalizedRecord& a, const NormalizedRecord& b) {
+              return std::tie(a.utc, a.source, a.router, a.device, a.interface,
+                              a.field, a.body, a.value) <
+                     std::tie(b.utc, b.source, b.router, b.device, b.interface,
+                              b.field, b.body, b.value);
+            });
+  return out;
+}
+
+}  // namespace grca::collector

@@ -1,0 +1,43 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The ingest normalizer. It owns the per-source quirks:
+//  - syslog: UPPERCASE router names -> canonical; device-local time -> UTC
+//    using the router's PoP timezone (learned from configs);
+//  - SNMP: "<router>.net.example" FQDNs -> canonical; already UTC;
+//  - layer-1 logs: transport-device names resolved against the inventory;
+//    device-local time -> UTC via the device's PoP;
+//  - TACACS / monitors / workflow: canonical names, already UTC.
+// Records that reference devices unknown to the inventory are dropped and
+// counted (real collectors do the same; the count is an ingest health
+// metric).
+#pragma once
+
+#include <vector>
+
+#include "collector/normalized.h"
+#include "topology/network.h"
+
+namespace grca::collector {
+
+class Normalizer {
+ public:
+  explicit Normalizer(const topology::Network& net);
+
+  /// Normalizes one raw record; returns false (and counts it) when the
+  /// record references an unknown device.
+  bool normalize(const telemetry::RawRecord& raw, NormalizedRecord& out) const;
+
+  /// Normalizes a stream, dropping unknown-device records.
+  std::vector<NormalizedRecord> normalize_stream(
+      const telemetry::RecordStream& stream) const;
+
+  std::size_t dropped() const noexcept { return dropped_; }
+
+ private:
+  const topology::Network& net_;
+  std::unordered_map<std::string, topology::Layer1DeviceId> l1_by_name_;
+  mutable std::size_t dropped_ = 0;
+};
+
+}  // namespace grca::collector

@@ -1,0 +1,42 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The Data Collector's record store: normalized records indexed for the
+// (device × time-window) queries that power the Result Browser's drill-down
+// ("explore additional information such as syslog messages and workflow
+// logs that appear on the same router or location as the event being
+// analyzed", paper §IV-B).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "collector/normalized.h"
+
+namespace grca::collector {
+
+class RecordIndex {
+ public:
+  /// Takes ownership of records (any order).
+  explicit RecordIndex(std::vector<NormalizedRecord> records);
+
+  /// Records on `router` within [from, to], time-ordered.
+  std::vector<const NormalizedRecord*> on_router(const std::string& router,
+                                                 util::TimeSec from,
+                                                 util::TimeSec to) const;
+
+  /// All records within [from, to], time-ordered.
+  std::vector<const NormalizedRecord*> in_window(util::TimeSec from,
+                                                 util::TimeSec to) const;
+
+  std::span<const NormalizedRecord> all() const noexcept { return records_; }
+  std::size_t size() const noexcept { return records_.size(); }
+
+ private:
+  std::vector<NormalizedRecord> records_;  // sorted by utc
+  // router name -> indices into records_, time-ordered
+  std::unordered_map<std::string, std::vector<std::size_t>> by_router_;
+};
+
+}  // namespace grca::collector

@@ -1,0 +1,73 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "collector/routing_rebuild.h"
+
+namespace grca::collector {
+
+using telemetry::SourceType;
+
+void RebuiltRouting::replay(std::span<const NormalizedRecord> records) {
+  const topology::Network& net = ospf_.network();
+  for (const NormalizedRecord& r : records) {
+    if (r.source == SourceType::kOspfMon) {
+      auto router = net.find_router(r.router);
+      if (!router) {
+        ++skipped_;
+        continue;
+      }
+      auto iface = net.find_interface(*router, r.interface);
+      if (!iface || !net.interface(*iface).link.valid()) {
+        ++skipped_;
+        continue;
+      }
+      topology::LogicalLinkId link = net.interface(*iface).link;
+      int metric = static_cast<int>(r.value);
+      if (metric == 0xFFFF) metric = routing::kCostedOut;
+      if (metric == -1) metric = routing::kDown;
+      // Monitor timestamps carry jitter; clamp to be monotonic per link.
+      try {
+        ospf_.set_weight(link, r.utc, metric);
+      } catch (const ConfigError&) {
+        ++skipped_;  // out-of-order duplicate from a redundant monitor
+      }
+    } else if (r.source == SourceType::kBgpMon) {
+      auto prefix_it = r.attrs.find("prefix");
+      auto egress_it = r.attrs.find("egress");
+      if (prefix_it == r.attrs.end() || egress_it == r.attrs.end()) {
+        ++skipped_;
+        continue;
+      }
+      auto egress = net.find_router(egress_it->second);
+      if (!egress) {
+        ++skipped_;
+        continue;
+      }
+      util::Ipv4Prefix prefix = util::Ipv4Prefix::parse(prefix_it->second);
+      if (r.body == "announce") {
+        routing::BgpRoute route;
+        route.prefix = prefix;
+        route.egress = *egress;
+        if (auto it = r.attrs.find("nexthop"); it != r.attrs.end()) {
+          route.next_hop = util::Ipv4Addr::parse(it->second);
+        }
+        if (auto it = r.attrs.find("localpref"); it != r.attrs.end()) {
+          route.local_pref = std::stoi(it->second);
+        }
+        if (auto it = r.attrs.find("aspathlen"); it != r.attrs.end()) {
+          route.as_path_len = std::stoi(it->second);
+        }
+        if (auto it = r.attrs.find("med"); it != r.attrs.end()) {
+          route.med = std::stoi(it->second);
+        }
+        bgp_.announce(route, r.utc);
+      } else if (r.body == "withdraw") {
+        bgp_.withdraw(prefix, *egress, r.utc);
+      } else {
+        ++skipped_;
+      }
+    }
+  }
+}
+
+}  // namespace grca::collector

@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Rebuilds the RCA-side routing view from proactively collected monitor
+// feeds. The paper is explicit that G-RCA never runs traceroutes: "network
+// paths can be computed from BGP and OSPF route-monitoring data". This
+// module replays the OSPFMon and BGP-monitor records into fresh OspfSim /
+// BgpSim instances over the config-derived Network, giving the
+// LocationMapper its historical routing state.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "collector/normalized.h"
+#include "routing/bgp.h"
+#include "routing/ospf.h"
+
+namespace grca::collector {
+
+/// Owns the RCA-side routing simulators (they reference the Network, which
+/// must outlive this object).
+class RebuiltRouting {
+ public:
+  explicit RebuiltRouting(const topology::Network& net)
+      : ospf_(net), bgp_(ospf_) {}
+
+  /// Replays monitor records (must be UTC-sorted, as normalize_stream
+  /// produces). Non-monitor records are ignored. Records referencing
+  /// unknown links/routers are counted and skipped.
+  void replay(std::span<const NormalizedRecord> records);
+
+  const routing::OspfSim& ospf() const noexcept { return ospf_; }
+  const routing::BgpSim& bgp() const noexcept { return bgp_; }
+  std::size_t skipped() const noexcept { return skipped_; }
+
+ private:
+  routing::OspfSim ospf_;
+  routing::BgpSim bgp_;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace grca::collector

@@ -1,0 +1,106 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "core/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace grca::core {
+
+std::optional<CalibrationResult> calibrate_temporal(
+    const EventStore& store, const LocationMapper& mapper,
+    const std::string& symptom, const std::string& diagnostic,
+    LocationType join_level, const CalibrationOptions& options) {
+  // Lag of the nearest spatially-joined diagnostic per symptom instance.
+  // Positive lag = diagnostic started before the symptom (the common causal
+  // direction); negative = after (measurement-ordering noise).
+  std::vector<util::TimeSec> lags;
+  for (const EventInstance& s : store.all(symptom)) {
+    auto candidates =
+        store.query(diagnostic, s.when.start - options.max_window,
+                    s.when.start + options.max_window);
+    const EventInstance* best = nullptr;
+    util::TimeSec best_abs = options.max_window + 1;
+    for (const EventInstance* cand : candidates) {
+      util::TimeSec lag = s.when.start - cand->when.start;
+      util::TimeSec abs_lag = std::abs(lag);
+      if (abs_lag >= best_abs) continue;
+      if (!mapper.joins(s.where, cand->where, join_level, s.when.start)) {
+        continue;
+      }
+      best = cand;
+      best_abs = abs_lag;
+    }
+    if (best != nullptr) lags.push_back(s.when.start - best->when.start);
+  }
+  if (lags.size() < options.min_samples) return std::nullopt;
+  std::sort(lags.begin(), lags.end());
+
+  // The lag histogram is a causal peak sitting on a uniform background of
+  // coincidences (unrelated events that happened to join spatially within
+  // the search window). Quantiles over the raw distribution absorb that
+  // background into the margins; instead, find the mode and grow the window
+  // outward while the local density stays clearly above background.
+  constexpr util::TimeSec kBin = 5;
+  const std::size_t nbins =
+      static_cast<std::size_t>(2 * options.max_window / kBin) + 1;
+  std::vector<std::size_t> hist(nbins, 0);
+  auto bin_of = [&](util::TimeSec lag) {
+    return static_cast<std::size_t>((lag + options.max_window) / kBin);
+  };
+  for (util::TimeSec lag : lags) ++hist[bin_of(lag)];
+  // Background: mean density over the outer half of the window.
+  double background = 0;
+  std::size_t outer = 0;
+  for (std::size_t i = 0; i < nbins; ++i) {
+    util::TimeSec center = static_cast<util::TimeSec>(i) * kBin -
+                           options.max_window;
+    if (std::abs(center) > options.max_window / 2) {
+      background += static_cast<double>(hist[i]);
+      ++outer;
+    }
+  }
+  background = outer ? background / outer : 0.0;
+  const double floor_density = std::max(2.0 * background, 1.0);
+
+  std::size_t peak = static_cast<std::size_t>(
+      std::max_element(hist.begin(), hist.end()) - hist.begin());
+  std::size_t lo_bin = peak, hi_bin = peak;
+  // Tolerate single empty bins inside the mode (gap bridging of 1 bin).
+  auto dense = [&](std::size_t i) {
+    return static_cast<double>(hist[i]) >= floor_density ||
+           (i > 0 && i + 1 < nbins &&
+            static_cast<double>(hist[i - 1] + hist[i + 1]) >=
+                2 * floor_density);
+  };
+  while (lo_bin > 0 && dense(lo_bin - 1)) --lo_bin;
+  while (hi_bin + 1 < nbins && dense(hi_bin + 1)) ++hi_bin;
+  util::TimeSec window_lo =
+      static_cast<util::TimeSec>(lo_bin) * kBin - options.max_window;
+  util::TimeSec window_hi =
+      static_cast<util::TimeSec>(hi_bin + 1) * kBin - options.max_window;
+
+  CalibrationResult result;
+  result.samples = lags.size();
+  result.median_lag = lags[lags.size() / 2];
+  // Margins: the mode window, padded; hi = backward reach (cause precedes).
+  util::TimeSec hi = window_hi;
+  util::TimeSec lo = window_lo;
+  result.max_covered_lag = hi;
+  std::size_t inside = 0;
+  for (util::TimeSec lag : lags) inside += lag >= lo && lag <= hi;
+  result.coverage = static_cast<double>(inside) / lags.size();
+  // Symptom window reaches back to the oldest covered cause and forward to
+  // the newest; the diagnostic side carries only the jitter pad.
+  result.rule.symptom =
+      TemporalSide{ExpandOption::kStartStart,
+                   std::max<util::TimeSec>(hi, 0) + options.jitter_pad,
+                   std::max<util::TimeSec>(-lo, 0) + options.jitter_pad};
+  result.rule.diagnostic = TemporalSide{ExpandOption::kStartEnd,
+                                        options.jitter_pad,
+                                        options.jitter_pad};
+  return result;
+}
+
+}  // namespace grca::core

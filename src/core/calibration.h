@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Data-driven temporal-rule calibration — the paper's §VI future-work item
+// "make the temporal joining rules less sensitive for robust root cause
+// analysis".
+//
+// Operators normally set margins from protocol timers (the 180 s eBGP hold
+// timer, 5 s syslog jitter). That encodes the *worst case*; in a deployment
+// with fast external fallover the observed cause->effect lags are seconds,
+// and tighter margins join fewer coincidental events. calibrate_temporal()
+// learns the margins from data: it measures the lag distribution between
+// spatially-joined (symptom, diagnostic) co-occurrences and returns a rule
+// whose window covers a configurable quantile of the mass, padded with a
+// jitter allowance.
+#pragma once
+
+#include <optional>
+
+#include "core/event_store.h"
+#include "core/location.h"
+#include "core/temporal.h"
+
+namespace grca::core {
+
+struct CalibrationOptions {
+  /// Candidate search half-window around each symptom (seconds).
+  util::TimeSec max_window = 3600;
+  /// Fixed padding added on both sides (timestamp jitter allowance).
+  util::TimeSec jitter_pad = 5;
+  /// Minimum number of (symptom, diagnostic) co-occurrences required.
+  std::size_t min_samples = 20;
+};
+
+struct CalibrationResult {
+  TemporalRule rule;       // symptom side start-start, diagnostic start-end
+  std::size_t samples = 0; // co-occurrences measured
+  util::TimeSec median_lag = 0;  // symptom.start - diagnostic.start
+  util::TimeSec max_covered_lag = 0;
+  /// Fraction of measured lags inside the calibrated window (the rest is
+  /// coincidence background).
+  double coverage = 0.0;
+};
+
+/// Measures the lag distribution between instances of `symptom` and the
+/// nearest spatially-joined instance of `diagnostic` (join at `level`), and
+/// derives a temporal rule from the causal mode of that distribution (the
+/// uniform background of spatial coincidences is excluded). Returns nullopt
+/// when fewer than min_samples co-occurrences exist — calibration then has
+/// no basis and the operator's timer-derived margins should stand.
+std::optional<CalibrationResult> calibrate_temporal(
+    const EventStore& store, const LocationMapper& mapper,
+    const std::string& symptom, const std::string& diagnostic,
+    LocationType join_level, const CalibrationOptions& options = {});
+
+}  // namespace grca::core

@@ -1,0 +1,78 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The Correlation Tester (paper §II-E, Fig. 7): a reimplementation of the
+// NICE statistical correlation test (Mahimkar et al., CoNEXT 2008) used to
+// (a) vet each diagnosis rule against bulk data and (b) mine unexpected
+// correlations between symptom series and thousands of candidate series.
+//
+// NICE computes the Pearson circular cross-correlation between two event
+// time series and assesses significance against the distribution of scores
+// obtained under circular permutation (rotating one series by random
+// offsets). Rotation preserves each series' autocorrelation structure —
+// the property that defeats naive independence tests on bursty network
+// event series.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/event_store.h"
+#include "util/rng.h"
+
+namespace grca::core {
+
+/// A binned event series: value[i] covers [start + i*bin, start + (i+1)*bin).
+struct EventSeries {
+  util::TimeSec start = 0;
+  util::TimeSec bin = 300;
+  std::vector<double> values;
+};
+
+/// Builds an occupancy (0/1) series from the instances of one event,
+/// optionally restricted by a location predicate.
+EventSeries make_series(std::span<const EventInstance> instances,
+                        util::TimeSec start, util::TimeSec end,
+                        util::TimeSec bin);
+EventSeries make_series(
+    std::span<const EventInstance> instances, util::TimeSec start,
+    util::TimeSec end, util::TimeSec bin,
+    const std::function<bool(const EventInstance&)>& pred);
+
+struct CorrelationResult {
+  double score = 0.0;        // Pearson correlation at zero lag
+  double p_value = 1.0;      // share of circular shifts scoring >= score
+  bool significant = false;  // p_value < alpha
+};
+
+struct NiceParams {
+  int permutations = 200;
+  double alpha = 0.05;
+  /// Correlate at lags within +-lag_slack bins and take the best score
+  /// (cause and effect need not share a bin).
+  int lag_slack = 1;
+  /// Minimum correlation score for significance. Long series give the
+  /// permutation test enough power to flag operationally meaningless
+  /// correlations; screening additionally requires the effect size itself
+  /// to clear this floor.
+  double min_score = 0.0;
+};
+
+/// Runs the NICE circular-permutation test between two series. Both series
+/// must share start/bin and length. Constant (all-equal) series are never
+/// significant (their correlation is undefined).
+CorrelationResult nice_test(const EventSeries& a, const EventSeries& b,
+                            const NiceParams& params, util::Rng& rng);
+
+/// Convenience: tests a symptom series against many candidate series and
+/// returns the indices of the significant ones, best score first.
+struct RankedCorrelation {
+  std::size_t index;
+  CorrelationResult result;
+};
+std::vector<RankedCorrelation> screen_candidates(
+    const EventSeries& symptom, std::span<const EventSeries> candidates,
+    const NiceParams& params, util::Rng& rng);
+
+}  // namespace grca::core

@@ -1,0 +1,96 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "core/diagnosis_graph.h"
+
+#include <algorithm>
+
+namespace grca::core {
+
+void DiagnosisGraph::define_event(EventDefinition def) {
+  if (def.name.empty()) throw ConfigError("event name must be non-empty");
+  if (!events_.count(def.name)) event_order_.push_back(def.name);
+  events_[def.name] = std::move(def);
+}
+
+void DiagnosisGraph::add_rule(DiagnosisRule rule) {
+  if (!has_event(rule.symptom)) {
+    throw ConfigError("rule references undefined symptom event '" +
+                      rule.symptom + "'");
+  }
+  if (!has_event(rule.diagnostic)) {
+    throw ConfigError("rule references undefined diagnostic event '" +
+                      rule.diagnostic + "'");
+  }
+  if (rule.symptom == rule.diagnostic) {
+    throw ConfigError("self-loop rule on '" + rule.symptom + "'");
+  }
+  rules_by_parent_[rule.symptom].push_back(rule);
+  rules_.push_back(std::move(rule));
+}
+
+void DiagnosisGraph::set_root(std::string event_name) {
+  if (!has_event(event_name)) {
+    throw ConfigError("root event '" + event_name + "' is not defined");
+  }
+  root_ = std::move(event_name);
+}
+
+const EventDefinition& DiagnosisGraph::event(const std::string& name) const {
+  auto it = events_.find(name);
+  if (it == events_.end()) {
+    throw LookupError("undefined event '" + name + "'");
+  }
+  return it->second;
+}
+
+std::span<const DiagnosisRule> DiagnosisGraph::rules_from(
+    const std::string& name) const {
+  auto it = rules_by_parent_.find(name);
+  if (it == rules_by_parent_.end()) return {};
+  return it->second;
+}
+
+std::vector<const EventDefinition*> DiagnosisGraph::events() const {
+  std::vector<const EventDefinition*> out;
+  out.reserve(event_order_.size());
+  for (const std::string& name : event_order_) {
+    out.push_back(&events_.at(name));
+  }
+  return out;
+}
+
+void DiagnosisGraph::validate() const {
+  if (root_.empty()) throw ConfigError("diagnosis graph has no root symptom");
+  // Cycle detection: iterative DFS with colors.
+  enum Color : unsigned char { kWhite, kGray, kBlack };
+  std::unordered_map<std::string, Color> color;
+  std::vector<std::pair<std::string, std::size_t>> stack;
+  for (const auto& [name, def] : events_) {
+    if (color[name] != kWhite) continue;
+    stack.emplace_back(name, 0);
+    color[name] = kGray;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      auto edges = rules_from(node);
+      if (idx >= edges.size()) {
+        color[node] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const std::string& next = edges[idx++].diagnostic;
+      Color c = color[next];
+      if (c == kGray) {
+        throw ConfigError("diagnosis graph has a cycle through '" + next +
+                          "' (cyclic causal relationships are not supported "
+                          "by evidence-based reasoning)");
+      }
+      if (c == kWhite) {
+        color[next] = kGray;
+        stack.emplace_back(next, 0);
+      }
+    }
+  }
+}
+
+}  // namespace grca::core

@@ -1,0 +1,70 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The diagnosis graph (paper §II-C, Figs. 4-6): event definitions as nodes,
+// diagnosis rules as edges. Each rule pairs a symptom (parent) event with a
+// diagnostic (child) event and carries the temporal joining rule, the
+// spatial join level and a priority used by rule-based reasoning ("the
+// deeper root cause has a higher priority").
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/event.h"
+#include "core/temporal.h"
+
+namespace grca::core {
+
+/// One edge of the diagnosis graph.
+struct DiagnosisRule {
+  std::string symptom;     // parent event name
+  std::string diagnostic;  // child event name
+  TemporalRule temporal;
+  LocationType join_level = LocationType::kRouter;
+  int priority = 0;
+};
+
+class DiagnosisGraph {
+ public:
+  /// Declares an event. Redefinition replaces the previous definition
+  /// (the paper allows applications to redefine library events).
+  void define_event(EventDefinition def);
+
+  /// Adds an edge. Both endpoints must already be defined.
+  void add_rule(DiagnosisRule rule);
+
+  /// Declares the root symptom event of this graph.
+  void set_root(std::string event_name);
+  const std::string& root() const noexcept { return root_; }
+
+  bool has_event(const std::string& name) const {
+    return events_.count(name) != 0;
+  }
+  const EventDefinition& event(const std::string& name) const;
+
+  /// Rules whose symptom (parent) is `name`.
+  std::span<const DiagnosisRule> rules_from(const std::string& name) const;
+
+  /// Every rule in insertion order.
+  const std::vector<DiagnosisRule>& rules() const noexcept { return rules_; }
+  /// Every defined event, in definition order.
+  std::vector<const EventDefinition*> events() const;
+
+  /// Checks structural invariants: a root is set and defined, every edge
+  /// endpoint is defined, and the graph is acyclic (the paper flags cyclic
+  /// causal relationships — e.g. BGP flap <-> CPU overload — as a limit of
+  /// evidence-based reasoning; we reject them at configuration time).
+  void validate() const;
+
+ private:
+  std::unordered_map<std::string, EventDefinition> events_;
+  std::vector<std::string> event_order_;
+  std::vector<DiagnosisRule> rules_;
+  std::unordered_map<std::string, std::vector<DiagnosisRule>> rules_by_parent_;
+  std::string root_;
+};
+
+}  // namespace grca::core

@@ -1,0 +1,154 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace grca::core {
+
+namespace {
+const std::string kUnknownLabel = "unknown";
+}
+
+const std::string& Diagnosis::primary() const noexcept {
+  return causes.empty() ? kUnknownLabel : causes.front().event;
+}
+
+bool Diagnosis::has_evidence(const std::string& event) const noexcept {
+  for (const EvidenceNode& n : evidence) {
+    if (n.event == event) return true;
+  }
+  return false;
+}
+
+RcaEngine::RcaEngine(DiagnosisGraph graph, const EventStore& store,
+                     const LocationMapper& mapper)
+    : graph_(std::move(graph)), store_(store), mapper_(mapper) {
+  graph_.validate();
+}
+
+std::vector<const EventInstance*> RcaEngine::join(
+    const EventInstance& anchor, const DiagnosisRule& rule) const {
+  // Conservative candidate window: an instance [a, b] can only join when it
+  // overlaps the symptom's expanded window widened by the diagnostic-side
+  // margins (see temporal.h for the expansion algebra).
+  util::TimeInterval s = rule.temporal.symptom.expand(anchor.when);
+  util::TimeSec slack = std::abs(rule.temporal.diagnostic.left) +
+                        std::abs(rule.temporal.diagnostic.right);
+  auto candidates =
+      store_.query(rule.diagnostic, s.start - slack, s.end + slack);
+  std::vector<const EventInstance*> out;
+  for (const EventInstance* cand : candidates) {
+    if (cand == &anchor) continue;  // an instance never explains itself
+    if (!rule.temporal.joined(anchor.when, cand->when)) continue;
+    if (!mapper_.joins(anchor.where, cand->where, rule.join_level,
+                       anchor.when.start)) {
+      continue;
+    }
+    out.push_back(cand);
+  }
+  return out;
+}
+
+Diagnosis RcaEngine::diagnose(const EventInstance& symptom) const {
+  auto t0 = std::chrono::steady_clock::now();
+  if (symptom.name != graph_.root()) {
+    throw ConfigError("diagnose: symptom '" + symptom.name +
+                      "' does not match graph root '" + graph_.root() + "'");
+  }
+  Diagnosis result;
+  result.symptom = symptom;
+
+  // BFS over the graph; a node is evidenced when at least one of its
+  // instances joins an instance of an evidenced parent. The root node keeps
+  // an empty instance list (pointers must stay valid after this call
+  // returns, so we never store the address of a local); BFS anchors the root
+  // on the `symptom` argument directly.
+  std::unordered_map<std::string, std::size_t> node_index;
+  auto& nodes = result.evidence;
+  nodes.push_back(EvidenceNode{symptom.name, {}, 0, 0});
+  node_index.emplace(symptom.name, 0);
+  std::deque<std::size_t> frontier = {0};
+  std::unordered_set<std::string> has_evidenced_child;
+
+  while (!frontier.empty()) {
+    std::size_t parent_idx = frontier.front();
+    frontier.pop_front();
+    // Copy what we need: nodes may reallocate as children are appended.
+    const std::string parent_name = nodes[parent_idx].event;
+    std::vector<const EventInstance*> parent_instances =
+        nodes[parent_idx].instances;
+    if (parent_idx == 0) parent_instances.assign(1, &symptom);
+    const int parent_depth = nodes[parent_idx].depth;
+    for (const DiagnosisRule& rule : graph_.rules_from(parent_name)) {
+      std::vector<const EventInstance*> matched;
+      for (const EventInstance* anchor : parent_instances) {
+        for (const EventInstance* inst : join(*anchor, rule)) {
+          if (std::find(matched.begin(), matched.end(), inst) ==
+              matched.end()) {
+            matched.push_back(inst);
+          }
+        }
+      }
+      if (matched.empty()) continue;
+      has_evidenced_child.insert(parent_name);
+      auto it = node_index.find(rule.diagnostic);
+      if (it == node_index.end()) {
+        node_index.emplace(rule.diagnostic, nodes.size());
+        nodes.push_back(EvidenceNode{rule.diagnostic, std::move(matched),
+                                     rule.priority, parent_depth + 1});
+        frontier.push_back(nodes.size() - 1);
+      } else {
+        EvidenceNode& node = nodes[it->second];
+        for (const EventInstance* inst : matched) {
+          if (std::find(node.instances.begin(), node.instances.end(), inst) ==
+              node.instances.end()) {
+            node.instances.push_back(inst);
+          }
+        }
+        if (rule.priority > node.priority) node.priority = rule.priority;
+        // Re-explore from this node so deeper evidence is reachable through
+        // the new instances as well.
+        frontier.push_back(it->second);
+      }
+    }
+  }
+
+  // Rule-based reasoning: evidenced leaves, ranked by priority.
+  int best = -1;
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    if (has_evidenced_child.count(nodes[i].event)) continue;
+    best = std::max(best, nodes[i].priority);
+  }
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    if (has_evidenced_child.count(nodes[i].event)) continue;
+    if (nodes[i].priority != best) continue;
+    result.causes.push_back(
+        RootCause{nodes[i].event, nodes[i].priority, nodes[i].instances});
+  }
+  std::sort(result.causes.begin(), result.causes.end(),
+            [](const RootCause& a, const RootCause& b) {
+              return a.event < b.event;
+            });
+
+  result.elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+std::vector<Diagnosis> RcaEngine::diagnose_all() const {
+  std::vector<Diagnosis> out;
+  for (const EventInstance& symptom : store_.all(graph_.root())) {
+    out.push_back(diagnose(symptom));
+  }
+  return out;
+}
+
+}  // namespace grca::core

@@ -1,0 +1,78 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The Generic RCA Engine (paper Fig. 1): for each symptom event instance it
+// walks the application's diagnosis graph, performing temporal-spatial
+// correlation against the event store at every edge, then applies rule-based
+// reasoning — the evidenced leaf reached through the highest-priority edge
+// is the root cause; ties are reported as joint causes.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/diagnosis_graph.h"
+#include "core/event_store.h"
+#include "core/location.h"
+
+namespace grca::core {
+
+/// One evidenced node of the diagnosis graph for a given symptom.
+struct EvidenceNode {
+  std::string event;                             // node (event) name
+  std::vector<const EventInstance*> instances;   // joined instances
+  int priority = 0;   // max priority over evidenced incoming edges
+  int depth = 0;      // distance from the root symptom
+};
+
+/// A diagnosed root cause (possibly joint when priorities tie).
+struct RootCause {
+  std::string event;
+  int priority = 0;
+  std::vector<const EventInstance*> instances;
+};
+
+/// The result of diagnosing one symptom instance.
+struct Diagnosis {
+  EventInstance symptom;
+  std::vector<EvidenceNode> evidence;  // every evidenced node, BFS order
+  std::vector<RootCause> causes;       // max-priority leaves; empty = unknown
+  double elapsed_ms = 0.0;
+
+  /// The headline root-cause label: the single (or first joint) cause event
+  /// name, or "unknown" when no diagnostic evidence joined.
+  const std::string& primary() const noexcept;
+
+  /// True when `event` appears among the evidenced nodes.
+  bool has_evidence(const std::string& event) const noexcept;
+};
+
+class RcaEngine {
+ public:
+  /// The engine reads events from `store` and resolves spatial joins through
+  /// `mapper`; both must outlive the engine. The diagnosis graph is copied
+  /// (it is small configuration data; owning it removes a lifetime trap for
+  /// callers that build graphs inline).
+  RcaEngine(DiagnosisGraph graph, const EventStore& store,
+            const LocationMapper& mapper);
+
+  /// Diagnoses a single symptom instance (its name must equal graph root).
+  Diagnosis diagnose(const EventInstance& symptom) const;
+
+  /// Diagnoses every stored instance of the root symptom event.
+  std::vector<Diagnosis> diagnose_all() const;
+
+  const DiagnosisGraph& graph() const noexcept { return graph_; }
+
+ private:
+  /// Instances of `rule.diagnostic` joined with `anchor` under the rule.
+  std::vector<const EventInstance*> join(const EventInstance& anchor,
+                                         const DiagnosisRule& rule) const;
+
+  const DiagnosisGraph graph_;
+  const EventStore& store_;
+  const LocationMapper& mapper_;
+};
+
+}  // namespace grca::core

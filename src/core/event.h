@@ -1,0 +1,40 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The event model (paper §II-A): an event *definition* names a signature
+// that captures a network condition and fixes its location type; an event
+// *instance* is one occurrence with a start/end time and a concrete
+// location.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/location.h"
+#include "util/time.h"
+
+namespace grca::core {
+
+/// (event-name, location type, retrieval process, description) — the
+/// retrieval process is named here and implemented by the collector's
+/// extraction layer (the paper's "parsing script / database query /
+/// anomaly detection program").
+struct EventDefinition {
+  std::string name;          // e.g. "interface-flap"
+  LocationType location_type = LocationType::kRouter;
+  std::string retrieval;     // retrieval-process identifier
+  std::string description;   // human-readable (Table I "Event Description")
+  std::string data_source;   // e.g. "syslog", "SNMP"
+};
+
+/// One occurrence: (event-name, start, end, location, additional info).
+struct EventInstance {
+  std::string name;
+  util::TimeInterval when;
+  Location where;
+  std::map<std::string, std::string> attrs;
+
+  friend bool operator==(const EventInstance&, const EventInstance&) = default;
+};
+
+}  // namespace grca::core

@@ -1,0 +1,72 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "core/event_store.h"
+
+#include <algorithm>
+
+namespace grca::core {
+
+void EventStore::add(EventInstance instance) {
+  if (!instance.when.valid()) {
+    throw ConfigError("EventStore: invalid interval for " + instance.name);
+  }
+  Bucket& b = buckets_[instance.name];
+  b.max_duration = std::max(b.max_duration, instance.when.duration());
+  b.items.push_back(std::move(instance));
+  b.dirty = true;
+  ++total_;
+}
+
+void EventStore::ensure_sorted(const Bucket& bucket) const {
+  if (!bucket.dirty) return;
+  Bucket& b = const_cast<Bucket&>(bucket);
+  std::stable_sort(b.items.begin(), b.items.end(),
+                   [](const EventInstance& x, const EventInstance& y) {
+                     return x.when.start < y.when.start;
+                   });
+  b.dirty = false;
+}
+
+std::vector<const EventInstance*> EventStore::query(const std::string& name,
+                                                    util::TimeSec from,
+                                                    util::TimeSec to) const {
+  return query(name, from, to, [](const EventInstance&) { return true; });
+}
+
+std::vector<const EventInstance*> EventStore::query(
+    const std::string& name, util::TimeSec from, util::TimeSec to,
+    const std::function<bool(const EventInstance&)>& pred) const {
+  std::vector<const EventInstance*> out;
+  auto it = buckets_.find(name);
+  if (it == buckets_.end()) return out;
+  const Bucket& b = it->second;
+  ensure_sorted(b);
+  // Overlap requires start <= to and end >= from; since end <= start +
+  // max_duration, any overlapping instance has start >= from - max_duration.
+  util::TimeSec lo = from - b.max_duration;
+  auto first = std::lower_bound(
+      b.items.begin(), b.items.end(), lo,
+      [](const EventInstance& e, util::TimeSec v) { return e.when.start < v; });
+  for (auto i = first; i != b.items.end() && i->when.start <= to; ++i) {
+    if (i->when.end >= from && pred(*i)) out.push_back(&*i);
+  }
+  return out;
+}
+
+std::span<const EventInstance> EventStore::all(const std::string& name) const {
+  auto it = buckets_.find(name);
+  if (it == buckets_.end()) return {};
+  ensure_sorted(it->second);
+  return it->second.items;
+}
+
+std::vector<std::string> EventStore::event_names() const {
+  std::vector<std::string> out;
+  out.reserve(buckets_.size());
+  for (const auto& [name, bucket] : buckets_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace grca::core

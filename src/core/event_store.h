@@ -1,0 +1,60 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Indexed storage for event instances. The Data Collector normalizes raw
+// records into events and loads them here; the RCA engine then issues
+// (event-name × time-window) queries during temporal-spatial correlation.
+// Instances are kept sorted by start time per event name, so a window query
+// is a binary search plus a linear scan of the overlap range.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/event.h"
+
+namespace grca::core {
+
+class EventStore {
+ public:
+  /// Adds one instance. Instances may arrive in any order; the index is
+  /// (re)sorted lazily on first query after a mutation.
+  void add(EventInstance instance);
+
+  /// All instances of `name` whose interval could overlap an expanded window
+  /// [from, to] — i.e. start <= to and end >= from. `max_duration` hints the
+  /// longest instance duration for the backward scan; the store tracks it
+  /// automatically.
+  std::vector<const EventInstance*> query(const std::string& name,
+                                          util::TimeSec from,
+                                          util::TimeSec to) const;
+
+  /// Window query further filtered by a predicate.
+  std::vector<const EventInstance*> query(
+      const std::string& name, util::TimeSec from, util::TimeSec to,
+      const std::function<bool(const EventInstance&)>& pred) const;
+
+  /// All instances of `name` in start-time order (empty span if none).
+  std::span<const EventInstance> all(const std::string& name) const;
+
+  /// Every distinct event name present.
+  std::vector<std::string> event_names() const;
+
+  std::size_t total_instances() const noexcept { return total_; }
+
+ private:
+  struct Bucket {
+    std::vector<EventInstance> items;   // sorted by when.start once clean
+    util::TimeSec max_duration = 0;
+    bool dirty = false;
+  };
+  void ensure_sorted(const Bucket& bucket) const;
+
+  std::unordered_map<std::string, Bucket> buckets_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace grca::core

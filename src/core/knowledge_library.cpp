@@ -1,0 +1,401 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "core/knowledge_library.h"
+
+#include "core/rule_dsl.h"
+
+namespace grca::core {
+
+namespace {
+
+// Table I: common event definitions. Temporal conventions:
+//  - syslog events carry a few seconds of timestamp jitter;
+//  - SNMP events are 5-minute interval measurements, so rules joining them
+//    use +-300 s margins;
+//  - the eBGP hold timer (180 s) appears in the application rules (§II-C).
+constexpr std::string_view kLibrary = R"DSL(
+# ---- Table I: common events ------------------------------------------------
+event router-reboot {
+  location router
+  source syslog
+  retrieval syslog-restart
+  desc "router was rebooted"
+}
+event cpu-high-avg {
+  location router
+  source snmp
+  retrieval snmp-cpu-avg
+  desc ">= 80% average CPU utilization in 5-minute interval"
+}
+event cpu-high-spike {
+  location router
+  source syslog
+  retrieval syslog-cpu-threshold
+  desc ">= 90% CPU utilization over the past 5 seconds"
+}
+event interface-down {
+  location interface
+  source syslog
+  retrieval syslog-link-down
+  desc "LINK-3-UPDOWN msg (down)"
+}
+event interface-up {
+  location interface
+  source syslog
+  retrieval syslog-link-up
+  desc "LINK-3-UPDOWN msg (up)"
+}
+event interface-flap {
+  location interface
+  source syslog
+  retrieval syslog-link-flap
+  desc "LINK-3-UPDOWN msg (down then up)"
+}
+event line-protocol-down {
+  location interface
+  source syslog
+  retrieval syslog-proto-down
+  desc "LINEPROTO-5-UPDOWN msg (down)"
+}
+event line-protocol-up {
+  location interface
+  source syslog
+  retrieval syslog-proto-up
+  desc "LINEPROTO-5-UPDOWN msg (up)"
+}
+event line-protocol-flap {
+  location interface
+  source syslog
+  retrieval syslog-proto-flap
+  desc "LINEPROTO-5-UPDOWN msg (down then up)"
+}
+event optical-restoration-regular {
+  location layer1-device
+  source layer1-log
+  retrieval layer1-regular
+  desc "regular restoration events in layer-1 optical mesh network"
+}
+event optical-restoration-fast {
+  location layer1-device
+  source layer1-log
+  retrieval layer1-fast
+  desc "fast restoration events in layer-1 optical mesh network"
+}
+event sonet-restoration {
+  location layer1-device
+  source layer1-log
+  retrieval layer1-sonet
+  desc "restoration events in the layer-1 SONET network"
+}
+event link-congestion {
+  location interface
+  source snmp
+  retrieval snmp-link-util
+  desc ">= 80% link utilization in 5-minute intervals"
+}
+event link-loss {
+  location interface
+  source snmp
+  retrieval snmp-link-corrupt
+  desc ">= 100 corrupted packets in 5-minute intervals"
+}
+event ospf-reconvergence {
+  location interface
+  source ospf-monitor
+  retrieval ospfmon-change
+  desc "link weight update in OSPF"
+}
+event router-cost-inout {
+  location router
+  source ospf-monitor
+  retrieval ospfmon-router-cost
+  desc "router cost in/out inferred from link weight changes"
+}
+event link-cost-outdown {
+  location interface
+  source ospf-monitor
+  retrieval ospfmon-link-cost-out
+  desc "link cost out or link down inferred from link weight changes"
+}
+event link-cost-inup {
+  location interface
+  source ospf-monitor
+  retrieval ospfmon-link-cost-in
+  desc "link cost in or link up inferred from link weight changes"
+}
+event cmd-cost-in {
+  location interface
+  source tacacs
+  retrieval tacacs-cost-in
+  desc "command typed by operators to cost in links"
+}
+event cmd-cost-out {
+  location interface
+  source tacacs
+  retrieval tacacs-cost-out
+  desc "command typed by operators to cost out links"
+}
+event bgp-egress-change {
+  location ingress-destination
+  source bgp-monitor
+  retrieval bgpmon-egress-change
+  desc "BGP next hop to some external prefix changed"
+}
+event innet-delay-increase {
+  location pop-pair
+  source perf-monitor
+  retrieval perf-delay
+  desc "delay increase between two PoPs"
+}
+event innet-loss-increase {
+  location pop-pair
+  source perf-monitor
+  retrieval perf-loss
+  desc "loss increase between two PoPs"
+}
+event innet-tput-drop {
+  location pop-pair
+  source perf-monitor
+  retrieval perf-tput
+  desc "throughput drop between two PoPs"
+}
+
+# ---- Table II: common diagnosis rules ---------------------------------------
+# Line protocol events are explained by interface events on the same port.
+rule line-protocol-down -> interface-down {
+  priority 170
+  symptom start-start 15 5
+  diagnostic start-end 5 5
+  join interface
+}
+rule line-protocol-up -> interface-up {
+  priority 170
+  symptom start-start 15 5
+  diagnostic start-end 5 5
+  join interface
+}
+rule line-protocol-flap -> interface-flap {
+  priority 170
+  symptom start-start 15 5
+  diagnostic start-end 5 15
+  join interface
+}
+# Interface and line-protocol events are explained by layer-1 restorations
+# on any circuit carrying the port.
+rule interface-flap -> sonet-restoration {
+  priority 210
+  symptom start-start 30 5
+  diagnostic start-end 5 10
+  join layer1-device
+}
+rule interface-down -> sonet-restoration {
+  priority 210
+  symptom start-start 30 5
+  diagnostic start-end 5 10
+  join layer1-device
+}
+rule line-protocol-flap -> sonet-restoration {
+  priority 210
+  symptom start-start 30 5
+  diagnostic start-end 5 10
+  join layer1-device
+}
+rule interface-flap -> optical-restoration-regular {
+  priority 211
+  symptom start-start 30 5
+  diagnostic start-end 5 10
+  join layer1-device
+}
+rule interface-down -> optical-restoration-regular {
+  priority 211
+  symptom start-start 30 5
+  diagnostic start-end 5 10
+  join layer1-device
+}
+rule interface-down -> optical-restoration-fast {
+  priority 212
+  symptom start-start 30 5
+  diagnostic start-end 5 10
+  join layer1-device
+}
+rule line-protocol-flap -> optical-restoration-regular {
+  priority 211
+  symptom start-start 30 5
+  diagnostic start-end 5 10
+  join layer1-device
+}
+rule interface-flap -> optical-restoration-fast {
+  priority 212
+  symptom start-start 30 5
+  diagnostic start-end 5 10
+  join layer1-device
+}
+rule line-protocol-flap -> optical-restoration-fast {
+  priority 212
+  symptom start-start 30 5
+  diagnostic start-end 5 10
+  join layer1-device
+}
+# Egress changes are explained by flaps along the (pre-change) path.
+rule bgp-egress-change -> interface-flap {
+  priority 150
+  symptom start-start 60 5
+  diagnostic start-end 5 5
+  join logical-link
+}
+rule bgp-egress-change -> line-protocol-flap {
+  priority 140
+  symptom start-start 60 5
+  diagnostic start-end 5 5
+  join logical-link
+}
+# Edge-to-edge (inter-PoP) performance symptoms.
+rule innet-delay-increase -> bgp-egress-change {
+  priority 120
+  symptom start-start 120 5
+  diagnostic start-end 5 60
+  join router
+}
+rule innet-loss-increase -> bgp-egress-change {
+  priority 120
+  symptom start-start 120 5
+  diagnostic start-end 5 60
+  join router
+}
+rule innet-tput-drop -> bgp-egress-change {
+  priority 120
+  symptom start-start 120 5
+  diagnostic start-end 5 60
+  join router
+}
+rule innet-delay-increase -> link-congestion {
+  priority 130
+  symptom start-start 330 30
+  diagnostic start-end 300 60
+  join logical-link
+}
+rule innet-loss-increase -> link-congestion {
+  priority 130
+  symptom start-start 330 30
+  diagnostic start-end 300 60
+  join logical-link
+}
+rule innet-tput-drop -> link-congestion {
+  priority 130
+  symptom start-start 330 30
+  diagnostic start-end 300 60
+  join logical-link
+}
+rule innet-delay-increase -> ospf-reconvergence {
+  priority 125
+  symptom start-start 120 5
+  diagnostic start-end 5 60
+  join logical-link
+}
+rule innet-loss-increase -> ospf-reconvergence {
+  priority 125
+  symptom start-start 120 5
+  diagnostic start-end 5 60
+  join logical-link
+}
+rule innet-tput-drop -> ospf-reconvergence {
+  priority 125
+  symptom start-start 120 5
+  diagnostic start-end 5 60
+  join logical-link
+}
+# Link loss alarms.
+rule link-loss -> link-congestion {
+  priority 150
+  symptom start-end 300 300
+  diagnostic start-end 300 300
+  join interface
+}
+rule link-loss -> line-protocol-flap {
+  priority 160
+  symptom start-start 330 30
+  diagnostic start-end 5 5
+  join interface
+}
+# OSPF re-convergence is explained by flaps or operator commands.
+rule ospf-reconvergence -> line-protocol-flap {
+  priority 160
+  symptom start-start 30 5
+  diagnostic start-end 5 5
+  join interface
+}
+rule ospf-reconvergence -> interface-flap {
+  priority 170
+  symptom start-start 30 5
+  diagnostic start-end 5 15
+  join interface
+}
+rule ospf-reconvergence -> cmd-cost-in {
+  priority 150
+  symptom start-start 60 5
+  diagnostic start-end 5 30
+  join interface
+}
+rule ospf-reconvergence -> cmd-cost-out {
+  priority 150
+  symptom start-start 60 5
+  diagnostic start-end 5 30
+  join interface
+}
+# Inferred cost-out/cost-in events.
+rule link-cost-outdown -> line-protocol-down {
+  priority 160
+  symptom start-start 30 5
+  diagnostic start-end 5 5
+  join interface
+}
+rule link-cost-outdown -> interface-down {
+  priority 170
+  symptom start-start 30 5
+  diagnostic start-end 5 5
+  join interface
+}
+rule link-cost-outdown -> cmd-cost-out {
+  priority 180
+  symptom start-start 60 5
+  diagnostic start-end 5 30
+  join interface
+}
+rule link-cost-inup -> line-protocol-up {
+  priority 160
+  symptom start-start 30 5
+  diagnostic start-end 5 5
+  join interface
+}
+rule link-cost-inup -> interface-up {
+  priority 170
+  symptom start-start 30 5
+  diagnostic start-end 5 5
+  join interface
+}
+rule link-cost-inup -> cmd-cost-in {
+  priority 180
+  symptom start-start 60 5
+  diagnostic start-end 5 30
+  join interface
+}
+# Congestion can itself be the consequence of a re-convergence shifting
+# traffic onto the link.
+rule link-congestion -> ospf-reconvergence {
+  priority 120
+  symptom start-end 300 60
+  diagnostic start-end 5 300
+  join logical-link
+}
+)DSL";
+
+}  // namespace
+
+std::string_view knowledge_library_dsl() noexcept { return kLibrary; }
+
+void load_knowledge_library(DiagnosisGraph& graph) {
+  load_dsl(kLibrary, graph);
+}
+
+}  // namespace grca::core

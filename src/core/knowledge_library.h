@@ -1,0 +1,22 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The G-RCA Knowledge Library (paper Fig. 1, Tables I and II): a library of
+// common event definitions and diagnosis rules for the modeled tier-1 ISP,
+// authored in the rule DSL so applications can load it and then layer their
+// application-specific events/rules on top.
+#pragma once
+
+#include <string_view>
+
+#include "core/diagnosis_graph.h"
+
+namespace grca::core {
+
+/// The DSL source of the library (also dumped by the Table I/II benches).
+std::string_view knowledge_library_dsl() noexcept;
+
+/// Loads the library into a graph (no root is set; applications set it).
+void load_knowledge_library(DiagnosisGraph& graph);
+
+}  // namespace grca::core

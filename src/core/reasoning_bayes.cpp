@@ -1,0 +1,123 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "core/reasoning_bayes.h"
+
+#include <algorithm>
+
+namespace grca::core {
+
+double fuzzy_value(FuzzyLevel level) noexcept {
+  switch (level) {
+    case FuzzyLevel::kLow: return 2.0;
+    case FuzzyLevel::kMedium: return 100.0;
+    case FuzzyLevel::kHigh: return 20000.0;
+  }
+  return 1.0;
+}
+
+FeatureSet features_of(const Diagnosis& diagnosis) {
+  FeatureSet features;
+  for (const EvidenceNode& node : diagnosis.evidence) {
+    if (node.depth == 0) continue;  // the symptom itself is not evidence
+    features["has:" + node.event] = true;
+  }
+  return features;
+}
+
+std::vector<SymptomGroup> group_symptoms(
+    std::span<const Diagnosis> diagnoses, util::TimeSec window,
+    const std::function<std::string(const Diagnosis&)>& key) {
+  // Sort indices by symptom start so grouping is a linear sweep per key.
+  std::vector<std::size_t> order(diagnoses.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return diagnoses[a].symptom.when.start < diagnoses[b].symptom.when.start;
+  });
+  std::map<std::string, std::pair<util::TimeSec, std::size_t>> open;  // key -> (last time, group idx)
+  std::vector<SymptomGroup> groups;
+  for (std::size_t i : order) {
+    const Diagnosis& d = diagnoses[i];
+    std::string k = key(d);
+    if (k.empty()) {
+      groups.emplace_back();
+      groups.back().members.push_back(&d);
+      continue;
+    }
+    auto it = open.find(k);
+    util::TimeSec t = d.symptom.when.start;
+    if (it != open.end() && t - it->second.first <= window) {
+      groups[it->second.second].members.push_back(&d);
+      it->second.first = t;
+    } else {
+      groups.emplace_back();
+      groups.back().members.push_back(&d);
+      open[k] = {t, groups.size() - 1};
+    }
+  }
+  // Union member features.
+  for (SymptomGroup& g : groups) {
+    for (const Diagnosis* d : g.members) {
+      for (const auto& [name, present] : features_of(*d)) {
+        if (present) g.features[name] = true;
+      }
+    }
+  }
+  return groups;
+}
+
+void BayesEngine::add_cause(std::string name, FuzzyLevel prior) {
+  for (const Cause& c : causes_) {
+    if (c.name == name) throw ConfigError("duplicate Bayes cause " + name);
+  }
+  causes_.push_back(Cause{std::move(name), fuzzy_value(prior), {}});
+}
+
+void BayesEngine::add_link(const std::string& cause, std::string feature,
+                           FuzzyLevel present, double absent_penalty) {
+  for (Cause& c : causes_) {
+    if (c.name == cause) {
+      c.links.push_back(
+          Link{std::move(feature), fuzzy_value(present), absent_penalty});
+      return;
+    }
+  }
+  throw ConfigError("Bayes link references unknown cause " + cause);
+}
+
+void BayesEngine::add_contra_link(const std::string& cause,
+                                  std::string feature, FuzzyLevel strength) {
+  for (Cause& c : causes_) {
+    if (c.name == cause) {
+      c.links.push_back(
+          Link{std::move(feature), 1.0 / fuzzy_value(strength), 1.0});
+      return;
+    }
+  }
+  throw ConfigError("Bayes contra-link references unknown cause " + cause);
+}
+
+BayesEngine::Verdict BayesEngine::classify(const FeatureSet& features) const {
+  if (causes_.empty()) throw ConfigError("BayesEngine: no causes configured");
+  Verdict verdict;
+  for (const Cause& c : causes_) {
+    double score = c.prior_ratio;
+    for (const Link& link : c.links) {
+      auto it = features.find(link.feature);
+      bool present = it != features.end() && it->second;
+      if (present) {
+        score *= link.present_ratio;
+      } else if (link.absent_penalty != 1.0) {
+        score /= link.absent_penalty;
+      }
+    }
+    verdict.ranked.emplace_back(c.name, score);
+  }
+  std::sort(verdict.ranked.begin(), verdict.ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  verdict.cause = verdict.ranked.front().first;
+  verdict.score = verdict.ranked.front().second;
+  return verdict;
+}
+
+}  // namespace grca::core

@@ -1,0 +1,100 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The Bayesian inference engine (paper §II-D.2, Fig. 8).
+//
+// Root causes are classes of a Naive Bayes classifier; the presence/absence
+// of evidence features are its inputs. Parameters are likelihood *ratios*
+// p(e|r)/p(e|~r) and prior ratios p(r)/p(~r); because only the argmax
+// matters, the paper scales them to fuzzy integer levels Low/Medium/High =
+// 2/100/20000, which we adopt. Virtual (unobservable) root causes — e.g.
+// "Line-card Issue", for which no direct log signature existed — are simply
+// causes with no direct evidence of their own, supported through features
+// computed over *groups* of symptoms; examining multiple symptom events
+// together is what lets the engine infer a common hidden cause.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace grca::core {
+
+/// The fuzzy likelihood-ratio levels from the paper.
+enum class FuzzyLevel { kLow, kMedium, kHigh };
+double fuzzy_value(FuzzyLevel level) noexcept;  // 2 / 100 / 20000
+
+/// A set of named boolean evidence features describing one symptom (or one
+/// group of symptoms examined jointly).
+using FeatureSet = std::map<std::string, bool>;
+
+/// Derives the default feature set of a single diagnosis: one feature
+/// "has:<event>" per evidenced diagnostic node.
+FeatureSet features_of(const Diagnosis& diagnosis);
+
+/// A group of symptom diagnoses examined jointly.
+struct SymptomGroup {
+  std::vector<const Diagnosis*> members;
+  /// Union of member features plus any group-level derived features.
+  FeatureSet features;
+};
+
+/// Groups diagnoses whose symptoms fall within `window` seconds of one
+/// another AND share the same grouping key (e.g. the line card their
+/// evidenced interfaces sit on). Diagnoses with an empty key are left in
+/// singleton groups.
+std::vector<SymptomGroup> group_symptoms(
+    std::span<const Diagnosis> diagnoses, util::TimeSec window,
+    const std::function<std::string(const Diagnosis&)>& key);
+
+class BayesEngine {
+ public:
+  /// Declares a root-cause class with a prior ratio.
+  void add_cause(std::string name, FuzzyLevel prior);
+
+  /// Links a feature to a cause: `present` scales the cause's score when the
+  /// feature is observed; `absent_penalty` (default: no effect) divides it
+  /// when the feature is expected under the cause but missing.
+  void add_link(const std::string& cause, std::string feature,
+                FuzzyLevel present, double absent_penalty = 1.0);
+
+  /// Contra-evidence link: observing the feature *divides* the cause's score
+  /// (a likelihood ratio p(e|r)/p(e|~r) < 1 — the unscaled ratios in the
+  /// paper's eq. (2) are naturally fractional).
+  void add_contra_link(const std::string& cause, std::string feature,
+                       FuzzyLevel strength);
+
+  struct Verdict {
+    std::string cause;  // argmax class
+    double score = 0.0;
+    /// All classes with their scores, best first.
+    std::vector<std::pair<std::string, double>> ranked;
+  };
+
+  /// Classifies a feature set. Throws ConfigError when no causes are
+  /// configured.
+  Verdict classify(const FeatureSet& features) const;
+
+  /// Convenience: classify one diagnosis via its default features.
+  Verdict classify_diagnosis(const Diagnosis& diagnosis) const {
+    return classify(features_of(diagnosis));
+  }
+
+ private:
+  struct Link {
+    std::string feature;
+    double present_ratio;
+    double absent_penalty;
+  };
+  struct Cause {
+    std::string name;
+    double prior_ratio;
+    std::vector<Link> links;
+  };
+  std::vector<Cause> causes_;
+};
+
+}  // namespace grca::core

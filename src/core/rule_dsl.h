@@ -1,0 +1,47 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The rule specification language (paper §I: "a simple yet flexible rule
+// specification language that allows operators to quickly customize G-RCA
+// into different RCA tools").
+//
+// A configuration is plain text made of three block kinds:
+//
+//   event <name> {
+//     location <location-type>     # one of core::LocationType names
+//     source <data-source>         # informational (Table I column)
+//     retrieval <process-id>       # collector retrieval process
+//     desc "<free text>"
+//   }
+//
+//   rule <symptom-event> -> <diagnostic-event> {
+//     priority <int>
+//     symptom <start-end|start-start|end-end> <X> <Y>
+//     diagnostic <start-end|start-start|end-end> <X> <Y>
+//     join <location-type>         # the spatial joining level
+//   }
+//
+//   graph { root <symptom-event> }
+//
+// '#' starts a comment. Blocks compose: loading several texts into the same
+// DiagnosisGraph merges them, which is exactly how applications extend the
+// Knowledge Library (re-defining an event replaces the library version, as
+// §II-A allows).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/diagnosis_graph.h"
+
+namespace grca::core {
+
+/// Parses `text` and merges its definitions into `graph`. Throws
+/// grca::ParseError on syntax errors and grca::ConfigError on semantic ones
+/// (e.g. a rule whose events are not defined).
+void load_dsl(std::string_view text, DiagnosisGraph& graph);
+
+/// Serializes a graph back to DSL text (stable round trip modulo comments).
+std::string render_dsl(const DiagnosisGraph& graph);
+
+}  // namespace grca::core

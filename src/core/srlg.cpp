@@ -1,0 +1,117 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "core/srlg.h"
+
+#include <algorithm>
+#include <set>
+
+namespace grca::core {
+
+namespace t = topology;
+
+namespace {
+
+Location interface_location(const t::Network& net, t::InterfaceId id) {
+  const t::Interface& ifc = net.interface(id);
+  return Location::interface(net.router(ifc.router).name, ifc.name);
+}
+
+}  // namespace
+
+SrlgModel::SrlgModel(const t::Network& net) {
+  // Per-circuit groups.
+  std::unordered_map<std::uint32_t, std::vector<Location>> by_device;
+  for (const t::PhysicalLink& pl : net.physical_links()) {
+    RiskGroup group;
+    group.name = "circuit:" + pl.circuit_id;
+    if (pl.logical.valid()) {
+      const t::LogicalLink& link = net.link(pl.logical);
+      group.elements.push_back(interface_location(net, link.side_a));
+      group.elements.push_back(interface_location(net, link.side_b));
+    } else if (pl.access_port.valid()) {
+      group.elements.push_back(interface_location(net, pl.access_port));
+    }
+    for (t::Layer1DeviceId dev : pl.path) {
+      auto& elems = by_device[dev.value()];
+      elems.insert(elems.end(), group.elements.begin(), group.elements.end());
+    }
+    groups_.push_back(std::move(group));
+  }
+  // Per-layer-1-device groups (union of the circuits through the device).
+  for (auto& [dev, elements] : by_device) {
+    RiskGroup group;
+    group.name = "layer1:" + net.layer1_device(t::Layer1DeviceId(dev)).name;
+    std::sort(elements.begin(), elements.end());
+    elements.erase(std::unique(elements.begin(), elements.end()),
+                   elements.end());
+    group.elements = std::move(elements);
+    groups_.push_back(std::move(group));
+  }
+}
+
+void SrlgModel::add_group(RiskGroup group) {
+  groups_.push_back(std::move(group));
+}
+
+SrlgModel::Result SrlgModel::localize(
+    const std::vector<Location>& faults) const {
+  Result result;
+  std::set<std::string> remaining;
+  for (const Location& f : faults) remaining.insert(f.key());
+
+  while (!remaining.empty()) {
+    // Greedy step: best (hit ratio, explained count) over remaining faults.
+    const RiskGroup* best = nullptr;
+    std::size_t best_explained = 0;
+    double best_ratio = 0.0;
+    for (const RiskGroup& group : groups_) {
+      if (group.elements.empty()) continue;
+      std::size_t explained = 0;
+      for (const Location& e : group.elements) {
+        explained += remaining.count(e.key());
+      }
+      if (explained < 2) continue;  // singletons: no shared-risk signal
+      double ratio =
+          static_cast<double>(explained) / group.elements.size();
+      if (ratio > best_ratio ||
+          (ratio == best_ratio && explained > best_explained)) {
+        best = &group;
+        best_ratio = ratio;
+        best_explained = explained;
+      }
+    }
+    if (best == nullptr) break;
+    RiskHypothesis hypothesis;
+    hypothesis.group = best->name;
+    hypothesis.hit_ratio = best_ratio;
+    for (const Location& e : best->elements) {
+      if (remaining.erase(e.key())) hypothesis.explained.push_back(e);
+    }
+    result.hypotheses.push_back(std::move(hypothesis));
+  }
+  // Whatever is left has no shared-risk explanation.
+  for (const Location& f : faults) {
+    if (remaining.count(f.key())) {
+      result.unexplained.push_back(f);
+      remaining.erase(f.key());
+    }
+  }
+  return result;
+}
+
+std::vector<RiskGroup> line_card_risk_groups(const t::Network& net) {
+  std::vector<RiskGroup> out;
+  for (const t::LineCard& card : net.line_cards()) {
+    RiskGroup group;
+    group.name = "linecard:" + net.router(card.router).name + ":slot" +
+                 std::to_string(card.slot);
+    for (t::InterfaceId i : card.interfaces) {
+      group.elements.push_back(interface_location(net, i));
+    }
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+}  // namespace grca::core

@@ -1,0 +1,39 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "core/temporal.h"
+
+#include "util/error.h"
+
+namespace grca::core {
+
+std::string_view to_string(ExpandOption option) noexcept {
+  switch (option) {
+    case ExpandOption::kStartEnd: return "start-end";
+    case ExpandOption::kStartStart: return "start-start";
+    case ExpandOption::kEndEnd: return "end-end";
+  }
+  return "?";
+}
+
+ExpandOption parse_expand_option(std::string_view text) {
+  if (text == "start-end") return ExpandOption::kStartEnd;
+  if (text == "start-start") return ExpandOption::kStartStart;
+  if (text == "end-end") return ExpandOption::kEndEnd;
+  throw ParseError("unknown expand option '" + std::string(text) + "'");
+}
+
+util::TimeInterval TemporalSide::expand(
+    const util::TimeInterval& when) const noexcept {
+  switch (option) {
+    case ExpandOption::kStartEnd:
+      return {when.start - left, when.end + right};
+    case ExpandOption::kStartStart:
+      return {when.start - left, when.start + right};
+    case ExpandOption::kEndEnd:
+      return {when.end - left, when.end + right};
+  }
+  return when;
+}
+
+}  // namespace grca::core

@@ -1,0 +1,61 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Temporal joining rules (paper §II-C, Fig. 3).
+//
+// Each rule carries six parameters: for each of the symptom and diagnostic
+// events, a left expansion margin X, a right margin Y, and an expanding
+// option saying which endpoints the margins stretch from:
+//   Start/End   -> [start - X, end + Y]
+//   Start/Start -> [start - X, start + Y]
+//   End/End     -> [end - X, end + Y]
+// Two instances join temporally when their expanded windows overlap. The
+// margins model protocol timers (e.g. the 180 s eBGP hold timer) and
+// measurement timestamp uncertainty (a few seconds for syslog, a whole bin
+// for 5-minute SNMP counters).
+#pragma once
+
+#include <string>
+
+#include "util/time.h"
+
+namespace grca::core {
+
+enum class ExpandOption { kStartEnd, kStartStart, kEndEnd };
+
+std::string_view to_string(ExpandOption option) noexcept;
+ExpandOption parse_expand_option(std::string_view text);
+
+/// One side (symptom or diagnostic) of a temporal rule.
+struct TemporalSide {
+  ExpandOption option = ExpandOption::kStartEnd;
+  util::TimeSec left = 0;   // X: expansion before the anchor (seconds)
+  util::TimeSec right = 0;  // Y: expansion after the anchor (seconds)
+
+  /// The expanded window of an event interval under this side's parameters.
+  util::TimeInterval expand(const util::TimeInterval& when) const noexcept;
+
+  friend bool operator==(const TemporalSide&, const TemporalSide&) = default;
+};
+
+/// The full six-parameter rule.
+struct TemporalRule {
+  TemporalSide symptom;
+  TemporalSide diagnostic;
+
+  bool joined(const util::TimeInterval& symptom_when,
+              const util::TimeInterval& diagnostic_when) const noexcept {
+    return symptom.expand(symptom_when)
+        .overlaps(diagnostic.expand(diagnostic_when));
+  }
+
+  /// A loose default: both sides Start/End with ±5 s slack (syslog jitter).
+  static TemporalRule default_rule() noexcept {
+    return TemporalRule{{ExpandOption::kStartEnd, 5, 5},
+                        {ExpandOption::kStartEnd, 5, 5}};
+  }
+
+  friend bool operator==(const TemporalRule&, const TemporalRule&) = default;
+};
+
+}  // namespace grca::core

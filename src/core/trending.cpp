@@ -1,0 +1,62 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "core/trending.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace grca::core {
+
+TrendSeries daily_counts(std::span<const Diagnosis> diagnoses,
+                         const std::string& cause) {
+  TrendSeries series;
+  series.cause = cause;
+  if (diagnoses.empty()) return series;
+  util::TimeSec lo = std::numeric_limits<util::TimeSec>::max();
+  util::TimeSec hi = std::numeric_limits<util::TimeSec>::min();
+  for (const Diagnosis& d : diagnoses) {
+    lo = std::min(lo, d.symptom.when.start);
+    hi = std::max(hi, d.symptom.when.start);
+  }
+  series.day0 = lo / util::kDay * util::kDay;
+  std::size_t days =
+      static_cast<std::size_t>((hi - series.day0) / util::kDay) + 1;
+  series.daily.assign(days, 0);
+  for (const Diagnosis& d : diagnoses) {
+    if (!cause.empty() && d.primary() != cause) continue;
+    ++series.daily[static_cast<std::size_t>(
+        (d.symptom.when.start - series.day0) / util::kDay)];
+  }
+  return series;
+}
+
+std::optional<TrendAlert> detect_level_shift(const TrendSeries& series,
+                                             int window, double threshold) {
+  const auto& v = series.daily;
+  if (window < 2 || v.size() < static_cast<std::size_t>(2 * window)) {
+    return std::nullopt;
+  }
+  std::optional<TrendAlert> best;
+  for (std::size_t split = static_cast<std::size_t>(window);
+       split + static_cast<std::size_t>(window) <= v.size(); ++split) {
+    double before = 0, after = 0;
+    for (int i = 0; i < window; ++i) {
+      before += static_cast<double>(v[split - 1 - i]);
+      after += static_cast<double>(v[split + i]);
+    }
+    before /= window;
+    after /= window;
+    // Poisson-ish pooled standard error of the difference of means.
+    double se = std::sqrt((before + after) / window + 1e-9);
+    double score = std::abs(after - before) / se;
+    if (score >= threshold && (!best || score > best->score)) {
+      best = TrendAlert{split, before, after, score,
+                        series.day0 +
+                            static_cast<util::TimeSec>(split) * util::kDay};
+    }
+  }
+  return best;
+}
+
+}  // namespace grca::core

@@ -1,0 +1,48 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Trending with behavioral-change detection. The paper's BGP application
+// "is used to trend flaps and identify anomalous behavior that requires
+// investigation (e.g. behavioral changes after new software upgrades)"
+// (§III-A.2). This module turns diagnoses into daily root-cause series and
+// flags sustained level shifts in them.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace grca::core {
+
+/// Daily counts of diagnoses with the given primary cause ("" = all).
+struct TrendSeries {
+  util::TimeSec day0 = 0;                // UTC midnight of the first bucket
+  std::vector<std::size_t> daily;        // one bucket per day, contiguous
+  std::string cause;
+};
+
+TrendSeries daily_counts(std::span<const Diagnosis> diagnoses,
+                         const std::string& cause = "");
+
+/// A detected sustained change in the daily rate.
+struct TrendAlert {
+  std::size_t day_index = 0;   // first day of the new regime
+  double before_mean = 0.0;
+  double after_mean = 0.0;
+  double score = 0.0;          // shift in pooled-standard-error units
+  util::TimeSec day_utc = 0;   // UTC midnight of day_index
+};
+
+/// Two-window mean-shift detector: slides a split point across the series,
+/// comparing the `window`-day means before and after under a Poisson-like
+/// normalization. Returns the best split when its score exceeds `threshold`
+/// (roughly a z-score; 3.0 = strong shift). Series shorter than 2*window
+/// yield nullopt.
+std::optional<TrendAlert> detect_level_shift(const TrendSeries& series,
+                                             int window = 7,
+                                             double threshold = 3.0);
+
+}  // namespace grca::core

@@ -1,0 +1,132 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "routing/bgp.h"
+
+#include <algorithm>
+
+namespace grca::routing {
+
+using topology::RouterId;
+using util::Ipv4Addr;
+using util::Ipv4Prefix;
+using util::TimeSec;
+
+void BgpSim::announce(const BgpRoute& route, TimeSec time) {
+  Candidates* c = rib_.find_exact(route.prefix);
+  if (c == nullptr) {
+    rib_.insert(route.prefix, Candidates{});
+    c = rib_.find_exact(route.prefix);
+  }
+  auto it = std::find(c->egresses.begin(), c->egresses.end(), route.egress);
+  std::size_t idx;
+  if (it == c->egresses.end()) {
+    idx = c->egresses.size();
+    c->egresses.push_back(route.egress);
+    c->per_egress.emplace_back();
+  } else {
+    idx = static_cast<std::size_t>(it - c->egresses.begin());
+  }
+  auto& eps = c->per_egress[idx];
+  if (!eps.empty() && eps.back().end == kTimeMax) {
+    // Attribute refresh of an active episode: close and reopen so the
+    // historical view before `time` keeps the old attributes.
+    eps.back().end = time;
+  }
+  eps.push_back(Episode{time, kTimeMax, route});
+  log_.push_back(BgpUpdate{time, true, route});
+}
+
+void BgpSim::withdraw(Ipv4Prefix prefix, RouterId egress, TimeSec time) {
+  Candidates* c = rib_.find_exact(prefix);
+  if (c == nullptr) return;
+  auto it = std::find(c->egresses.begin(), c->egresses.end(), egress);
+  if (it == c->egresses.end()) return;
+  auto& eps = c->per_egress[static_cast<std::size_t>(it - c->egresses.begin())];
+  if (eps.empty() || eps.back().end != kTimeMax) return;
+  eps.back().end = time;
+  BgpUpdate u;
+  u.time = time;
+  u.announce = false;
+  u.route = eps.back().route;
+  log_.push_back(u);
+}
+
+std::optional<BgpRoute> BgpSim::best_route(RouterId ingress, Ipv4Addr dst,
+                                           TimeSec time) const {
+  // Longest-prefix walk: the trie lookup returns the most specific prefix
+  // node, but that prefix may have no *active* candidate at `time`; real BGP
+  // would then fall back to the next-shorter covering prefix. We emulate the
+  // fallback by retrying lookups with shrinking prefix length.
+  // (Covering prefixes are rare in our workloads, so the loop is cheap.)
+  for (int len = 32; len >= 0;) {
+    auto match = rib_.lookup(Ipv4Addr(dst.value() & util::mask_bits(len)));
+    if (!match) return std::nullopt;
+    // Restrict the match to at most `len` bits. The masked lookup may land
+    // on a *different* equally-long prefix (it covers the zeroed host bits);
+    // always shrink `len` strictly so the walk terminates.
+    if (match->prefix.length() > len) {
+      len = std::min(len, match->prefix.length()) - 1;
+      continue;
+    }
+    const Candidates& c = *match->value;
+    const BgpRoute* best = nullptr;
+    int best_igp = 0;
+    for (std::size_t i = 0; i < c.egresses.size(); ++i) {
+      // Find the episode covering `time` (half-open [start, end)).
+      const Episode* active = nullptr;
+      for (const Episode& e : c.per_egress[i]) {
+        if (e.start <= time && time < e.end) {
+          active = &e;
+          break;
+        }
+      }
+      if (active == nullptr) continue;
+      auto igp = ospf_.distance(ingress, active->route.egress, time);
+      if (!igp && ingress != active->route.egress) continue;  // unreachable
+      int igp_dist = igp.value_or(0);
+      if (best == nullptr) {
+        best = &active->route;
+        best_igp = igp_dist;
+        continue;
+      }
+      const BgpRoute& r = active->route;
+      // Standard decision process, most-preferred first.
+      auto key = [](const BgpRoute& x, int igp_d) {
+        return std::make_tuple(-x.local_pref, x.as_path_len, x.med, igp_d,
+                               x.egress.value());
+      };
+      if (key(r, igp_dist) < key(*best, best_igp)) {
+        best = &r;
+        best_igp = igp_dist;
+      }
+    }
+    if (best != nullptr) return *best;
+    // No active candidate under this prefix: fall back to a shorter one.
+    len = match->prefix.length() - 1;
+    if (len < 0) break;
+  }
+  return std::nullopt;
+}
+
+std::optional<RouterId> BgpSim::best_egress(RouterId ingress, Ipv4Addr dst,
+                                            TimeSec time) const {
+  auto r = best_route(ingress, dst, time);
+  if (!r) return std::nullopt;
+  return r->egress;
+}
+
+void seed_customer_routes(BgpSim& bgp, const topology::Network& net,
+                          TimeSec time) {
+  for (const topology::CustomerSite& c : net.customers()) {
+    BgpRoute route;
+    route.prefix = c.announced;
+    route.egress = net.interface(c.attachment).router;
+    route.next_hop = c.neighbor_ip;
+    route.local_pref = 100;
+    route.as_path_len = 1;
+    bgp.announce(route, time);
+  }
+}
+
+}  // namespace grca::routing

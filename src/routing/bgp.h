@@ -1,0 +1,98 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// BGP substrate: historical RIB with best-path selection.
+//
+// G-RCA maps "Ingress router:Destination" to "Ingress:Egress router" by
+// looking up historical BGP data for the longest prefix match and emulating
+// the BGP decision process at the ingress router, using route changes from
+// its reflectors plus the OSPF distance to candidate egress routers
+// (§II-B utility 1). This module is that emulation: a time-versioned RIB
+// over a prefix trie, with the standard decision order
+//   local-pref > AS-path length > MED > IGP distance > router id.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "routing/ospf.h"
+#include "routing/prefix_trie.h"
+
+namespace grca::routing {
+
+/// One candidate path to an external prefix, exiting the ISP at `egress`.
+struct BgpRoute {
+  util::Ipv4Prefix prefix;
+  topology::RouterId egress;   // exit router inside the ISP
+  util::Ipv4Addr next_hop;     // external neighbor the egress hands off to
+  int local_pref = 100;
+  int as_path_len = 1;
+  int med = 0;
+
+  friend bool operator==(const BgpRoute&, const BgpRoute&) = default;
+};
+
+/// An entry in the BGP monitor feed.
+struct BgpUpdate {
+  util::TimeSec time = 0;
+  bool announce = true;  // false = withdraw
+  BgpRoute route;
+};
+
+class BgpSim {
+ public:
+  explicit BgpSim(const OspfSim& ospf) : ospf_(ospf) {}
+
+  /// Announces a route at `time`. Re-announcing an (prefix, egress) pair that
+  /// is already active replaces its attributes.
+  void announce(const BgpRoute& route, util::TimeSec time);
+
+  /// Withdraws the (prefix, egress) candidate at `time`. No-op if inactive.
+  void withdraw(util::Ipv4Prefix prefix, topology::RouterId egress,
+                util::TimeSec time);
+
+  /// The best route for destination `dst` as seen from `ingress` at `time`,
+  /// or nullopt if no prefix covers dst / no candidate is usable. A candidate
+  /// is usable when its egress is IGP-reachable from the ingress at `time`.
+  std::optional<BgpRoute> best_route(topology::RouterId ingress,
+                                     util::Ipv4Addr dst,
+                                     util::TimeSec time) const;
+
+  /// Convenience: just the egress router of best_route().
+  std::optional<topology::RouterId> best_egress(topology::RouterId ingress,
+                                                util::Ipv4Addr dst,
+                                                util::TimeSec time) const;
+
+  /// Every announce/withdraw ever applied, in call order (the monitor feed).
+  const std::vector<BgpUpdate>& update_log() const noexcept { return log_; }
+
+  const OspfSim& ospf() const noexcept { return ospf_; }
+
+ private:
+  /// Activity history of one (prefix, egress) candidate: attribute snapshots
+  /// over half-open intervals [start, end).
+  struct Episode {
+    util::TimeSec start;
+    util::TimeSec end;  // TimeMax while active
+    BgpRoute route;
+  };
+  struct Candidates {
+    std::vector<std::vector<Episode>> per_egress;  // parallel to egresses
+    std::vector<topology::RouterId> egresses;
+  };
+
+  static constexpr util::TimeSec kTimeMax =
+      std::numeric_limits<util::TimeSec>::max();
+
+  PrefixTrie<Candidates> rib_;
+  const OspfSim& ospf_;
+  std::vector<BgpUpdate> log_;
+};
+
+/// Seeds the RIB with every customer site's announced prefix at its
+/// attachment PER (all active from `time`). The normal starting state of the
+/// modeled ISP's BGP tables.
+void seed_customer_routes(BgpSim& bgp, const topology::Network& net,
+                          util::TimeSec time);
+
+}  // namespace grca::routing

@@ -1,0 +1,200 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "routing/ospf.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace grca::routing {
+
+using topology::LogicalLinkId;
+using topology::RouterId;
+
+OspfSim::OspfSim(const topology::Network& net) : net_(net) {
+  history_.resize(net.links().size());
+  for (const topology::LogicalLink& l : net.links()) {
+    history_[l.id.value()].emplace_back(
+        std::numeric_limits<util::TimeSec>::min(), l.ospf_weight);
+  }
+}
+
+void OspfSim::set_weight(LogicalLinkId link, util::TimeSec time,
+                         int new_weight) {
+  auto& hist = history_.at(link.value());
+  if (time < hist.back().first) {
+    throw ConfigError("OspfSim: weight changes must be time-ordered");
+  }
+  if (new_weight != kDown && new_weight != kCostedOut && new_weight <= 0) {
+    throw ConfigError("OspfSim: invalid weight " + std::to_string(new_weight));
+  }
+  int old = hist.back().second;
+  hist.emplace_back(time, new_weight);
+  log_.push_back(WeightChange{time, link, old, new_weight});
+  epochs_dirty_ = true;
+  spf_cache_.clear();
+}
+
+std::size_t OspfSim::epoch_of(util::TimeSec time) const {
+  if (epochs_dirty_) {
+    epoch_times_.clear();
+    epoch_times_.reserve(log_.size());
+    for (const WeightChange& c : log_) epoch_times_.push_back(c.time);
+    std::sort(epoch_times_.begin(), epoch_times_.end());
+    epoch_times_.erase(std::unique(epoch_times_.begin(), epoch_times_.end()),
+                       epoch_times_.end());
+    epochs_dirty_ = false;
+  }
+  return static_cast<std::size_t>(
+      std::upper_bound(epoch_times_.begin(), epoch_times_.end(), time) -
+      epoch_times_.begin());
+}
+
+std::shared_ptr<const OspfSim::SpfResult> OspfSim::run_spf(
+    RouterId src, util::TimeSec time) const {
+  if (!cache_enabled_) {
+    return std::make_shared<SpfResult>(compute_spf(src, time));
+  }
+  std::uint64_t key =
+      (static_cast<std::uint64_t>(src.value()) << 32) | epoch_of(time);
+  auto it = spf_cache_.find(key);
+  if (it != spf_cache_.end()) return it->second;
+  if (spf_cache_.size() >= 8192) spf_cache_.clear();  // crude size bound
+  auto result = std::make_shared<SpfResult>(compute_spf(src, time));
+  spf_cache_.emplace(key, result);
+  return result;
+}
+
+int OspfSim::weight_at(LogicalLinkId link, util::TimeSec time) const {
+  const auto& hist = history_.at(link.value());
+  // Last entry with entry.time <= time. First entry is at -inf, so the
+  // bound is always found.
+  auto it = std::upper_bound(
+      hist.begin(), hist.end(), time,
+      [](util::TimeSec t, const auto& e) { return t < e.first; });
+  return std::prev(it)->second;
+}
+
+OspfSim::SpfResult OspfSim::compute_spf(RouterId src,
+                                        util::TimeSec time) const {
+  const std::size_t n = net_.routers().size();
+  SpfResult res;
+  res.dist.assign(n, kUnreachable);
+  res.pred_links.resize(n);
+  using Item = std::pair<int, std::uint32_t>;  // (distance, router)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  res.dist[src.value()] = 0;
+  heap.emplace(0, src.value());
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > res.dist[u]) continue;
+    for (LogicalLinkId l : net_.links_of_router(RouterId(u))) {
+      if (!usable_at(l, time)) continue;
+      int w = weight_at(l, time);
+      RouterId v = net_.link_peer(l, RouterId(u));
+      int nd = d + w;
+      if (nd < res.dist[v.value()]) {
+        res.dist[v.value()] = nd;
+        res.pred_links[v.value()] = {l};
+        heap.emplace(nd, v.value());
+      } else if (nd == res.dist[v.value()]) {
+        // Equal-cost predecessor: remember every ECMP incoming link.
+        auto& preds = res.pred_links[v.value()];
+        if (std::find(preds.begin(), preds.end(), l) == preds.end()) {
+          preds.push_back(l);
+        }
+      }
+    }
+  }
+  return res;
+}
+
+std::optional<int> OspfSim::distance(RouterId src, RouterId dst,
+                                     util::TimeSec time) const {
+  std::shared_ptr<const SpfResult> res_ptr = run_spf(src, time);
+  const SpfResult& res = *res_ptr;
+  int d = res.dist[dst.value()];
+  if (d == kUnreachable) return std::nullopt;
+  return d;
+}
+
+std::vector<RouterId> OspfSim::routers_on_paths(RouterId src, RouterId dst,
+                                                util::TimeSec time) const {
+  std::shared_ptr<const SpfResult> res_ptr = run_spf(src, time);
+  const SpfResult& res = *res_ptr;
+  if (res.dist[dst.value()] == kUnreachable) return {};
+  // Walk the ECMP predecessor DAG backwards from dst.
+  std::vector<bool> seen(net_.routers().size(), false);
+  std::vector<RouterId> out, stack = {dst};
+  seen[dst.value()] = true;
+  while (!stack.empty()) {
+    RouterId r = stack.back();
+    stack.pop_back();
+    out.push_back(r);
+    for (LogicalLinkId l : res.pred_links[r.value()]) {
+      RouterId p = net_.link_peer(l, r);
+      if (!seen[p.value()]) {
+        seen[p.value()] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<LogicalLinkId> OspfSim::links_on_paths(RouterId src, RouterId dst,
+                                                   util::TimeSec time) const {
+  std::shared_ptr<const SpfResult> res_ptr = run_spf(src, time);
+  const SpfResult& res = *res_ptr;
+  if (res.dist[dst.value()] == kUnreachable) return {};
+  std::vector<bool> seen(net_.routers().size(), false);
+  std::vector<LogicalLinkId> out;
+  std::vector<RouterId> stack = {dst};
+  seen[dst.value()] = true;
+  while (!stack.empty()) {
+    RouterId r = stack.back();
+    stack.pop_back();
+    for (LogicalLinkId l : res.pred_links[r.value()]) {
+      out.push_back(l);
+      RouterId p = net_.link_peer(l, r);
+      if (!seen[p.value()]) {
+        seen[p.value()] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::vector<RouterId>> OspfSim::paths(RouterId src, RouterId dst,
+                                                  util::TimeSec time,
+                                                  std::size_t max_paths) const {
+  std::shared_ptr<const SpfResult> res_ptr = run_spf(src, time);
+  const SpfResult& res = *res_ptr;
+  std::vector<std::vector<RouterId>> out;
+  if (res.dist[dst.value()] == kUnreachable) return out;
+  // DFS over the predecessor DAG, building paths dst -> src then reversing.
+  std::vector<RouterId> cur = {dst};
+  auto dfs = [&](auto&& self, RouterId r) -> void {
+    if (out.size() >= max_paths) return;
+    if (r == src) {
+      std::vector<RouterId> path(cur.rbegin(), cur.rend());
+      out.push_back(std::move(path));
+      return;
+    }
+    for (LogicalLinkId l : res.pred_links[r.value()]) {
+      RouterId p = net_.link_peer(l, r);
+      cur.push_back(p);
+      self(self, p);
+      cur.pop_back();
+    }
+  };
+  dfs(dfs, dst);
+  return out;
+}
+
+}  // namespace grca::routing

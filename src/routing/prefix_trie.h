@@ -1,0 +1,123 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// A binary trie over IPv4 prefixes with longest-prefix-match lookup — the
+// core data structure behind the BGP substrate's "look up historical data of
+// BGP tables to find the longest prefix match and the network egress point"
+// (§II-B utility 1).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "util/ipv4.h"
+
+namespace grca::routing {
+
+/// Maps IPv4 prefixes to values of type T. Inserting the same prefix twice
+/// overwrites. Lookup returns the value of the longest matching prefix.
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts or replaces the value at the given prefix.
+  void insert(util::Ipv4Prefix prefix, T value) {
+    Node* node = descend_or_create(prefix);
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  /// Removes the value at exactly this prefix. Returns whether it existed.
+  bool erase(util::Ipv4Prefix prefix) {
+    Node* node = descend(prefix);
+    if (node == nullptr || !node->value) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Pointer to the value stored at exactly this prefix, or nullptr.
+  T* find_exact(util::Ipv4Prefix prefix) {
+    Node* node = descend(prefix);
+    return node && node->value ? &*node->value : nullptr;
+  }
+  const T* find_exact(util::Ipv4Prefix prefix) const {
+    return const_cast<PrefixTrie*>(this)->find_exact(prefix);
+  }
+
+  /// Longest-prefix match: value of the most specific prefix covering addr,
+  /// together with that prefix. Returns nullopt if nothing covers addr.
+  struct Match {
+    util::Ipv4Prefix prefix;
+    const T* value;
+  };
+  std::optional<Match> lookup(util::Ipv4Addr addr) const {
+    const Node* node = root_.get();
+    std::optional<Match> best;
+    std::uint32_t bits = addr.value();
+    for (int depth = 0; node != nullptr; ++depth) {
+      if (node->value) {
+        best = Match{util::Ipv4Prefix(addr, depth), &*node->value};
+      }
+      if (depth == 32) break;
+      bool bit = (bits >> (31 - depth)) & 1u;
+      node = bit ? node->one.get() : node->zero.get();
+    }
+    return best;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Visits every (prefix, value) pair in depth-first order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk(root_.get(), 0u, 0, fn);
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> zero, one;
+  };
+
+  Node* descend(util::Ipv4Prefix prefix) {
+    Node* node = root_.get();
+    std::uint32_t bits = prefix.address().value();
+    for (int depth = 0; depth < prefix.length() && node; ++depth) {
+      bool bit = (bits >> (31 - depth)) & 1u;
+      node = bit ? node->one.get() : node->zero.get();
+    }
+    return node;
+  }
+
+  Node* descend_or_create(util::Ipv4Prefix prefix) {
+    Node* node = root_.get();
+    std::uint32_t bits = prefix.address().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      bool bit = (bits >> (31 - depth)) & 1u;
+      std::unique_ptr<Node>& next = bit ? node->one : node->zero;
+      if (!next) next = std::make_unique<Node>();
+      node = next.get();
+    }
+    return node;
+  }
+
+  template <typename Fn>
+  void walk(const Node* node, std::uint32_t bits, int depth, Fn& fn) const {
+    if (node == nullptr) return;
+    if (node->value) {
+      fn(util::Ipv4Prefix(util::Ipv4Addr(bits), depth), *node->value);
+    }
+    if (depth == 32) return;
+    walk(node->zero.get(), bits, depth + 1, fn);
+    walk(node->one.get(), bits | (1u << (31 - depth)), depth + 1, fn);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace grca::routing

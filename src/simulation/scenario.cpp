@@ -1,0 +1,722 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "simulation/scenario.h"
+
+#include <algorithm>
+
+namespace grca::sim {
+
+namespace t = topology;
+using telemetry::msg::bgp_adjchange;
+using telemetry::msg::bgp_notification;
+using telemetry::msg::cpu_threshold;
+using telemetry::msg::link_updown;
+using telemetry::msg::lineproto_updown;
+using telemetry::msg::pim_nbrchg;
+using telemetry::msg::sys_restart;
+using util::TimeSec;
+
+namespace {
+
+/// Aligns t to the *end* of its 5-minute SNMP polling interval.
+TimeSec snmp_bin_end(TimeSec t) { return (t / 300 + 1) * 300; }
+
+std::string restoration_body(RestorationKind kind, const std::string& ckt) {
+  switch (kind) {
+    case RestorationKind::kSonet:
+      return "APS: protection switch executed for circuit " + ckt;
+    case RestorationKind::kOpticalFast:
+      return "ODU restoration fast completed for circuit " + ckt;
+    case RestorationKind::kOpticalRegular:
+      return "ODU restoration regular completed for circuit " + ckt;
+  }
+  return "";
+}
+
+const char* restoration_cause(RestorationKind kind) {
+  switch (kind) {
+    case RestorationKind::kSonet: return cause::kSonetRestoration;
+    case RestorationKind::kOpticalFast: return cause::kOpticalFast;
+    case RestorationKind::kOpticalRegular: return cause::kOpticalRegular;
+  }
+  return cause::kUnknown;
+}
+
+}  // namespace
+
+ScenarioEngine::ScenarioEngine(const t::Network& net, routing::OspfSim& ospf,
+                               routing::BgpSim& bgp, std::uint64_t seed)
+    : net_(net), ospf_(ospf), bgp_(bgp), emitter_(net), rng_(seed) {}
+
+// ---- shared helpers ---------------------------------------------------------
+
+void ScenarioEngine::emit_ebgp_flap(t::CustomerSiteId site_id, TimeSec down,
+                                    TimeSec up, const std::string& adj_reason,
+                                    const char* truth_cause) {
+  const t::CustomerSite& site = net_.customer(site_id);
+  t::RouterId per = net_.interface(site.attachment).router;
+  std::string nbr = site.neighbor_ip.to_string();
+  emitter_.syslog(per, down + rng_.range(0, 2),
+                  bgp_adjchange(nbr, false, adj_reason));
+  emitter_.syslog(per, up + rng_.range(0, 2), bgp_adjchange(nbr, true, ""));
+  // The customer's routes are withdrawn and re-learned; the reflector feed
+  // (BGP monitor) sees both.
+  routing::BgpRoute route;
+  route.prefix = site.announced;
+  route.egress = per;
+  route.next_hop = site.neighbor_ip;
+  bgp_.withdraw(site.announced, per, down);
+  emitter_.bgpmon(route, down, false);
+  bgp_.announce(route, up);
+  emitter_.bgpmon(route, up, true);
+  truth_.push_back(TruthEntry{"ebgp-flap", net_.router(per).name, nbr, down,
+                              truth_cause});
+}
+
+void ScenarioEngine::emit_notification(t::CustomerSiteId site_id, TimeSec time,
+                                       bool sent, const std::string& code,
+                                       const std::string& reason) {
+  const t::CustomerSite& site = net_.customer(site_id);
+  t::RouterId per = net_.interface(site.attachment).router;
+  emitter_.syslog(per, time + rng_.range(0, 2),
+                  bgp_notification(site.neighbor_ip.to_string(), sent, code,
+                                   reason));
+}
+
+std::vector<t::CustomerSiteId> ScenarioEngine::sites_on_router(
+    t::RouterId router) const {
+  std::vector<t::CustomerSiteId> out;
+  for (t::InterfaceId i : net_.router(router).interfaces) {
+    const t::Interface& ifc = net_.interface(i);
+    if (ifc.customer.valid()) out.push_back(ifc.customer);
+  }
+  return out;
+}
+
+std::vector<t::RouterId> ScenarioEngine::vpn_pers(const std::string& vpn) const {
+  std::vector<t::RouterId> out;
+  for (t::CustomerSiteId s : net_.mvpn_sites(vpn)) {
+    t::RouterId per = net_.interface(net_.customer(s).attachment).router;
+    if (std::find(out.begin(), out.end(), per) == out.end()) out.push_back(per);
+  }
+  return out;
+}
+
+// ---- eBGP flap cascades -----------------------------------------------------
+
+void ScenarioEngine::customer_interface_flap(t::CustomerSiteId site_id,
+                                             TimeSec start,
+                                             const char* deeper_cause) {
+  const t::CustomerSite& site = net_.customer(site_id);
+  const t::Interface& port = net_.interface(site.attachment);
+  t::RouterId per = port.router;
+  TimeSec dur = rng_.range(2, 12);
+  emitter_.syslog(per, start + rng_.range(0, 2), link_updown(port.name, false));
+  emitter_.syslog(per, start + 1 + rng_.range(0, 2),
+                  lineproto_updown(port.name, false));
+  emitter_.syslog(per, start + dur + rng_.range(0, 2),
+                  link_updown(port.name, true));
+  emitter_.syslog(per, start + dur + 1 + rng_.range(0, 2),
+                  lineproto_updown(port.name, true));
+  // BGP fast external fallover: the session drops with the interface and
+  // re-establishes some tens of seconds after it returns.
+  emit_ebgp_flap(site_id, start + 2, start + dur + rng_.range(20, 45),
+                 "Interface flap",
+                 deeper_cause != nullptr ? deeper_cause : cause::kInterfaceFlap);
+}
+
+void ScenarioEngine::access_layer1_restoration(t::PhysicalLinkId circuit_id,
+                                               TimeSec start,
+                                               RestorationKind kind) {
+  const t::PhysicalLink& ckt = net_.physical_link(circuit_id);
+  if (!ckt.access_port.valid()) {
+    throw ConfigError("access_layer1_restoration needs an access circuit");
+  }
+  for (t::Layer1DeviceId dev : ckt.path) {
+    emitter_.layer1(dev, start, restoration_body(kind, ckt.circuit_id));
+  }
+  t::CustomerSiteId site = net_.interface(ckt.access_port).customer;
+  customer_interface_flap(site, start + rng_.range(1, 4),
+                          restoration_cause(kind));
+}
+
+void ScenarioEngine::line_protocol_flap(t::CustomerSiteId site_id,
+                                        TimeSec start) {
+  const t::CustomerSite& site = net_.customer(site_id);
+  const t::Interface& port = net_.interface(site.attachment);
+  TimeSec dur = rng_.range(2, 12);
+  emitter_.syslog(port.router, start + rng_.range(0, 2),
+                  lineproto_updown(port.name, false));
+  emitter_.syslog(port.router, start + dur + rng_.range(0, 2),
+                  lineproto_updown(port.name, true));
+  emit_ebgp_flap(site_id, start + 1, start + dur + rng_.range(20, 45), "",
+                 cause::kLineProtocolFlap);
+}
+
+void ScenarioEngine::cpu_spike(t::RouterId router, TimeSec start,
+                               int sessions) {
+  emitter_.syslog(router, start,
+                  cpu_threshold(90 + static_cast<int>(rng_.range(0, 9))));
+  auto sites = sites_on_router(router);
+  for (int i = 0; i < sessions && !sites.empty(); ++i) {
+    t::CustomerSiteId site = sites[rng_.below(sites.size())];
+    // The hold timer expires up to ~30 s after the overload begins.
+    TimeSec down = start + rng_.range(1, 30);
+    emit_notification(site, down, /*sent=*/true, "4/0", "hold time expired");
+    emit_ebgp_flap(site, down, down + rng_.range(30, 90), "", cause::kCpuSpike);
+  }
+}
+
+void ScenarioEngine::cpu_high_avg(t::RouterId router, TimeSec start,
+                                  int sessions) {
+  TimeSec bin = snmp_bin_end(start);
+  emitter_.snmp_router(router, bin, "cpu5min", rng_.uniform(85.0, 99.0));
+  auto sites = sites_on_router(router);
+  for (int i = 0; i < sessions && !sites.empty(); ++i) {
+    t::CustomerSiteId site = sites[rng_.below(sites.size())];
+    TimeSec down = start + rng_.range(1, 120);
+    emit_notification(site, down, true, "4/0", "hold time expired");
+    emit_ebgp_flap(site, down, down + rng_.range(30, 90), "", cause::kCpuAvg);
+  }
+}
+
+void ScenarioEngine::customer_reset(t::CustomerSiteId site, TimeSec start) {
+  emit_notification(site, start, /*sent=*/false, "6/4", "administrative reset");
+  emit_ebgp_flap(site, start, start + rng_.range(20, 120), "",
+                 cause::kCustomerReset);
+}
+
+void ScenarioEngine::router_reboot(t::RouterId router, TimeSec start) {
+  emitter_.syslog(router, start, sys_restart());
+  TimeSec back = start + rng_.range(120, 300);
+  for (t::InterfaceId i : net_.router(router).interfaces) {
+    const t::Interface& ifc = net_.interface(i);
+    emitter_.syslog(router, start + rng_.range(0, 3),
+                    link_updown(ifc.name, false));
+    emitter_.syslog(router, back + rng_.range(0, 3),
+                    link_updown(ifc.name, true));
+  }
+  for (t::CustomerSiteId site : sites_on_router(router)) {
+    emit_ebgp_flap(site, start + rng_.range(0, 3), back + rng_.range(20, 60),
+                   "", cause::kRouterReboot);
+  }
+}
+
+void ScenarioEngine::hte_unknown(t::CustomerSiteId site, TimeSec start) {
+  emit_notification(site, start, true, "4/0", "hold time expired");
+  emit_ebgp_flap(site, start, start + rng_.range(30, 120), "",
+                 cause::kEbgpHte);
+}
+
+void ScenarioEngine::silent_flap(t::CustomerSiteId site, TimeSec start) {
+  emit_ebgp_flap(site, start, start + rng_.range(20, 90), "", cause::kUnknown);
+}
+
+void ScenarioEngine::linecard_crash(t::LineCardId card_id, TimeSec start) {
+  const t::LineCard& card = net_.line_card(card_id);
+  emitter_.syslog(card.router, start, telemetry::msg::linecard_crash(card.slot));
+  // Every customer port on the card flaps within ~3 minutes (Fig. 8).
+  for (t::InterfaceId i : card.interfaces) {
+    const t::Interface& ifc = net_.interface(i);
+    if (!ifc.customer.valid()) continue;
+    customer_interface_flap(ifc.customer, start + rng_.range(1, 170),
+                            cause::kLinecardCrash);
+  }
+}
+
+void ScenarioEngine::provisioning(t::RouterId router, TimeSec start,
+                                  bool causes_flaps) {
+  emitter_.workflow(router, start, "provisioning");
+  if (!causes_flaps) return;
+  // The §IV-B software bug: unrelated provisioning work drives the route
+  // processor hot and customer sessions HTE out.
+  cpu_spike(router, start + rng_.range(10, 60),
+            1 + static_cast<int>(rng_.range(0, 2)));
+}
+
+// ---- backbone primitives ------------------------------------------------------
+
+void ScenarioEngine::backbone_interface_flap(t::LogicalLinkId link,
+                                             TimeSec start, TimeSec dur) {
+  const t::LogicalLink& l = net_.link(link);
+  const t::Interface& a = net_.interface(l.side_a);
+  const t::Interface& b = net_.interface(l.side_b);
+  int old_weight = ospf_.weight_at(link, start);
+  if (old_weight == routing::kDown) return;  // already down; nothing new
+  emitter_.syslog(a.router, start + rng_.range(0, 2),
+                  link_updown(a.name, false));
+  emitter_.syslog(b.router, start + rng_.range(0, 2),
+                  link_updown(b.name, false));
+  emitter_.syslog(a.router, start + 1 + rng_.range(0, 2),
+                  lineproto_updown(a.name, false));
+  emitter_.syslog(b.router, start + 1 + rng_.range(0, 2),
+                  lineproto_updown(b.name, false));
+  ospf_.set_weight(link, start, routing::kDown);
+  emitter_.ospfmon(link, start + rng_.range(0, 2), routing::kDown);
+  TimeSec up = start + dur;
+  emitter_.syslog(a.router, up + rng_.range(0, 2), link_updown(a.name, true));
+  emitter_.syslog(b.router, up + rng_.range(0, 2), link_updown(b.name, true));
+  emitter_.syslog(a.router, up + 1 + rng_.range(0, 2),
+                  lineproto_updown(a.name, true));
+  emitter_.syslog(b.router, up + 1 + rng_.range(0, 2),
+                  lineproto_updown(b.name, true));
+  ospf_.set_weight(link, up, old_weight);
+  emitter_.ospfmon(link, up + rng_.range(0, 2), old_weight);
+}
+
+void ScenarioEngine::ospf_weight_change(t::LogicalLinkId link, TimeSec start,
+                                        int new_weight) {
+  ospf_.set_weight(link, start, new_weight);
+  emitter_.ospfmon(link, start + rng_.range(0, 2), new_weight);
+}
+
+void ScenarioEngine::cost_out_link(t::LogicalLinkId link, TimeSec start) {
+  const t::LogicalLink& l = net_.link(link);
+  const t::Interface& a = net_.interface(l.side_a);
+  emitter_.tacacs(a.router, start - rng_.range(1, 5), "netops",
+                  "set ospf metric 65535 interface " + a.name);
+  ospf_.set_weight(link, start, routing::kCostedOut);
+  emitter_.ospfmon(link, start + rng_.range(0, 2), routing::kCostedOut);
+}
+
+void ScenarioEngine::cost_in_link(t::LogicalLinkId link, TimeSec start) {
+  const t::LogicalLink& l = net_.link(link);
+  const t::Interface& a = net_.interface(l.side_a);
+  emitter_.tacacs(a.router, start - rng_.range(1, 5), "netops",
+                  "set ospf metric " + std::to_string(l.ospf_weight) +
+                      " interface " + a.name);
+  ospf_.set_weight(link, start, l.ospf_weight);
+  emitter_.ospfmon(link, start + rng_.range(0, 2), l.ospf_weight);
+}
+
+void ScenarioEngine::cost_out_router(t::RouterId router, TimeSec start) {
+  emitter_.tacacs(router, start - rng_.range(1, 5), "netops",
+                  "router ospf max-metric router-lsa");
+  for (t::LogicalLinkId link : net_.links_of_router(router)) {
+    if (ospf_.weight_at(link, start) == routing::kDown) continue;
+    try {
+      ospf_.set_weight(link, start, routing::kCostedOut);
+    } catch (const ConfigError&) {
+      continue;  // link already has a later-dated change; leave it be
+    }
+    emitter_.ospfmon(link, start + rng_.range(0, 2), routing::kCostedOut);
+  }
+}
+
+void ScenarioEngine::cost_in_router(t::RouterId router, TimeSec start) {
+  emitter_.tacacs(router, start - rng_.range(1, 5), "netops",
+                  "router ospf no max-metric router-lsa");
+  for (t::LogicalLinkId link : net_.links_of_router(router)) {
+    if (ospf_.weight_at(link, start) != routing::kCostedOut) continue;
+    int w = net_.link(link).ospf_weight;
+    try {
+      ospf_.set_weight(link, start, w);
+    } catch (const ConfigError&) {
+      continue;
+    }
+    emitter_.ospfmon(link, start + rng_.range(0, 2), w);
+  }
+}
+
+void ScenarioEngine::link_congestion(t::LogicalLinkId link, TimeSec start,
+                                     double utilization) {
+  const t::LogicalLink& l = net_.link(link);
+  TimeSec bin = snmp_bin_end(start);
+  emitter_.snmp_interface(l.side_a, bin, "ifutil", utilization);
+  emitter_.snmp_interface(l.side_a, bin + 300, "ifutil",
+                          utilization - rng_.uniform(0.0, 5.0));
+}
+
+void ScenarioEngine::link_loss(t::LogicalLinkId link, TimeSec start,
+                               double corrupted_packets) {
+  const t::LogicalLink& l = net_.link(link);
+  emitter_.snmp_interface(l.side_a, snmp_bin_end(start), "ifcorrupt",
+                          corrupted_packets);
+}
+
+// ---- PIM / MVPN cascades -------------------------------------------------------
+
+void ScenarioEngine::emit_vpn_adjacency_flaps(const std::string& vpn,
+                                              t::RouterId down_pe,
+                                              TimeSec start, TimeSec dur,
+                                              const char* truth_cause) {
+  std::string down_loopback = net_.router(down_pe).loopback.to_string();
+  for (t::RouterId pe : vpn_pers(vpn)) {
+    if (pe == down_pe) continue;
+    TimeSec at = start + rng_.range(0, 3);
+    emitter_.syslog(pe, at, pim_nbrchg(down_loopback, vpn, false));
+    emitter_.syslog(pe, start + dur + rng_.range(0, 3),
+                    pim_nbrchg(down_loopback, vpn, true));
+    truth_.push_back(TruthEntry{"pim-adjacency-flap", net_.router(pe).name,
+                                down_loopback + "|" + vpn, at, truth_cause});
+    // The failing PE sees the reverse adjacency drop as well.
+    std::string pe_loopback = net_.router(pe).loopback.to_string();
+    TimeSec at2 = start + rng_.range(0, 3);
+    emitter_.syslog(down_pe, at2, pim_nbrchg(pe_loopback, vpn, false));
+    emitter_.syslog(down_pe, start + dur + rng_.range(0, 3),
+                    pim_nbrchg(pe_loopback, vpn, true));
+    truth_.push_back(TruthEntry{"pim-adjacency-flap", net_.router(down_pe).name,
+                                pe_loopback + "|" + vpn, at2, truth_cause});
+  }
+}
+
+void ScenarioEngine::mvpn_customer_flap(t::CustomerSiteId site_id,
+                                        TimeSec start) {
+  const t::CustomerSite& site = net_.customer(site_id);
+  if (site.mvpn.empty()) {
+    throw ConfigError("mvpn_customer_flap: site is not in an MVPN");
+  }
+  t::RouterId pe = net_.interface(site.attachment).router;
+  customer_interface_flap(site_id, start);
+  emit_vpn_adjacency_flaps(site.mvpn, pe, start + rng_.range(2, 6),
+                           rng_.range(10, 60), cause::kInterfaceFlap);
+}
+
+void ScenarioEngine::pim_config_change(t::CustomerSiteId site_id,
+                                       TimeSec start) {
+  const t::CustomerSite& site = net_.customer(site_id);
+  if (site.mvpn.empty()) {
+    throw ConfigError("pim_config_change: site is not in an MVPN");
+  }
+  t::RouterId pe = net_.interface(site.attachment).router;
+  const char* op = rng_.chance(0.5) ? "provision" : "deprovision";
+  emitter_.tacacs(pe, start, "provisioning",
+                  std::string("mvpn ") + op + " vrf " + site.mvpn);
+  emit_vpn_adjacency_flaps(site.mvpn, pe, start + rng_.range(1, 10),
+                           rng_.range(10, 60), cause::kPimConfigChange);
+}
+
+void ScenarioEngine::uplink_pim_loss(t::RouterId per, TimeSec start) {
+  auto links = net_.links_of_router(per);
+  if (links.empty()) throw ConfigError("uplink_pim_loss: router has no uplink");
+  t::RouterId uplink_nbr = net_.link_peer(links[rng_.below(links.size())], per);
+  // The PE loses its *backbone-facing* PIM adjacency (vrf "default")...
+  emitter_.syslog(per, start,
+                  pim_nbrchg(net_.router(uplink_nbr).loopback.to_string(),
+                             "default", false));
+  emitter_.syslog(per, start + rng_.range(20, 60),
+                  pim_nbrchg(net_.router(uplink_nbr).loopback.to_string(),
+                             "default", true));
+  // ...and consequently every MVPN adjacency it maintains drops.
+  std::vector<std::string> vpns;
+  for (t::CustomerSiteId s : sites_on_router(per)) {
+    const std::string& vpn = net_.customer(s).mvpn;
+    if (!vpn.empty() && std::find(vpns.begin(), vpns.end(), vpn) == vpns.end()) {
+      vpns.push_back(vpn);
+    }
+  }
+  for (const std::string& vpn : vpns) {
+    emit_vpn_adjacency_flaps(vpn, per, start + rng_.range(1, 5),
+                             rng_.range(20, 60), cause::kUplinkPimLoss);
+  }
+}
+
+void ScenarioEngine::pim_path_disturbance(const std::string& vpn,
+                                          t::LogicalLinkId link, TimeSec start,
+                                          const char* truth_cause) {
+  // Inject the backbone condition first.
+  std::string_view kind = truth_cause;
+  if (kind == cause::kLinkCostOutDown) {
+    cost_out_link(link, start);
+    // Maintenance ends: the link is costed back in, so the network is not
+    // progressively drained of capacity over a multi-week study.
+    cost_in_link(link, start + rng_.range(600, 3600));
+  } else if (kind == cause::kLinkCostInUp) {
+    // Must be costed out first for cost-in to be meaningful.
+    if (ospf_.weight_at(link, start) != routing::kCostedOut) {
+      ospf_.set_weight(link, start - 1, routing::kCostedOut);
+    }
+    cost_in_link(link, start);
+  } else {  // plain re-convergence
+    int w = ospf_.weight_at(link, start);
+    if (w == routing::kDown || w == routing::kCostedOut) return;
+    ospf_weight_change(link, start, w + static_cast<int>(rng_.range(1, 15)));
+  }
+  // PIM hellos ride the PE-PE paths; pairs whose path crossed the link see a
+  // transient adjacency change. For cost-out the relevant path is the
+  // pre-change one (the link was carrying the hellos); for cost-in it is the
+  // post-change one (traffic shifts onto the restored link).
+  util::TimeSec path_time = kind == cause::kLinkCostInUp ? start + 1 : start - 1;
+  auto pers = vpn_pers(vpn);
+  std::string v = vpn;
+  for (std::size_t i = 0; i < pers.size(); ++i) {
+    for (std::size_t j = i + 1; j < pers.size(); ++j) {
+      auto links = ospf_.links_on_paths(pers[i], pers[j], path_time);
+      if (std::find(links.begin(), links.end(), link) == links.end()) continue;
+      TimeSec at = start + rng_.range(1, 5);
+      TimeSec dur = rng_.range(5, 40);
+      std::string li = net_.router(pers[i]).loopback.to_string();
+      std::string lj = net_.router(pers[j]).loopback.to_string();
+      emitter_.syslog(pers[i], at, pim_nbrchg(lj, v, false));
+      emitter_.syslog(pers[i], at + dur, pim_nbrchg(lj, v, true));
+      truth_.push_back(TruthEntry{"pim-adjacency-flap", net_.router(pers[i]).name,
+                                  lj + "|" + v, at, truth_cause});
+      emitter_.syslog(pers[j], at, pim_nbrchg(li, v, false));
+      emitter_.syslog(pers[j], at + dur, pim_nbrchg(li, v, true));
+      truth_.push_back(TruthEntry{"pim-adjacency-flap", net_.router(pers[j]).name,
+                                  li + "|" + v, at, truth_cause});
+    }
+  }
+}
+
+void ScenarioEngine::pim_router_cost_disturbance(const std::string& vpn,
+                                                 t::RouterId router,
+                                                 TimeSec start) {
+  bool out = rng_.chance(0.5);
+  TimeSec down_time = out ? start : start - rng_.range(3600, 10800);
+  // Abort cleanly (no records, no truth) when any link of the router already
+  // has a later-dated change: a partially-visible cost-out would produce
+  // unexplainable symptoms.
+  for (t::LogicalLinkId link : net_.links_of_router(router)) {
+    if (ospf_.last_change(link) >= down_time - 1) return;
+  }
+  if (out) {
+    cost_out_router(router, start);
+    cost_in_router(router, start + rng_.range(600, 3600));
+  } else {
+    // The maintenance began hours earlier (monitored then, too); the
+    // adjacency-disturbing observable is the cost-in at `start`.
+    cost_out_router(router, down_time);
+    cost_in_router(router, start);
+  }
+  auto pers = vpn_pers(vpn);
+  for (std::size_t i = 0; i < pers.size(); ++i) {
+    for (std::size_t j = i + 1; j < pers.size(); ++j) {
+      auto routers = ospf_.routers_on_paths(pers[i], pers[j], start - 2);
+      if (std::find(routers.begin(), routers.end(), router) == routers.end()) {
+        continue;
+      }
+      if (router == pers[i] || router == pers[j]) continue;
+      TimeSec at = start + rng_.range(1, 5);
+      TimeSec dur = rng_.range(5, 40);
+      std::string li = net_.router(pers[i]).loopback.to_string();
+      std::string lj = net_.router(pers[j]).loopback.to_string();
+      emitter_.syslog(pers[i], at, pim_nbrchg(lj, vpn, false));
+      emitter_.syslog(pers[i], at + dur, pim_nbrchg(lj, vpn, true));
+      truth_.push_back(TruthEntry{"pim-adjacency-flap", net_.router(pers[i]).name,
+                                  lj + "|" + vpn, at, cause::kRouterCostInOut});
+      emitter_.syslog(pers[j], at, pim_nbrchg(li, vpn, false));
+      emitter_.syslog(pers[j], at + dur, pim_nbrchg(li, vpn, true));
+      truth_.push_back(TruthEntry{"pim-adjacency-flap", net_.router(pers[j]).name,
+                                  li + "|" + vpn, at, cause::kRouterCostInOut});
+    }
+  }
+}
+
+void ScenarioEngine::pim_unknown(const std::string& vpn, TimeSec start) {
+  auto pers = vpn_pers(vpn);
+  if (pers.size() < 2) return;
+  t::RouterId a = pers[rng_.below(pers.size())];
+  t::RouterId b = a;
+  while (b == a) b = pers[rng_.below(pers.size())];
+  TimeSec dur = rng_.range(5, 40);
+  std::string lb = net_.router(b).loopback.to_string();
+  emitter_.syslog(a, start, pim_nbrchg(lb, vpn, false));
+  emitter_.syslog(a, start + dur, pim_nbrchg(lb, vpn, true));
+  truth_.push_back(TruthEntry{"pim-adjacency-flap", net_.router(a).name,
+                              lb + "|" + vpn, start, cause::kUnknown});
+}
+
+// ---- CDN cascades -------------------------------------------------------------
+
+void ScenarioEngine::add_client_prefix(util::Ipv4Prefix prefix,
+                                       std::vector<t::RouterId> egresses,
+                                       TimeSec start) {
+  int lp = 200;
+  for (t::RouterId egress : egresses) {
+    routing::BgpRoute route;
+    route.prefix = prefix;
+    route.egress = egress;
+    route.next_hop = util::Ipv4Addr(prefix.address().value() + 1);
+    route.local_pref = lp;
+    route.as_path_len = 2;
+    bgp_.announce(route, start);
+    emitter_.bgpmon(route, start, true);
+    lp -= 50;
+  }
+}
+
+std::vector<t::LogicalLinkId> ScenarioEngine::cdn_path_links(
+    t::CdnNodeId node, util::Ipv4Addr client, TimeSec time) const {
+  const t::CdnNode& cdn = net_.cdn_node(node);
+  if (cdn.ingress_routers.empty()) return {};
+  t::RouterId ingress = cdn.ingress_routers[0];
+  auto egress = bgp_.best_egress(ingress, client, time);
+  if (!egress || *egress == ingress) return {};
+  return ospf_.links_on_paths(ingress, *egress, time);
+}
+
+void ScenarioEngine::cdn_rtt_increase(t::CdnNodeId node, util::Ipv4Addr client,
+                                      TimeSec start, const char* truth_cause) {
+  emitter_.cdn(node, client, start, "rtt", rng_.uniform(150.0, 400.0));
+  truth_.push_back(TruthEntry{"cdn-rtt-increase", net_.cdn_node(node).name,
+                              client.to_string(), start, truth_cause});
+}
+
+void ScenarioEngine::cdn_policy_change(t::CdnNodeId node,
+                                       const std::vector<util::Ipv4Addr>& clients,
+                                       TimeSec start) {
+  emitter_.cdn_policy(node, start);
+  for (util::Ipv4Addr client : clients) {
+    cdn_rtt_increase(node, client, start + rng_.range(5, 120),
+                     cause::kCdnPolicyChange);
+  }
+}
+
+void ScenarioEngine::cdn_egress_change(t::CdnNodeId node,
+                                       util::Ipv4Addr client,
+                                       util::Ipv4Prefix prefix, TimeSec start) {
+  const t::CdnNode& cdn = net_.cdn_node(node);
+  t::RouterId ingress = cdn.ingress_routers[0];
+  auto best = bgp_.best_route(ingress, client, start - 1);
+  if (!best) return;
+  bgp_.withdraw(prefix, best->egress, start);
+  emitter_.bgpmon(*best, start, false);
+  cdn_rtt_increase(node, client, start + rng_.range(5, 60),
+                   cause::kBgpEgressChange);
+  // The far-end ISP typically restores the better path within hours.
+  TimeSec restore = start + rng_.range(600, 7200);
+  bgp_.announce(*best, restore);
+  emitter_.bgpmon(*best, restore, true);
+}
+
+void ScenarioEngine::cdn_path_congestion(t::CdnNodeId node,
+                                         util::Ipv4Addr client, TimeSec start) {
+  auto links = cdn_path_links(node, client, start);
+  if (links.empty()) return;
+  link_congestion(links[rng_.below(links.size())], start,
+                  rng_.uniform(82.0, 98.0));
+  cdn_rtt_increase(node, client, start + rng_.range(5, 200),
+                   cause::kLinkCongestion);
+}
+
+void ScenarioEngine::cdn_path_loss(t::CdnNodeId node, util::Ipv4Addr client,
+                                   TimeSec start) {
+  auto links = cdn_path_links(node, client, start);
+  if (links.empty()) return;
+  link_loss(links[rng_.below(links.size())], start, rng_.uniform(120.0, 900.0));
+  cdn_rtt_increase(node, client, start + rng_.range(5, 200), cause::kLinkLoss);
+}
+
+void ScenarioEngine::cdn_path_interface_flap(t::CdnNodeId node,
+                                             util::Ipv4Addr client,
+                                             TimeSec start) {
+  auto links = cdn_path_links(node, client, start);
+  if (links.empty()) return;
+  backbone_interface_flap(links[rng_.below(links.size())], start,
+                          rng_.range(5, 60));
+  cdn_rtt_increase(node, client, start + rng_.range(2, 30),
+                   cause::kInterfaceFlap);
+}
+
+void ScenarioEngine::cdn_path_reconvergence(t::CdnNodeId node,
+                                            util::Ipv4Addr client,
+                                            TimeSec start) {
+  auto links = cdn_path_links(node, client, start);
+  if (links.empty()) return;
+  t::LogicalLinkId link = links[rng_.below(links.size())];
+  int w = ospf_.weight_at(link, start);
+  if (w == routing::kDown || w == routing::kCostedOut) return;
+  ospf_weight_change(link, start, w + static_cast<int>(rng_.range(1, 10)));
+  cdn_rtt_increase(node, client, start + rng_.range(2, 30),
+                   cause::kOspfReconvergence);
+}
+
+void ScenarioEngine::cdn_outside(t::CdnNodeId node, util::Ipv4Addr client,
+                                 TimeSec start) {
+  cdn_rtt_increase(node, client, start, cause::kUnknown);
+}
+
+// ---- in-network probe cascades ---------------------------------------------------
+
+namespace {
+/// Representative probe anchor: the lexicographically smallest core router
+/// of the PoP (matches LocationMapper's pop-pair endpoint choice, which must
+/// be stable across inventory enumeration orders).
+t::RouterId pop_core(const t::Network& net, t::PopId pop) {
+  const t::Router* best = nullptr;
+  for (const t::Router& r : net.routers()) {
+    if (r.pop != pop || r.role != t::RouterRole::kCore) continue;
+    if (best == nullptr || r.name < best->name) best = &r;
+  }
+  if (best == nullptr) throw ConfigError("pop has no core router");
+  return best->id;
+}
+}  // namespace
+
+void ScenarioEngine::innet_loss_congestion(t::PopId a, t::PopId b,
+                                           TimeSec start) {
+  t::RouterId ra = pop_core(net_, a), rb = pop_core(net_, b);
+  auto links = ospf_.links_on_paths(ra, rb, start);
+  if (links.empty()) return;
+  link_congestion(links[rng_.below(links.size())], start,
+                  rng_.uniform(82.0, 98.0));
+  TimeSec at = start + rng_.range(30, 250);
+  emitter_.perf(a, b, at, "loss", rng_.uniform(1.5, 8.0));
+  truth_.push_back(TruthEntry{"innet-loss-increase", net_.pop(a).name,
+                              net_.pop(b).name, at, cause::kLinkCongestion});
+}
+
+void ScenarioEngine::innet_loss_reconvergence(t::PopId a, t::PopId b,
+                                              TimeSec start) {
+  t::RouterId ra = pop_core(net_, a), rb = pop_core(net_, b);
+  auto links = ospf_.links_on_paths(ra, rb, start);
+  if (links.empty()) return;
+  t::LogicalLinkId link = links[rng_.below(links.size())];
+  int w = ospf_.weight_at(link, start);
+  if (w == routing::kDown || w == routing::kCostedOut) return;
+  ospf_weight_change(link, start, w + static_cast<int>(rng_.range(1, 10)));
+  TimeSec at = start + rng_.range(2, 40);
+  emitter_.perf(a, b, at, "loss", rng_.uniform(1.5, 6.0));
+  truth_.push_back(TruthEntry{"innet-loss-increase", net_.pop(a).name,
+                              net_.pop(b).name, at,
+                              cause::kOspfReconvergence});
+}
+
+void ScenarioEngine::innet_loss_flap(t::PopId a, t::PopId b, TimeSec start) {
+  t::RouterId ra = pop_core(net_, a), rb = pop_core(net_, b);
+  auto links = ospf_.links_on_paths(ra, rb, start);
+  if (links.empty()) return;
+  backbone_interface_flap(links[rng_.below(links.size())], start,
+                          rng_.range(5, 45));
+  TimeSec at = start + rng_.range(2, 40);
+  emitter_.perf(a, b, at, "loss", rng_.uniform(2.0, 9.0));
+  truth_.push_back(TruthEntry{"innet-loss-increase", net_.pop(a).name,
+                              net_.pop(b).name, at, cause::kInterfaceFlap});
+}
+
+void ScenarioEngine::innet_loss_unknown(t::PopId a, t::PopId b,
+                                        TimeSec start) {
+  emitter_.perf(a, b, start, "loss", rng_.uniform(1.2, 4.0));
+  truth_.push_back(TruthEntry{"innet-loss-increase", net_.pop(a).name,
+                              net_.pop(b).name, start, cause::kUnknown});
+}
+
+// ---- background noise -----------------------------------------------------------
+
+void ScenarioEngine::background_snmp(TimeSec start, TimeSec end,
+                                     double fraction) {
+  for (TimeSec bin = snmp_bin_end(start); bin <= end; bin += 300) {
+    for (const t::Router& r : net_.routers()) {
+      if (!rng_.chance(fraction)) continue;
+      emitter_.snmp_router(r.id, bin, "cpu5min", rng_.uniform(5.0, 45.0));
+    }
+    for (const t::LogicalLink& l : net_.links()) {
+      if (!rng_.chance(fraction)) continue;
+      emitter_.snmp_interface(l.side_a, bin, "ifutil", rng_.uniform(10.0, 60.0));
+    }
+  }
+}
+
+void ScenarioEngine::noise_cpu_spike(t::RouterId router, TimeSec start) {
+  emitter_.syslog(router, start,
+                  cpu_threshold(90 + static_cast<int>(rng_.range(0, 9))));
+}
+
+void ScenarioEngine::noise_workflow(t::RouterId router, TimeSec start,
+                                    std::string activity) {
+  emitter_.workflow(router, start, std::move(activity));
+}
+
+}  // namespace grca::sim

@@ -1,0 +1,274 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Fault scenario engine: injects root-cause incidents into the simulated
+// ISP and emits the full telemetry cascade each incident produces, with
+// realistic protocol timers (e.g. the 180 s eBGP hold timer the paper's
+// temporal rules model) and per-record timestamp jitter. Every injected
+// incident appends ground-truth labels so RCA verdicts can be scored —
+// something the paper could only do anecdotally against operator knowledge.
+//
+// The cascades implement the causal structure of the paper's diagnosis
+// graphs (Figs. 4-6): layer-1 restoration -> interface flap -> line protocol
+// flap -> eBGP flap; CPU overload -> hold-timer expiry -> eBGP flap;
+// backbone events -> OSPF re-convergence -> path-dependent symptoms; etc.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simulation/emitter.h"
+#include "util/rng.h"
+
+namespace grca::sim {
+
+/// Ground-truth label for one symptom instance the engine injected.
+struct TruthEntry {
+  std::string symptom;  // symptom event name ("ebgp-flap", "pim-nbrchg", ...)
+  std::string router;   // observing router (canonical name) or CDN node name
+  std::string detail;   // neighbor IP / "<nbr-loopback>|<vpn>" / client IP
+  util::TimeSec time;   // symptom start (UTC)
+  std::string cause;    // expected root-cause event name
+};
+
+enum class RestorationKind { kSonet, kOpticalFast, kOpticalRegular };
+
+/// Root-cause event names shared between the scenario engine (ground truth),
+/// the knowledge library and the applications.
+namespace cause {
+inline constexpr const char* kInterfaceFlap = "interface-flap";
+inline constexpr const char* kLineProtocolFlap = "line-protocol-flap";
+inline constexpr const char* kRouterReboot = "router-reboot";
+inline constexpr const char* kCustomerReset = "customer-reset-session";
+inline constexpr const char* kCpuSpike = "cpu-high-spike";
+inline constexpr const char* kCpuAvg = "cpu-high-avg";
+inline constexpr const char* kEbgpHte = "ebgp-hte";
+inline constexpr const char* kSonetRestoration = "sonet-restoration";
+inline constexpr const char* kOpticalFast = "optical-restoration-fast";
+inline constexpr const char* kOpticalRegular = "optical-restoration-regular";
+inline constexpr const char* kUnknown = "unknown";
+inline constexpr const char* kOspfReconvergence = "ospf-reconvergence";
+inline constexpr const char* kLinkCongestion = "link-congestion";
+inline constexpr const char* kLinkLoss = "link-loss";
+inline constexpr const char* kBgpEgressChange = "bgp-egress-change";
+inline constexpr const char* kCdnPolicyChange = "cdn-policy-change";
+inline constexpr const char* kRouterCostInOut = "router-cost-inout";
+inline constexpr const char* kLinkCostOutDown = "link-cost-outdown";
+inline constexpr const char* kLinkCostInUp = "link-cost-inup";
+inline constexpr const char* kPimConfigChange = "pim-config-change";
+inline constexpr const char* kUplinkPimLoss = "uplink-pim-adjacency-change";
+inline constexpr const char* kLinecardCrash = "linecard-crash";
+}  // namespace cause
+
+class ScenarioEngine {
+ public:
+  ScenarioEngine(const topology::Network& net, routing::OspfSim& ospf,
+                 routing::BgpSim& bgp, std::uint64_t seed);
+
+  // ---- eBGP flap cascades (the Fig. 4 study) -----------------------------
+
+  /// Customer-facing interface flap -> line protocol flap -> eBGP flap.
+  /// `deeper_cause` overrides the ground-truth label when the flap itself was
+  /// caused by something deeper (layer-1 restoration, line card crash).
+  void customer_interface_flap(topology::CustomerSiteId site, util::TimeSec t,
+                               const char* deeper_cause = nullptr);
+
+  /// Layer-1 restoration on an access circuit: emits the transport-device
+  /// log then flaps the customer port it feeds.
+  void access_layer1_restoration(topology::PhysicalLinkId circuit,
+                                 util::TimeSec t, RestorationKind kind);
+
+  /// Line-protocol-only flap (keepalive loss; interface stays up).
+  void line_protocol_flap(topology::CustomerSiteId site, util::TimeSec t);
+
+  /// CPU spike (syslog threshold message) inducing hold-timer expiries on
+  /// `sessions` eBGP sessions of the router.
+  void cpu_spike(topology::RouterId router, util::TimeSec t, int sessions);
+
+  /// Sustained CPU overload visible in the SNMP 5-minute average.
+  void cpu_high_avg(topology::RouterId router, util::TimeSec t, int sessions);
+
+  /// Customer-initiated administrative reset of one session.
+  void customer_reset(topology::CustomerSiteId site, util::TimeSec t);
+
+  /// Full router reboot: restart message, all ports flap, every eBGP session
+  /// on the router flaps.
+  void router_reboot(topology::RouterId router, util::TimeSec t);
+
+  /// Hold-timer expiry with no other evidence (paper: 4.86% of flaps).
+  void hte_unknown(topology::CustomerSiteId site, util::TimeSec t);
+
+  /// eBGP flap with no evidence at all (paper: 10.95% "Unknown").
+  void silent_flap(topology::CustomerSiteId site, util::TimeSec t);
+
+  /// Line-card crash (Fig. 8 study): every customer port on the card flaps
+  /// within ~3 minutes. The crash syslog signature is emitted but — as in
+  /// the paper — is NOT part of the initial knowledge library.
+  void linecard_crash(topology::LineCardId card, util::TimeSec t);
+
+  /// Provisioning activity on a router (workflow log). With `causes_flaps`,
+  /// reproduces the §IV-B bug: unrelated provisioning makes customer
+  /// sessions HTE-flap while the CPU spikes.
+  void provisioning(topology::RouterId router, util::TimeSec t,
+                    bool causes_flaps);
+
+  // ---- Backbone primitives -------------------------------------------------
+
+  /// Backbone interface flap: syslog on both ends, OSPF down/up LSAs (a
+  /// re-convergence), routing actually changes for `dur` seconds.
+  void backbone_interface_flap(topology::LogicalLinkId link, util::TimeSec t,
+                               util::TimeSec dur);
+
+  /// Pure weight change (traffic-engineering tweak): OSPF re-convergence
+  /// without any interface event.
+  void ospf_weight_change(topology::LogicalLinkId link, util::TimeSec t,
+                          int new_weight);
+
+  /// Operator costs a link out / back in via router command (TACACS record +
+  /// max-metric LSA).
+  void cost_out_link(topology::LogicalLinkId link, util::TimeSec t);
+  void cost_in_link(topology::LogicalLinkId link, util::TimeSec t);
+
+  /// Operator costs a whole router out / in (maintenance).
+  void cost_out_router(topology::RouterId router, util::TimeSec t);
+  void cost_in_router(topology::RouterId router, util::TimeSec t);
+
+  /// SNMP congestion / loss readings on a link (interval-end timestamps).
+  void link_congestion(topology::LogicalLinkId link, util::TimeSec t,
+                       double utilization);
+  void link_loss(topology::LogicalLinkId link, util::TimeSec t,
+                 double corrupted_packets);
+
+  // ---- PIM / MVPN cascades (the Fig. 6 study) -----------------------------
+
+  /// Customer port flap at an MVPN site: the eBGP cascade plus PIM neighbor
+  /// adjacency changes toward this PE at every other PE of the VPN.
+  void mvpn_customer_flap(topology::CustomerSiteId site, util::TimeSec t);
+
+  /// MVPN (de)provisioning on the PE of `site`: command log + adjacency
+  /// changes at the other PEs.
+  void pim_config_change(topology::CustomerSiteId site, util::TimeSec t);
+
+  /// PE loses PIM adjacency on its uplink to the backbone; all its MVPN
+  /// adjacencies drop.
+  void uplink_pim_loss(topology::RouterId per, util::TimeSec t);
+
+  /// Backbone event disturbing PE-PE PIM adjacencies of `vpn` whose path
+  /// crosses the given link/router. Used for the cost-in/out and
+  /// re-convergence rows of Table VIII.
+  void pim_path_disturbance(const std::string& vpn,
+                            topology::LogicalLinkId link, util::TimeSec t,
+                            const char* truth_cause);
+  void pim_router_cost_disturbance(const std::string& vpn,
+                                   topology::RouterId router, util::TimeSec t);
+
+  /// PIM adjacency change with no cause evidence.
+  void pim_unknown(const std::string& vpn, util::TimeSec t);
+
+  // ---- CDN cascades (the Fig. 5 study) ------------------------------------
+
+  /// Registers an external client prefix reachable via the given egress
+  /// routers (first is best by local-pref), announcing it in BGP + monitor.
+  void add_client_prefix(util::Ipv4Prefix prefix,
+                         std::vector<topology::RouterId> egresses,
+                         util::TimeSec t);
+
+  /// One RTT-degradation measurement (the CDN symptom).
+  void cdn_rtt_increase(topology::CdnNodeId node, util::Ipv4Addr client,
+                        util::TimeSec t, const char* truth_cause);
+
+  /// CDN assignment policy change affecting several clients.
+  void cdn_policy_change(topology::CdnNodeId node,
+                         const std::vector<util::Ipv4Addr>& clients,
+                         util::TimeSec t);
+
+  /// Interdomain routing change: the preferred egress route for the client's
+  /// prefix is withdrawn, moving the egress; RTT degrades.
+  void cdn_egress_change(topology::CdnNodeId node, util::Ipv4Addr client,
+                         util::Ipv4Prefix prefix, util::TimeSec t);
+
+  /// Path-dependent degradations: the engine picks a link on the current
+  /// CDN-node -> egress path and injects the named condition there.
+  void cdn_path_congestion(topology::CdnNodeId node, util::Ipv4Addr client,
+                           util::TimeSec t);
+  void cdn_path_loss(topology::CdnNodeId node, util::Ipv4Addr client,
+                     util::TimeSec t);
+  void cdn_path_interface_flap(topology::CdnNodeId node, util::Ipv4Addr client,
+                               util::TimeSec t);
+  void cdn_path_reconvergence(topology::CdnNodeId node, util::Ipv4Addr client,
+                              util::TimeSec t);
+
+  /// Degradation with no internal evidence ("outside of our network").
+  void cdn_outside(topology::CdnNodeId node, util::Ipv4Addr client,
+                   util::TimeSec t);
+
+  // ---- In-network probe cascades (the §I motivating scenario) -------------
+
+  /// Probe loss between two PoPs caused by congestion on a link of the
+  /// current inter-PoP path.
+  void innet_loss_congestion(topology::PopId a, topology::PopId b,
+                             util::TimeSec t);
+  /// Probe loss caused by a traffic-engineering weight change on the path.
+  void innet_loss_reconvergence(topology::PopId a, topology::PopId b,
+                                util::TimeSec t);
+  /// Probe loss caused by a backbone interface flap on the path.
+  void innet_loss_flap(topology::PopId a, topology::PopId b, util::TimeSec t);
+  /// Probe loss with no internal evidence.
+  void innet_loss_unknown(topology::PopId a, topology::PopId b,
+                          util::TimeSec t);
+
+  // ---- Background noise ----------------------------------------------------
+
+  /// Benign SNMP polls (normal CPU / link utilization) across the interval,
+  /// sampling `fraction` of devices per 5-minute bin.
+  void background_snmp(util::TimeSec start, util::TimeSec end, double fraction);
+
+  /// Benign CPU spike with no protocol impact.
+  void noise_cpu_spike(topology::RouterId router, util::TimeSec t);
+
+  /// Benign workflow activity with no impact.
+  void noise_workflow(topology::RouterId router, util::TimeSec t,
+                      std::string activity);
+
+  // ---- Access ---------------------------------------------------------------
+
+  TelemetryEmitter& emitter() noexcept { return emitter_; }
+  util::Rng& rng() noexcept { return rng_; }
+  const std::vector<TruthEntry>& truth() const noexcept { return truth_; }
+  telemetry::RecordStream take_records() { return emitter_.take(); }
+  const topology::Network& network() const noexcept { return net_; }
+
+ private:
+  /// Emits the down/up syslog + monitor records of one eBGP session flap and
+  /// appends its ground-truth entry.
+  void emit_ebgp_flap(topology::CustomerSiteId site, util::TimeSec down,
+                      util::TimeSec up, const std::string& adj_reason,
+                      const char* truth_cause);
+  /// Emits a BGP NOTIFICATION line on the session's PER.
+  void emit_notification(topology::CustomerSiteId site, util::TimeSec t,
+                         bool sent, const std::string& code,
+                         const std::string& reason);
+  /// Emits PIM adjacency change pairs across a VPN when PE `down_pe` becomes
+  /// unreachable for `dur` seconds.
+  void emit_vpn_adjacency_flaps(const std::string& vpn,
+                                topology::RouterId down_pe, util::TimeSec t,
+                                util::TimeSec dur, const char* truth_cause);
+  /// Picks `n` distinct customer sites attached to the router.
+  std::vector<topology::CustomerSiteId> sites_on_router(
+      topology::RouterId router) const;
+  /// The PERs hosting sites of a VPN (deduplicated).
+  std::vector<topology::RouterId> vpn_pers(const std::string& vpn) const;
+  /// Current best path links from a CDN node's ingress toward the client.
+  std::vector<topology::LogicalLinkId> cdn_path_links(topology::CdnNodeId node,
+                                                      util::Ipv4Addr client,
+                                                      util::TimeSec t) const;
+
+  const topology::Network& net_;
+  routing::OspfSim& ospf_;
+  routing::BgpSim& bgp_;
+  TelemetryEmitter emitter_;
+  util::Rng rng_;
+  std::vector<TruthEntry> truth_;
+};
+
+}  // namespace grca::sim

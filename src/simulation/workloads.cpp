@@ -1,0 +1,457 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "simulation/workloads.h"
+
+#include <algorithm>
+
+namespace grca::sim {
+
+namespace t = topology;
+using util::TimeSec;
+
+namespace {
+
+TimeSec default_start(TimeSec start) {
+  return start != 0 ? start : util::make_utc(2010, 1, 1);
+}
+
+/// One scheduled incident of a study.
+struct Incident {
+  TimeSec time;
+  int kind;
+};
+
+/// Expands per-kind incident counts into a time-sorted schedule.
+std::vector<Incident> make_schedule(const std::vector<int>& counts,
+                                    TimeSec start, TimeSec end,
+                                    util::Rng& rng) {
+  std::vector<Incident> schedule;
+  for (std::size_t kind = 0; kind < counts.size(); ++kind) {
+    for (int i = 0; i < counts[kind]; ++i) {
+      schedule.push_back(Incident{
+          start + rng.range(0, end - start - util::kHour),
+          static_cast<int>(kind)});
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const Incident& a, const Incident& b) { return a.time < b.time; });
+  return schedule;
+}
+
+std::vector<t::RouterId> provider_edges(const t::Network& net) {
+  std::vector<t::RouterId> out;
+  for (const t::Router& r : net.routers()) {
+    if (r.role == t::RouterRole::kProviderEdge) out.push_back(r.id);
+  }
+  return out;
+}
+
+/// Picks a site whose previous use is at least `gap` seconds ago, so BGP
+/// episode histories stay well-ordered per prefix.
+class SitePicker {
+ public:
+  SitePicker(const t::Network& net, util::Rng& rng) : net_(net), rng_(rng) {
+    last_use_.assign(net.customers().size(), std::numeric_limits<TimeSec>::min());
+  }
+
+  t::CustomerSiteId pick(TimeSec time, TimeSec gap = 600) {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      t::CustomerSiteId site(
+          static_cast<std::uint32_t>(rng_.below(net_.customers().size())));
+      if (time - last_use_[site.value()] >= gap) {
+        last_use_[site.value()] = time;
+        return site;
+      }
+    }
+    // Dense schedule: accept a reuse rather than loop forever.
+    t::CustomerSiteId site(
+        static_cast<std::uint32_t>(rng_.below(net_.customers().size())));
+    last_use_[site.value()] = time;
+    return site;
+  }
+
+ private:
+  const t::Network& net_;
+  util::Rng& rng_;
+  std::vector<TimeSec> last_use_;
+};
+
+/// Background noise common to all studies.
+void add_noise(ScenarioEngine& eng, const t::Network& net, TimeSec start,
+               TimeSec end, double noise, util::Rng& rng) {
+  if (noise <= 0.0) return;
+  int days = static_cast<int>((end - start) / util::kDay);
+  int benign_cpu = static_cast<int>(2 * days * noise);
+  int benign_workflow = static_cast<int>(3 * days * noise);
+  for (int i = 0; i < benign_cpu; ++i) {
+    t::RouterId r(static_cast<std::uint32_t>(rng.below(net.routers().size())));
+    eng.noise_cpu_spike(r, start + rng.range(0, end - start));
+  }
+  for (int i = 0; i < benign_workflow; ++i) {
+    t::RouterId r(static_cast<std::uint32_t>(rng.below(net.routers().size())));
+    eng.noise_workflow(r, start + rng.range(0, end - start), "provisioning");
+  }
+  eng.background_snmp(start, end, 0.01 * noise);
+}
+
+}  // namespace
+
+// ---- BGP study ---------------------------------------------------------------
+
+StudyOutput run_bgp_study(const t::Network& net, const BgpStudyParams& p) {
+  TimeSec start = default_start(p.start);
+  TimeSec end = start + p.days * util::kDay;
+  routing::OspfSim ospf(net);
+  routing::BgpSim bgp(ospf);
+  routing::seed_customer_routes(bgp, net, start - util::kDay);
+  ScenarioEngine eng(net, ospf, bgp, p.seed);
+  util::Rng& rng = eng.rng();
+  SitePicker sites(net, rng);
+  std::vector<t::RouterId> pers = provider_edges(net);
+
+  // Access circuits by layer-1 kind, for the restoration rows.
+  std::vector<t::PhysicalLinkId> sonet_tails, optical_tails;
+  for (const t::PhysicalLink& pl : net.physical_links()) {
+    if (!pl.access_port.valid()) continue;
+    (pl.kind == t::Layer1Kind::kSonetRing ? sonet_tails : optical_tails)
+        .push_back(pl.id);
+  }
+
+  // Table IV symptom shares. Kinds: 0 iface flap, 1 line-proto flap,
+  // 2 cpu spike, 3 cpu avg, 4 customer reset, 5 router reboot, 6 HTE
+  // unknown, 7 silent (Unknown), 8 SONET, 9 optical fast, 10 optical reg.
+  const double share[11] = {63.94, 11.15, 6.44, 0.02, 1.84, 0.33,
+                            4.86,  10.95, 0.29, 0.14, 0.04};
+  std::vector<int> counts(11);
+  int sessions_per_per =
+      pers.empty() ? 1
+                   : std::max<int>(1, static_cast<int>(net.customers().size() /
+                                                       pers.size()));
+  for (int k = 0; k < 11; ++k) {
+    double n = p.target_symptoms * share[k] / 100.0;
+    if (k == 5) n /= sessions_per_per;  // a reboot flaps every session
+    counts[k] = std::max(share[k] > 0 ? 1 : 0, static_cast<int>(n + 0.5));
+  }
+
+  for (const Incident& inc : make_schedule(counts, start, end, rng)) {
+    switch (inc.kind) {
+      case 0: eng.customer_interface_flap(sites.pick(inc.time), inc.time); break;
+      case 1: eng.line_protocol_flap(sites.pick(inc.time), inc.time); break;
+      case 2:
+        eng.cpu_spike(pers[rng.below(pers.size())], inc.time, 1);
+        break;
+      case 3:
+        eng.cpu_high_avg(pers[rng.below(pers.size())], inc.time, 1);
+        break;
+      case 4: eng.customer_reset(sites.pick(inc.time), inc.time); break;
+      case 5: eng.router_reboot(pers[rng.below(pers.size())], inc.time); break;
+      case 6: eng.hte_unknown(sites.pick(inc.time), inc.time); break;
+      case 7: eng.silent_flap(sites.pick(inc.time), inc.time); break;
+      case 8:
+        if (!sonet_tails.empty()) {
+          eng.access_layer1_restoration(
+              sonet_tails[rng.below(sonet_tails.size())], inc.time,
+              RestorationKind::kSonet);
+        }
+        break;
+      case 9:
+      case 10:
+        if (!optical_tails.empty()) {
+          eng.access_layer1_restoration(
+              optical_tails[rng.below(optical_tails.size())], inc.time,
+              inc.kind == 9 ? RestorationKind::kOpticalFast
+                            : RestorationKind::kOpticalRegular);
+        }
+        break;
+      default: break;
+    }
+  }
+
+  add_noise(eng, net, start, end, p.noise, rng);
+  StudyOutput out;
+  out.truth = eng.truth();
+  out.records = eng.take_records();
+  return out;
+}
+
+// ---- CDN study -----------------------------------------------------------------
+
+StudyOutput run_cdn_study(const t::Network& net, const CdnStudyParams& p) {
+  if (net.cdn_nodes().empty()) {
+    throw ConfigError("run_cdn_study: network has no CDN nodes");
+  }
+  TimeSec start = default_start(p.start);
+  TimeSec end = start + p.days * util::kDay;
+  routing::OspfSim ospf(net);
+  routing::BgpSim bgp(ospf);
+  routing::seed_customer_routes(bgp, net, start - util::kDay);
+  ScenarioEngine eng(net, ospf, bgp, p.seed);
+  util::Rng& rng = eng.rng();
+  t::CdnNodeId node = net.cdn_nodes().front().id;
+  std::vector<t::RouterId> pers = provider_edges(net);
+
+  // External client populations, each reachable via a primary and a backup
+  // egress PER in different PoPs.
+  StudyOutput out;
+  std::uint32_t base = util::Ipv4Addr::parse("203.0.0.0").value();
+  for (int i = 0; i < p.client_prefixes; ++i) {
+    util::Ipv4Prefix prefix(util::Ipv4Addr(base + 256u * i), 24);
+    t::RouterId primary = pers[rng.below(pers.size())];
+    t::RouterId backup = primary;
+    for (int tries = 0; tries < 16 && net.router(backup).pop ==
+                                          net.router(primary).pop; ++tries) {
+      backup = pers[rng.below(pers.size())];
+    }
+    eng.add_client_prefix(prefix, {primary, backup}, start - util::kDay);
+    out.client_prefixes.push_back(prefix);
+  }
+  auto random_client = [&](util::Ipv4Prefix prefix) {
+    return util::Ipv4Addr(prefix.address().value() +
+                          static_cast<std::uint32_t>(rng.range(2, 250)));
+  };
+
+  // Table VI shares. Kinds: 0 policy change, 1 egress change, 2 congestion,
+  // 3 loss, 4 interface flap, 5 re-convergence, 6 outside.
+  const double share[7] = {3.83, 5.71, 3.50, 3.32, 4.65, 4.16, 74.83};
+  const int policy_batch = 5;  // clients impacted per policy change
+  std::vector<int> counts(7);
+  for (int k = 0; k < 7; ++k) {
+    double n = p.target_symptoms * share[k] / 100.0;
+    if (k == 0) n /= policy_batch;
+    counts[k] = std::max(1, static_cast<int>(n + 0.5));
+  }
+
+  for (const Incident& inc : make_schedule(counts, start, end, rng)) {
+    util::Ipv4Prefix prefix =
+        out.client_prefixes[rng.below(out.client_prefixes.size())];
+    util::Ipv4Addr client = random_client(prefix);
+    try {
+      switch (inc.kind) {
+        case 0: {
+          std::vector<util::Ipv4Addr> clients;
+          for (int i = 0; i < policy_batch; ++i) {
+            clients.push_back(random_client(
+                out.client_prefixes[rng.below(out.client_prefixes.size())]));
+          }
+          eng.cdn_policy_change(node, clients, inc.time);
+          break;
+        }
+        case 1: eng.cdn_egress_change(node, client, prefix, inc.time); break;
+        case 2: eng.cdn_path_congestion(node, client, inc.time); break;
+        case 3: eng.cdn_path_loss(node, client, inc.time); break;
+        case 4: eng.cdn_path_interface_flap(node, client, inc.time); break;
+        case 5: eng.cdn_path_reconvergence(node, client, inc.time); break;
+        case 6: eng.cdn_outside(node, client, inc.time); break;
+        default: break;
+      }
+    } catch (const ConfigError&) {
+      // A routing-history collision (same link touched twice, out of order):
+      // skip the incident; the mixture stays approximately calibrated.
+    }
+  }
+
+  add_noise(eng, net, start, end, p.noise, rng);
+  out.truth = eng.truth();
+  out.records = eng.take_records();
+  return out;
+}
+
+// ---- In-network probe-loss study ---------------------------------------------
+
+StudyOutput run_innet_study(const t::Network& net,
+                            const InnetStudyParams& p) {
+  TimeSec start = default_start(p.start);
+  TimeSec end = start + p.days * util::kDay;
+  routing::OspfSim ospf(net);
+  routing::BgpSim bgp(ospf);
+  routing::seed_customer_routes(bgp, net, start - util::kDay);
+  ScenarioEngine eng(net, ospf, bgp, p.seed);
+  util::Rng& rng = eng.rng();
+
+  // Kinds: 0 congestion, 1 re-convergence, 2 flap, 3 unknown.
+  const double share[4] = {p.congestion_pct, p.reconvergence_pct, p.flap_pct,
+                           p.unknown_pct};
+  std::vector<int> counts(4);
+  for (int k = 0; k < 4; ++k) {
+    counts[k] = std::max(1, static_cast<int>(p.target_symptoms * share[k] /
+                                                 100.0 +
+                                             0.5));
+  }
+  auto random_pop_pair = [&] {
+    std::size_t a = rng.below(net.pops().size());
+    std::size_t b = a;
+    while (b == a) b = rng.below(net.pops().size());
+    return std::make_pair(net.pops()[a].id, net.pops()[b].id);
+  };
+  for (const Incident& inc : make_schedule(counts, start, end, rng)) {
+    auto [a, b] = random_pop_pair();
+    try {
+      switch (inc.kind) {
+        case 0: eng.innet_loss_congestion(a, b, inc.time); break;
+        case 1: eng.innet_loss_reconvergence(a, b, inc.time); break;
+        case 2: eng.innet_loss_flap(a, b, inc.time); break;
+        case 3: eng.innet_loss_unknown(a, b, inc.time); break;
+        default: break;
+      }
+    } catch (const ConfigError&) {
+      // Routing-history collision: skip.
+    }
+  }
+  // Benign probe readings so thresholding is exercised.
+  if (p.noise > 0) {
+    for (int i = 0; i < p.days * 20; ++i) {
+      auto [a, b] = random_pop_pair();
+      eng.emitter().perf(a, b, start + rng.range(0, end - start), "loss",
+                         rng.uniform(0.0, 0.4));
+      eng.emitter().perf(a, b, start + rng.range(0, end - start), "delay",
+                         rng.uniform(5.0, 35.0));
+    }
+  }
+  add_noise(eng, net, start, end, p.noise, rng);
+  StudyOutput out;
+  out.truth = eng.truth();
+  out.records = eng.take_records();
+  return out;
+}
+
+// ---- PIM study -----------------------------------------------------------------
+
+StudyOutput run_pim_study(const t::Network& net, const PimStudyParams& p) {
+  TimeSec start = default_start(p.start);
+  TimeSec end = start + p.days * util::kDay;
+  routing::OspfSim ospf(net);
+  routing::BgpSim bgp(ospf);
+  routing::seed_customer_routes(bgp, net, start - util::kDay);
+  ScenarioEngine eng(net, ospf, bgp, p.seed);
+  util::Rng& rng = eng.rng();
+
+  // MVPNs and their PE sets.
+  std::vector<std::string> vpns;
+  for (const t::CustomerSite& c : net.customers()) {
+    if (!c.mvpn.empty() &&
+        std::find(vpns.begin(), vpns.end(), c.mvpn) == vpns.end()) {
+      vpns.push_back(c.mvpn);
+    }
+  }
+  if (vpns.empty()) throw ConfigError("run_pim_study: network has no MVPNs");
+  auto pes_of = [&](const std::string& vpn) {
+    std::vector<t::RouterId> out;
+    for (t::CustomerSiteId s : net.mvpn_sites(vpn)) {
+      t::RouterId pe = net.interface(net.customer(s).attachment).router;
+      if (std::find(out.begin(), out.end(), pe) == out.end()) out.push_back(pe);
+    }
+    return out;
+  };
+  // MVPN customer sites (for the flap and config-change kinds).
+  std::vector<t::CustomerSiteId> mvpn_sites;
+  for (const t::CustomerSite& c : net.customers()) {
+    if (!c.mvpn.empty()) mvpn_sites.push_back(c.id);
+  }
+
+  // Table VIII shares. Kinds: 0 customer-facing flap, 1 router cost in/out,
+  // 2 OSPF re-convergence, 3 link cost out/down, 4 link cost in/up,
+  // 5 PIM config change, 6 uplink adjacency loss, 7 unknown.
+  //
+  // Incidents yield variable symptom counts (a VPN-wide flap logs adjacency
+  // changes at every PE pair; a backbone disturbance touches however many
+  // PE pairs cross the link). Rather than guessing expectation factors, the
+  // generator is adaptive: it injects incidents of each kind until that
+  // kind's ground-truth symptom quota is met, counting the truth entries the
+  // engine actually appended.
+  const double share[8] = {69.21, 10.34, 10.36, 1.50, 0.84, 4.04, 1.95, 1.76};
+  const char* kind_cause[8] = {
+      cause::kInterfaceFlap,  cause::kRouterCostInOut,
+      cause::kOspfReconvergence, cause::kLinkCostOutDown,
+      cause::kLinkCostInUp,   cause::kPimConfigChange,
+      cause::kUplinkPimLoss,  cause::kUnknown};
+
+  auto inject = [&](int kind, TimeSec time) {
+    const std::string& vpn = vpns[rng.below(vpns.size())];
+    auto pes = pes_of(vpn);
+    switch (kind) {
+      case 0:
+        eng.mvpn_customer_flap(mvpn_sites[rng.below(mvpn_sites.size())], time);
+        break;
+      case 1: {
+        // A core router on the path between two PEs of the VPN.
+        if (pes.size() < 2) break;
+        t::RouterId a = pes[rng.below(pes.size())];
+        t::RouterId b = a;
+        while (b == a) b = pes[rng.below(pes.size())];
+        auto routers = ospf.routers_on_paths(a, b, time);
+        std::vector<t::RouterId> interior;
+        for (t::RouterId r : routers) {
+          if (r != a && r != b && net.router(r).role == t::RouterRole::kCore) {
+            interior.push_back(r);
+          }
+        }
+        if (interior.empty()) break;
+        eng.pim_router_cost_disturbance(vpn,
+                                        interior[rng.below(interior.size())],
+                                        time);
+        break;
+      }
+      case 2:
+      case 3:
+      case 4: {
+        if (pes.size() < 2) break;
+        t::RouterId a = pes[rng.below(pes.size())];
+        t::RouterId b = a;
+        while (b == a) b = pes[rng.below(pes.size())];
+        auto links = ospf.links_on_paths(a, b, time);
+        if (links.empty()) break;
+        t::LogicalLinkId link = links[rng.below(links.size())];
+        const char* cause = kind == 2 ? cause::kOspfReconvergence
+                            : kind == 3 ? cause::kLinkCostOutDown
+                                        : cause::kLinkCostInUp;
+        eng.pim_path_disturbance(vpn, link, time, cause);
+        break;
+      }
+      case 5:
+        eng.pim_config_change(mvpn_sites[rng.below(mvpn_sites.size())], time);
+        break;
+      case 6:
+        eng.uplink_pim_loss(pes[rng.below(pes.size())], time);
+        break;
+      case 7:
+        eng.pim_unknown(vpn, time);
+        break;
+      default:
+        break;
+    }
+  };
+
+  auto produced_for = [&](const char* cause_name) {
+    std::size_t n = 0;
+    for (const TruthEntry& e : eng.truth()) {
+      n += e.symptom == "pim-adjacency-flap" && e.cause == cause_name;
+    }
+    return n;
+  };
+  for (int kind = 0; kind < 8; ++kind) {
+    std::size_t quota = static_cast<std::size_t>(
+        p.target_symptoms * share[kind] / 100.0 + 0.5);
+    if (quota == 0) quota = 1;
+    int attempts = 0;
+    const int max_attempts = static_cast<int>(quota) * 10 + 100;
+    while (produced_for(kind_cause[kind]) < quota &&
+           attempts++ < max_attempts) {
+      TimeSec time = start + rng.range(0, end - start - util::kHour);
+      try {
+        inject(kind, time);
+      } catch (const ConfigError&) {
+        // Routing-history collision (same link touched out of order): retry
+        // at a different time.
+      }
+    }
+  }
+
+  add_noise(eng, net, start, end, p.noise, rng);
+  StudyOutput out;
+  out.truth = eng.truth();
+  out.records = eng.take_records();
+  return out;
+}
+
+}  // namespace grca::sim

@@ -1,0 +1,81 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Study workload generators: month/fortnight-scale incident mixes calibrated
+// to the root-cause distributions the paper reports (Tables IV, VI, VIII),
+// plus benign background noise. Each study returns the raw telemetry stream
+// and the ground-truth labels, ready to feed the RCA pipeline and score.
+#pragma once
+
+#include "simulation/scenario.h"
+
+namespace grca::sim {
+
+struct StudyOutput {
+  telemetry::RecordStream records;
+  std::vector<TruthEntry> truth;
+  /// Client prefixes registered by the CDN study (symptom sampling reuses
+  /// them); empty for the other studies.
+  std::vector<util::Ipv4Prefix> client_prefixes;
+};
+
+// ---- §III-A: customer eBGP flaps (Table IV) --------------------------------
+
+struct BgpStudyParams {
+  util::TimeSec start = 0;         // filled with 2010-01-01 when 0
+  int days = 30;
+  int target_symptoms = 1500;      // eBGP flap instances to generate
+  double noise = 1.0;              // benign-event scale factor
+  std::uint64_t seed = 7;
+};
+
+StudyOutput run_bgp_study(const topology::Network& net,
+                          const BgpStudyParams& params);
+
+// ---- §III-B: CDN RTT degradations (Table VI) --------------------------------
+
+struct CdnStudyParams {
+  util::TimeSec start = 0;
+  int days = 30;
+  int target_symptoms = 1200;
+  int client_prefixes = 60;        // external client populations
+  std::uint64_t seed = 11;
+  double noise = 1.0;
+};
+
+StudyOutput run_cdn_study(const topology::Network& net,
+                          const CdnStudyParams& params);
+
+// ---- §I motivating scenario: inter-PoP probe losses --------------------------
+
+struct InnetStudyParams {
+  util::TimeSec start = 0;
+  int days = 30;
+  int target_symptoms = 600;
+  std::uint64_t seed = 19;
+  double noise = 1.0;
+  /// Illustrative cause mixture (the paper gives no table for this
+  /// scenario): congestion / re-convergence / flap / unknown, in percent.
+  double congestion_pct = 40.0;
+  double reconvergence_pct = 25.0;
+  double flap_pct = 15.0;
+  double unknown_pct = 20.0;
+};
+
+StudyOutput run_innet_study(const topology::Network& net,
+                            const InnetStudyParams& params);
+
+// ---- §III-C: MVPN PIM adjacency changes (Table VIII) ------------------------
+
+struct PimStudyParams {
+  util::TimeSec start = 0;
+  int days = 14;
+  int target_symptoms = 1500;      // adjacency-change instances
+  std::uint64_t seed = 13;
+  double noise = 1.0;
+};
+
+StudyOutput run_pim_study(const topology::Network& net,
+                          const PimStudyParams& params);
+
+}  // namespace grca::sim

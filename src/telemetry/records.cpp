@@ -1,0 +1,80 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "telemetry/records.h"
+
+#include <algorithm>
+
+namespace grca::telemetry {
+
+std::string_view to_string(SourceType type) noexcept {
+  switch (type) {
+    case SourceType::kSyslog: return "syslog";
+    case SourceType::kSnmp: return "snmp";
+    case SourceType::kLayer1Log: return "layer1";
+    case SourceType::kTacacs: return "tacacs";
+    case SourceType::kOspfMon: return "ospfmon";
+    case SourceType::kBgpMon: return "bgpmon";
+    case SourceType::kPerfMon: return "perfmon";
+    case SourceType::kCdnMon: return "cdnmon";
+    case SourceType::kServerLog: return "serverlog";
+    case SourceType::kWorkflowLog: return "workflowlog";
+  }
+  return "?";
+}
+
+void sort_stream(RecordStream& stream) {
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const RawRecord& a, const RawRecord& b) {
+                     return a.true_utc < b.true_utc;
+                   });
+}
+
+namespace msg {
+
+std::string link_updown(const std::string& iface, bool up) {
+  return "%LINK-3-UPDOWN: Interface " + iface + ", changed state to " +
+         (up ? "up" : "down");
+}
+
+std::string lineproto_updown(const std::string& iface, bool up) {
+  return "%LINEPROTO-5-UPDOWN: Line protocol on Interface " + iface +
+         ", changed state to " + (up ? "up" : "down");
+}
+
+std::string bgp_adjchange(const std::string& neighbor_ip, bool up,
+                          const std::string& reason) {
+  std::string out = "%BGP-5-ADJCHANGE: neighbor " + neighbor_ip + " " +
+                    (up ? "Up" : "Down");
+  if (!reason.empty()) out += " " + reason;
+  return out;
+}
+
+std::string bgp_notification(const std::string& neighbor_ip, bool sent,
+                             const std::string& code,
+                             const std::string& reason) {
+  return std::string("%BGP-5-NOTIFICATION: ") +
+         (sent ? "sent to" : "received from") + " neighbor " + neighbor_ip +
+         " " + code + " (" + reason + ")";
+}
+
+std::string sys_restart() { return "%SYS-5-RESTART: System restarted"; }
+
+std::string cpu_threshold(int percent) {
+  return "%SYS-1-CPURISINGTHRESHOLD: Threshold: Total CPU Utilization(Total/Intr): " +
+         std::to_string(percent) + "%/2%";
+}
+
+std::string pim_nbrchg(const std::string& neighbor_ip, const std::string& vpn,
+                       bool up) {
+  return "%PIM-5-NBRCHG: VRF " + vpn + ": neighbor " + neighbor_ip + " " +
+         (up ? "UP" : "DOWN");
+}
+
+std::string linecard_crash(int slot) {
+  return "%MCE-2-CRASH: Line card in slot " + std::to_string(slot) +
+         " crashed, resetting";
+}
+
+}  // namespace msg
+}  // namespace grca::telemetry

@@ -1,0 +1,119 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "telemetry/records_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace grca::telemetry {
+
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\\': out += "\\\\"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 == text.size()) {
+      out += text[i];
+      continue;
+    }
+    switch (text[++i]) {
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case '\\': out += '\\'; break;
+      default: out += text[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view source_name(SourceType type) noexcept {
+  return to_string(type);
+}
+
+SourceType parse_source(std::string_view name) {
+  for (int i = 0; i <= static_cast<int>(SourceType::kWorkflowLog); ++i) {
+    auto type = static_cast<SourceType>(i);
+    if (to_string(type) == name) return type;
+  }
+  throw ParseError("unknown telemetry source '" + std::string(name) + "'");
+}
+
+std::string to_tsv(const RawRecord& r) {
+  std::ostringstream out;
+  out << to_string(r.source) << '\t' << r.timestamp << '\t'
+      << escape(r.device) << '\t' << escape(r.field) << '\t'
+      << escape(r.body) << '\t' << r.value << '\t' << r.true_utc << '\t';
+  bool first = true;
+  for (const auto& [k, v] : r.attrs) {
+    if (!first) out << ';';
+    first = false;
+    out << escape(k) << '=' << escape(v);
+  }
+  return out.str();
+}
+
+RawRecord from_tsv(const std::string& line) {
+  auto fields = util::split(line, '\t');
+  if (fields.size() != 8) {
+    throw ParseError("telemetry TSV: expected 8 fields, got " +
+                     std::to_string(fields.size()));
+  }
+  RawRecord r;
+  r.source = parse_source(fields[0]);
+  r.timestamp = std::stoll(fields[1]);
+  r.device = unescape(fields[2]);
+  r.field = unescape(fields[3]);
+  r.body = unescape(fields[4]);
+  r.value = std::stod(fields[5]);
+  r.true_utc = std::stoll(fields[6]);
+  if (!fields[7].empty()) {
+    for (const std::string& pair : util::split(fields[7], ';')) {
+      auto eq = pair.find('=');
+      if (eq == std::string::npos) {
+        throw ParseError("telemetry TSV: bad attr '" + pair + "'");
+      }
+      r.attrs[unescape(pair.substr(0, eq))] = unescape(pair.substr(eq + 1));
+    }
+  }
+  return r;
+}
+
+void write_stream(std::ostream& out, const RecordStream& stream) {
+  out << "# grca telemetry v1: source\ttimestamp\tdevice\tfield\tbody\tvalue"
+         "\ttrue_utc\tattrs\n";
+  for (const RawRecord& r : stream) out << to_tsv(r) << '\n';
+}
+
+RecordStream read_stream(std::istream& in) {
+  RecordStream stream;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    stream.push_back(from_tsv(line));
+  }
+  return stream;
+}
+
+}  // namespace grca::telemetry

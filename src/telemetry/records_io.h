@@ -1,0 +1,33 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Flat-file persistence for raw telemetry: tab-separated, one record per
+// line, mirroring how real feeds are archived and replayed. Used by the
+// grca CLI to decouple telemetry generation from analysis runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/records.h"
+
+namespace grca::telemetry {
+
+/// Writes one record as a single TSV line (no trailing newline handling —
+/// the stream writer adds it). Tabs/newlines inside fields are escaped.
+std::string to_tsv(const RawRecord& record);
+
+/// Parses a line written by to_tsv. Throws grca::ParseError on malformed
+/// input.
+RawRecord from_tsv(const std::string& line);
+
+/// Writes a stream with a header comment.
+void write_stream(std::ostream& out, const RecordStream& stream);
+
+/// Reads a stream (skips comment lines starting with '#').
+RecordStream read_stream(std::istream& in);
+
+std::string_view source_name(SourceType type) noexcept;
+SourceType parse_source(std::string_view name);
+
+}  // namespace grca::telemetry

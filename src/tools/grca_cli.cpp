@@ -1,0 +1,359 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// `grca` — the operator-facing command-line tool.
+//
+//   grca dump-library
+//       Print the Knowledge Library (Table I events, Table II rules).
+//
+//   grca simulate --study bgp|cdn|pim|innet --out DIR
+//                 [--days N] [--symptoms N] [--seed S] [--paper-scale]
+//       Generate a synthetic ISP + study workload; write the router config
+//       snapshots, the layer-1 inventory, the raw telemetry archive and the
+//       ground-truth labels under DIR.
+//
+//   grca diagnose --study bgp|cdn|pim|innet --data DIR
+//                 [--dsl FILE]... [--trend] [--score] [--drill CAUSE]
+//       Rebuild the network from DIR's configs, replay the telemetry
+//       archive, run the study's RCA application (plus any extra DSL
+//       files), and print the root-cause breakdown. --score compares
+//       against DIR/truth.tsv; --drill prints one drill-down for the given
+//       diagnosed cause ("unknown" works).
+//
+//   grca calibrate --study bgp|cdn|pim --data DIR
+//                  --symptom EVENT --diagnostic EVENT --join LEVEL
+//       Learn temporal margins for a rule from the archived data (§VI).
+
+#include <filesystem>
+#include <set>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "apps/bgp_flap_app.h"
+#include "apps/cdn_app.h"
+#include "apps/innet_app.h"
+#include "apps/pim_app.h"
+#include "apps/pipeline.h"
+#include "apps/scoring.h"
+#include "core/calibration.h"
+#include "core/knowledge_library.h"
+#include "core/rule_dsl.h"
+#include "core/trending.h"
+#include "simulation/workloads.h"
+#include "util/strings.h"
+#include "telemetry/records_io.h"
+#include "topology/config.h"
+#include "topology/topo_gen.h"
+
+namespace fs = std::filesystem;
+using namespace grca;
+
+namespace {
+
+[[noreturn]] void usage(const std::string& message = "") {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::cerr <<
+      R"(usage:
+  grca dump-library
+  grca simulate --study bgp|cdn|pim|innet --out DIR [--days N] [--symptoms N]
+                [--seed S] [--paper-scale]
+  grca diagnose --study bgp|cdn|pim|innet --data DIR [--dsl FILE]...
+                [--trend] [--score] [--drill CAUSE]
+  grca calibrate --study bgp|cdn|pim --data DIR --symptom EVENT
+                 --diagnostic EVENT --join LEVEL
+)";
+  std::exit(2);
+}
+
+/// Minimal flag parser: --key value pairs plus bare flags.
+struct Args {
+  std::map<std::string, std::vector<std::string>> values;
+  std::set<std::string> flags;
+
+  static Args parse(int argc, char** argv, int from,
+                    const std::set<std::string>& bare) {
+    Args args;
+    for (int i = from; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) usage("unexpected argument " + arg);
+      std::string key = arg.substr(2);
+      if (bare.count(key)) {
+        args.flags.insert(key);
+      } else {
+        if (i + 1 >= argc) usage("missing value for --" + key);
+        args.values[key].push_back(argv[++i]);
+      }
+    }
+    return args;
+  }
+
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    auto it = values.find(key);
+    if (it == values.end()) {
+      if (fallback.empty()) usage("missing --" + key);
+      return fallback;
+    }
+    return it->second.back();
+  }
+  long get_long(const std::string& key, long fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::stol(it->second.back());
+  }
+};
+
+topology::Network load_network(const fs::path& data) {
+  std::vector<std::string> configs;
+  for (const auto& entry : fs::directory_iterator(data / "configs")) {
+    std::ifstream in(entry.path());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    configs.push_back(ss.str());
+  }
+  std::ifstream inv(data / "inventory.txt");
+  std::stringstream ss;
+  ss << inv.rdbuf();
+  return topology::build_network_from_configs(configs, ss.str());
+}
+
+telemetry::RecordStream load_records(const fs::path& data) {
+  std::ifstream in(data / "records.tsv");
+  if (!in) usage("cannot open " + (data / "records.tsv").string());
+  return telemetry::read_stream(in);
+}
+
+std::vector<sim::TruthEntry> load_truth(const fs::path& data) {
+  std::vector<sim::TruthEntry> truth;
+  std::ifstream in(data / "truth.tsv");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto f = util::split(line, '\t');
+    if (f.size() != 5) throw ParseError("truth.tsv: bad line");
+    truth.push_back(
+        sim::TruthEntry{f[0], f[1], f[2], std::stoll(f[3]), f[4]});
+  }
+  return truth;
+}
+
+struct StudyHooks {
+  core::DiagnosisGraph (*graph)();
+  void (*browser)(core::ResultBrowser&);
+  std::string (*canonical)(const std::string&);
+};
+
+StudyHooks hooks_for(const std::string& study) {
+  if (study == "bgp") {
+    return {apps::bgp::build_graph, apps::bgp::configure_browser,
+            apps::bgp::canonical_cause};
+  }
+  if (study == "cdn") {
+    return {apps::cdn::build_graph, apps::cdn::configure_browser,
+            apps::cdn::canonical_cause};
+  }
+  if (study == "pim") {
+    return {apps::pim::build_graph, apps::pim::configure_browser,
+            apps::pim::canonical_cause};
+  }
+  if (study == "innet") {
+    return {apps::innet::build_graph, apps::innet::configure_browser,
+            apps::innet::canonical_cause};
+  }
+  usage("unknown study '" + study + "'");
+}
+
+int cmd_dump_library() {
+  core::DiagnosisGraph graph;
+  core::load_knowledge_library(graph);
+  std::cout << core::render_dsl(graph);
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  std::string study = args.get("study");
+  fs::path out(args.get("out"));
+  topology::TopoParams tp;
+  if (args.flags.count("paper-scale")) {
+    tp = topology::paper_scale_params();
+  } else {
+    tp.pops = 10;
+    tp.pers_per_pop = 6;
+    tp.customers_per_per = 8;
+    tp.mvpn_count = 4;
+    tp.mvpn_sites_per_vpn = 10;
+  }
+  tp.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
+  topology::Network net = topology::generate_isp(tp);
+
+  sim::StudyOutput result;
+  if (study == "bgp") {
+    sim::BgpStudyParams p;
+    p.days = static_cast<int>(args.get_long("days", 30));
+    p.target_symptoms = static_cast<int>(args.get_long("symptoms", 2000));
+    p.seed = tp.seed + 1;
+    result = sim::run_bgp_study(net, p);
+  } else if (study == "cdn") {
+    sim::CdnStudyParams p;
+    p.days = static_cast<int>(args.get_long("days", 30));
+    p.target_symptoms = static_cast<int>(args.get_long("symptoms", 1500));
+    p.seed = tp.seed + 1;
+    result = sim::run_cdn_study(net, p);
+  } else if (study == "pim") {
+    sim::PimStudyParams p;
+    p.days = static_cast<int>(args.get_long("days", 14));
+    p.target_symptoms = static_cast<int>(args.get_long("symptoms", 2000));
+    p.seed = tp.seed + 1;
+    result = sim::run_pim_study(net, p);
+  } else if (study == "innet") {
+    sim::InnetStudyParams p;
+    p.days = static_cast<int>(args.get_long("days", 30));
+    p.target_symptoms = static_cast<int>(args.get_long("symptoms", 600));
+    p.seed = tp.seed + 1;
+    result = sim::run_innet_study(net, p);
+  } else {
+    usage("unknown study '" + study + "'");
+  }
+
+  fs::create_directories(out / "configs");
+  for (const topology::Router& r : net.routers()) {
+    std::ofstream cfg(out / "configs" / (r.name + ".cfg"));
+    cfg << topology::render_config(net, r.id);
+  }
+  {
+    std::ofstream inv(out / "inventory.txt");
+    inv << topology::render_layer1_inventory(net);
+  }
+  {
+    std::ofstream rec(out / "records.tsv");
+    telemetry::write_stream(rec, result.records);
+  }
+  {
+    std::ofstream truth(out / "truth.tsv");
+    truth << "# symptom\trouter\tdetail\ttime\tcause\n";
+    for (const sim::TruthEntry& e : result.truth) {
+      truth << e.symptom << '\t' << e.router << '\t' << e.detail << '\t'
+            << e.time << '\t' << e.cause << '\n';
+    }
+  }
+  std::cout << "wrote " << net.routers().size() << " configs, "
+            << result.records.size() << " records, " << result.truth.size()
+            << " truth labels under " << out.string() << "\n";
+  return 0;
+}
+
+int cmd_diagnose(const Args& args) {
+  std::string study = args.get("study");
+  fs::path data(args.get("data"));
+  StudyHooks hooks = hooks_for(study);
+
+  topology::Network net = load_network(data);
+  telemetry::RecordStream records = load_records(data);
+  std::vector<topology::RouterId> observers;
+  if (study == "cdn" && !net.cdn_nodes().empty()) {
+    observers = net.cdn_nodes().front().ingress_routers;
+  }
+  apps::Pipeline pipeline(net, records, {}, observers);
+
+  core::DiagnosisGraph graph = hooks.graph();
+  if (auto it = args.values.find("dsl"); it != args.values.end()) {
+    for (const std::string& file : it->second) {
+      std::ifstream in(file);
+      if (!in) usage("cannot open DSL file " + file);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      core::load_dsl(ss.str(), graph);
+    }
+    graph.validate();
+  }
+  core::RcaEngine engine(std::move(graph), pipeline.store(),
+                         pipeline.mapper());
+  core::ResultBrowser browser(engine.diagnose_all());
+  hooks.browser(browser);
+  std::cout << browser.breakdown().render("root cause breakdown");
+  std::cout << "\nmean diagnosis time: " << browser.mean_diagnosis_ms()
+            << " ms/symptom over " << browser.diagnoses().size()
+            << " symptoms\n";
+
+  if (args.flags.count("trend")) {
+    std::cout << "\n" << browser.trend().render("daily trend");
+    core::TrendSeries series = core::daily_counts(browser.diagnoses());
+    if (auto alert = core::detect_level_shift(series)) {
+      std::cout << "TREND ALERT: daily symptom rate shifted "
+                << alert->before_mean << " -> " << alert->after_mean
+                << "/day on " << util::format_utc(alert->day_utc)
+                << " (score " << alert->score << ")\n";
+    }
+  }
+  if (args.flags.count("score")) {
+    auto truth = load_truth(data);
+    if (truth.empty()) {
+      std::cout << "\nno truth.tsv found; skipping scoring\n";
+    } else {
+      apps::Score score = apps::score_diagnoses(browser.diagnoses(), truth,
+                                                hooks.canonical);
+      std::cout << "\naccuracy vs ground truth: " << 100.0 * score.accuracy()
+                << "% (" << score.correct << "/" << score.matched
+                << " matched diagnoses)\n";
+    }
+  }
+  if (auto it = args.values.find("drill"); it != args.values.end()) {
+    auto cases = browser.with_cause(it->second.back());
+    if (cases.empty()) {
+      std::cout << "\nno diagnoses with cause " << it->second.back() << "\n";
+    } else {
+      std::cout << "\n"
+                << browser.drill_down(*cases.front(),
+                                      pipeline.context_lookup());
+    }
+  }
+  return 0;
+}
+
+int cmd_calibrate(const Args& args) {
+  fs::path data(args.get("data"));
+  topology::Network net = load_network(data);
+  apps::Pipeline pipeline(net, load_records(data));
+  auto result = core::calibrate_temporal(
+      pipeline.store(), pipeline.mapper(), args.get("symptom"),
+      args.get("diagnostic"), core::parse_location_type(args.get("join")));
+  if (!result) {
+    std::cout << "not enough co-occurrences to calibrate\n";
+    return 1;
+  }
+  std::cout << "samples: " << result->samples
+            << "  median lag: " << result->median_lag
+            << " s  coverage: " << 100.0 * result->coverage << "%\n";
+  std::cout << "calibrated rule:\n"
+            << "  symptom " << core::to_string(result->rule.symptom.option)
+            << " " << result->rule.symptom.left << " "
+            << result->rule.symptom.right << "\n"
+            << "  diagnostic "
+            << core::to_string(result->rule.diagnostic.option) << " "
+            << result->rule.diagnostic.left << " "
+            << result->rule.diagnostic.right << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  std::string command = argv[1];
+  try {
+    if (command == "dump-library") return cmd_dump_library();
+    if (command == "simulate") {
+      return cmd_simulate(Args::parse(argc, argv, 2, {"paper-scale"}));
+    }
+    if (command == "diagnose") {
+      return cmd_diagnose(Args::parse(argc, argv, 2, {"trend", "score"}));
+    }
+    if (command == "calibrate") {
+      return cmd_calibrate(Args::parse(argc, argv, 2, {}));
+    }
+    usage("unknown command '" + command + "'");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

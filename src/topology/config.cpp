@@ -1,0 +1,387 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "topology/config.h"
+
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace grca::topology {
+namespace {
+
+using util::Ipv4Addr;
+using util::Ipv4Prefix;
+
+RouterRole parse_role(const std::string& s) {
+  if (s == "core") return RouterRole::kCore;
+  if (s == "access") return RouterRole::kAccess;
+  if (s == "per") return RouterRole::kProviderEdge;
+  if (s == "reflector") return RouterRole::kRouteReflector;
+  throw ParseError("config: unknown role '" + s + "'");
+}
+
+Layer1Kind parse_l1_kind(const std::string& s) {
+  if (s == "sonet") return Layer1Kind::kSonetRing;
+  if (s == "optical-mesh") return Layer1Kind::kOpticalMesh;
+  throw ParseError("config: unknown layer-1 kind '" + s + "'");
+}
+
+InterfaceKind parse_if_kind(const std::string& s) {
+  if (s == "backbone") return InterfaceKind::kBackbone;
+  if (s == "customer") return InterfaceKind::kCustomerFacing;
+  if (s == "peering") return InterfaceKind::kPeering;
+  throw ParseError("config: unknown interface kind '" + s + "'");
+}
+
+}  // namespace
+
+std::string render_config(const Network& net, RouterId router_id) {
+  const Router& r = net.router(router_id);
+  const Pop& pop = net.pop(r.pop);
+  std::ostringstream out;
+  out << "hostname " << r.name << "\n";
+  out << "pop " << pop.name << "\n";
+  out << "timezone " << pop.timezone.name() << " "
+      << pop.timezone.offset_seconds() << "\n";
+  out << "role " << to_string(r.role) << "\n";
+  out << "loopback " << r.loopback.to_string() << "\n";
+  for (RouterId rr : r.reflectors) out << "reflector " << net.router(rr).name << "\n";
+  for (InterfaceId iid : r.interfaces) {
+    const Interface& ifc = net.interface(iid);
+    out << "interface " << ifc.name << "\n";
+    out << " card " << net.line_card(ifc.line_card).slot << "\n";
+    out << " kind " << to_string(ifc.kind) << "\n";
+    if (ifc.kind == InterfaceKind::kBackbone) {
+      const LogicalLink& link = net.link(ifc.link);
+      out << " ip address " << ifc.address.to_string() << "/"
+          << link.subnet.length() << "\n";
+      out << " ospf weight " << link.ospf_weight << "\n";
+      out << " bandwidth " << link.capacity_gbps << "\n";
+      InterfaceId far =
+          link.side_a == iid ? link.side_b : link.side_a;
+      const Interface& fifc = net.interface(far);
+      out << " link-peer " << net.router(fifc.router).name << " " << fifc.name
+          << "\n";
+      for (PhysicalLinkId pl : link.physical) {
+        out << " circuit " << net.physical_link(pl).circuit_id << "\n";
+      }
+    } else if (ifc.customer.valid()) {
+      const CustomerSite& c = net.customer(ifc.customer);
+      out << " ip address " << ifc.address.to_string() << "/30\n";
+      out << " neighbor " << c.neighbor_ip.to_string() << " remote-as "
+          << c.asn << "\n";
+      out << " neighbor-prefix " << c.announced.to_string() << "\n";
+      out << " customer " << c.name << "\n";
+      if (!c.mvpn.empty()) out << " mvpn " << c.mvpn << "\n";
+      for (PhysicalLinkId pl : net.access_circuits(iid)) {
+        out << " circuit " << net.physical_link(pl).circuit_id << "\n";
+      }
+    } else {
+      out << " ip address " << ifc.address.to_string() << "/30\n";
+    }
+  }
+  return out.str();
+}
+
+std::vector<std::string> render_all_configs(const Network& net) {
+  std::vector<std::string> out;
+  out.reserve(net.routers().size());
+  for (const Router& r : net.routers()) out.push_back(render_config(net, r.id));
+  return out;
+}
+
+std::string render_layer1_inventory(const Network& net) {
+  std::ostringstream out;
+  for (const Layer1Device& d : net.layer1_devices()) {
+    out << "layer1-device " << d.name << " " << to_string(d.kind) << " "
+        << net.pop(d.pop).name << "\n";
+  }
+  for (const PhysicalLink& p : net.physical_links()) {
+    out << "circuit " << p.circuit_id << " " << to_string(p.kind) << " path";
+    for (Layer1DeviceId d : p.path) out << " " << net.layer1_device(d).name;
+    out << "\n";
+  }
+  for (const CdnNode& c : net.cdn_nodes()) {
+    out << "cdn-node " << c.name << " " << net.pop(c.pop).name << " servers "
+        << c.server_count << " ingress";
+    for (RouterId r : c.ingress_routers) out << " " << net.router(r).name;
+    out << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+// Intermediate parse products -----------------------------------------------
+
+struct IfSpec {
+  std::string name;
+  int card = 0;
+  InterfaceKind kind = InterfaceKind::kBackbone;
+  Ipv4Addr address;
+  int prefix_len = 30;
+  int ospf_weight = 0;
+  double bandwidth = 0.0;
+  std::string peer_router, peer_iface;
+  std::vector<std::string> circuits;
+  Ipv4Addr neighbor_ip;
+  std::uint32_t asn = 0;
+  Ipv4Prefix neighbor_prefix;
+  std::string customer;
+  std::string mvpn;
+};
+
+struct RouterSpec {
+  std::string name, pop, tz_name;
+  int tz_offset = 0;
+  RouterRole role = RouterRole::kCore;
+  Ipv4Addr loopback;
+  std::vector<std::string> reflectors;
+  std::vector<IfSpec> interfaces;
+};
+
+RouterSpec parse_router_config(const std::string& text) {
+  RouterSpec spec;
+  IfSpec* cur = nullptr;
+  for (std::string_view raw : util::split(text, '\n')) {
+    std::string_view line = util::trim(raw);
+    if (line.empty() || line[0] == '!') continue;
+    auto tok = util::split_ws(line);
+    const std::string& key = tok[0];
+    auto need = [&](std::size_t n) {
+      if (tok.size() < n) {
+        throw ParseError("config: truncated line '" + std::string(line) + "'");
+      }
+    };
+    if (key == "hostname") { need(2); spec.name = tok[1]; }
+    else if (key == "pop") { need(2); spec.pop = tok[1]; }
+    else if (key == "timezone") {
+      need(3);
+      spec.tz_name = tok[1];
+      spec.tz_offset = std::stoi(tok[2]);
+    }
+    else if (key == "role") { need(2); spec.role = parse_role(tok[1]); }
+    else if (key == "loopback") { need(2); spec.loopback = Ipv4Addr::parse(tok[1]); }
+    else if (key == "reflector") { need(2); spec.reflectors.push_back(tok[1]); }
+    else if (key == "interface") {
+      need(2);
+      spec.interfaces.emplace_back();
+      cur = &spec.interfaces.back();
+      cur->name = tok[1];
+    } else {
+      if (cur == nullptr) {
+        throw ParseError("config: '" + key + "' outside interface block");
+      }
+      if (key == "card") { need(2); cur->card = std::stoi(tok[1]); }
+      else if (key == "kind") { need(2); cur->kind = parse_if_kind(tok[1]); }
+      else if (key == "ip") {
+        need(3);  // "ip address a.b.c.d/len"
+        auto slash = tok[2].find('/');
+        if (slash == std::string::npos) throw ParseError("config: bad ip " + tok[2]);
+        cur->address = Ipv4Addr::parse(tok[2].substr(0, slash));
+        cur->prefix_len = std::stoi(tok[2].substr(slash + 1));
+      }
+      else if (key == "ospf") { need(3); cur->ospf_weight = std::stoi(tok[2]); }
+      else if (key == "bandwidth") { need(2); cur->bandwidth = std::stod(tok[1]); }
+      else if (key == "link-peer") {
+        need(3);
+        cur->peer_router = tok[1];
+        cur->peer_iface = tok[2];
+      }
+      else if (key == "circuit") { need(2); cur->circuits.push_back(tok[1]); }
+      else if (key == "neighbor") {
+        need(4);  // "neighbor <ip> remote-as <asn>"
+        cur->neighbor_ip = Ipv4Addr::parse(tok[1]);
+        cur->asn = static_cast<std::uint32_t>(std::stoul(tok[3]));
+      }
+      else if (key == "neighbor-prefix") { need(2); cur->neighbor_prefix = Ipv4Prefix::parse(tok[1]); }
+      else if (key == "customer") { need(2); cur->customer = tok[1]; }
+      else if (key == "mvpn") { need(2); cur->mvpn = tok[1]; }
+      else throw ParseError("config: unknown keyword '" + key + "'");
+    }
+  }
+  if (spec.name.empty()) throw ParseError("config: missing hostname");
+  return spec;
+}
+
+}  // namespace
+
+Network build_network_from_configs(const std::vector<std::string>& configs,
+                                   const std::string& layer1_inventory) {
+  Network net;
+
+  // Pass 0: parse everything.
+  std::vector<RouterSpec> specs;
+  specs.reserve(configs.size());
+  for (const std::string& c : configs) specs.push_back(parse_router_config(c));
+
+  struct CircuitSpec {
+    Layer1Kind kind;
+    std::vector<std::string> path;
+  };
+  std::unordered_map<std::string, CircuitSpec> circuits;
+  struct CdnSpec {
+    std::string name, pop;
+    int servers = 0;
+    std::vector<std::string> ingress;
+  };
+  std::vector<CdnSpec> cdn_specs;
+  std::unordered_map<std::string, Layer1DeviceId> l1_by_name;
+
+  // Pass 1: PoPs (from configs; first mention defines the zone).
+  std::unordered_map<std::string, PopId> pop_ids;
+  for (const RouterSpec& s : specs) {
+    if (!pop_ids.count(s.pop)) {
+      pop_ids.emplace(s.pop,
+                      net.add_pop(s.pop, util::TimeZone(s.tz_name, s.tz_offset)));
+    }
+  }
+
+  // Pass 2: layer-1 inventory (devices need PoPs; circuits applied later).
+  for (std::string_view raw : util::split(layer1_inventory, '\n')) {
+    std::string_view line = util::trim(raw);
+    if (line.empty()) continue;
+    auto tok = util::split_ws(line);
+    if (tok[0] == "layer1-device") {
+      if (tok.size() != 4) throw ParseError("inventory: bad device line");
+      auto pit = pop_ids.find(tok[3]);
+      if (pit == pop_ids.end()) {
+        // A layer-1 site with no routers configured: create the pop as UTC.
+        pit = pop_ids.emplace(tok[3], net.add_pop(tok[3], util::TimeZone::utc()))
+                  .first;
+      }
+      l1_by_name.emplace(
+          tok[1], net.add_layer1_device(tok[1], parse_l1_kind(tok[2]), pit->second));
+    } else if (tok[0] == "circuit") {
+      if (tok.size() < 5 || tok[3] != "path") {
+        throw ParseError("inventory: bad circuit line");
+      }
+      CircuitSpec cs;
+      cs.kind = parse_l1_kind(tok[2]);
+      cs.path.assign(tok.begin() + 4, tok.end());
+      circuits.emplace(tok[1], std::move(cs));
+    } else if (tok[0] == "cdn-node") {
+      // "cdn-node <name> <pop> servers <n> ingress <r1> <r2> ..."
+      if (tok.size() < 7 || tok[3] != "servers" || tok[5] != "ingress") {
+        throw ParseError("inventory: bad cdn-node line");
+      }
+      CdnSpec cd;
+      cd.name = tok[1];
+      cd.pop = tok[2];
+      cd.servers = std::stoi(tok[4]);
+      cd.ingress.assign(tok.begin() + 6, tok.end());
+      cdn_specs.push_back(std::move(cd));
+    } else {
+      throw ParseError("inventory: unknown record '" + tok[0] + "'");
+    }
+  }
+
+  // Pass 3: routers, line cards, interfaces.
+  std::unordered_map<std::string, std::unordered_map<std::string, InterfaceId>>
+      if_by_name;  // router name -> iface name -> id
+  for (const RouterSpec& s : specs) {
+    RouterId rid = net.add_router(s.name, pop_ids.at(s.pop), s.role, s.loopback);
+    std::map<int, LineCardId> cards;  // slot -> id, created in slot order
+    for (const IfSpec& ifs : s.interfaces) {
+      auto cit = cards.find(ifs.card);
+      if (cit == cards.end()) {
+        cit = cards.emplace(ifs.card, net.add_line_card(rid, ifs.card)).first;
+      }
+      if_by_name[s.name][ifs.name] = net.add_interface(
+          rid, cit->second, ifs.name, ifs.kind, ifs.address);
+    }
+  }
+
+  // Pass 4: logical links (create once per pair), physical circuits,
+  // customers, reflectors.
+  for (const RouterSpec& s : specs) {
+    for (const IfSpec& ifs : s.interfaces) {
+      if (ifs.kind == InterfaceKind::kBackbone) {
+        if (ifs.peer_router.empty()) {
+          throw ConfigError("config: backbone interface " + ifs.name + " on " +
+                            s.name + " lacks link-peer");
+        }
+        // Create the link from the lexicographically smaller endpoint so we
+        // do it exactly once.
+        if (std::tie(s.name, ifs.name) >=
+            std::tie(ifs.peer_router, ifs.peer_iface)) {
+          continue;
+        }
+        auto near = if_by_name.at(s.name).at(ifs.name);
+        auto far_router = if_by_name.find(ifs.peer_router);
+        if (far_router == if_by_name.end() ||
+            !far_router->second.count(ifs.peer_iface)) {
+          throw ConfigError("config: link-peer " + ifs.peer_router + " " +
+                            ifs.peer_iface + " not found");
+        }
+        auto far = far_router->second.at(ifs.peer_iface);
+        LogicalLinkId link = net.add_logical_link(
+            near, far, Ipv4Prefix(ifs.address, ifs.prefix_len),
+            ifs.ospf_weight, ifs.bandwidth);
+        for (const std::string& ckt : ifs.circuits) {
+          auto cit = circuits.find(ckt);
+          if (cit == circuits.end()) {
+            throw ConfigError("config: circuit " + ckt + " not in inventory");
+          }
+          std::vector<Layer1DeviceId> path;
+          for (const std::string& dev : cit->second.path) {
+            auto dit = l1_by_name.find(dev);
+            if (dit == l1_by_name.end()) {
+              throw ConfigError("inventory: unknown layer-1 device " + dev);
+            }
+            path.push_back(dit->second);
+          }
+          net.add_physical_link(ckt, link, cit->second.kind, std::move(path));
+        }
+      } else if (!ifs.customer.empty()) {
+        InterfaceId port = if_by_name.at(s.name).at(ifs.name);
+        net.add_customer_site(ifs.customer, port, ifs.neighbor_ip, ifs.asn,
+                              ifs.neighbor_prefix, ifs.mvpn);
+        for (const std::string& ckt : ifs.circuits) {
+          auto cit = circuits.find(ckt);
+          if (cit == circuits.end()) {
+            throw ConfigError("config: circuit " + ckt + " not in inventory");
+          }
+          std::vector<Layer1DeviceId> path;
+          for (const std::string& dev : cit->second.path) {
+            auto dit = l1_by_name.find(dev);
+            if (dit == l1_by_name.end()) {
+              throw ConfigError("inventory: unknown layer-1 device " + dev);
+            }
+            path.push_back(dit->second);
+          }
+          net.add_access_circuit(ckt, port, cit->second.kind, std::move(path));
+        }
+      }
+    }
+    if (!s.reflectors.empty()) {
+      std::vector<RouterId> refl;
+      for (const std::string& name : s.reflectors) {
+        auto r = net.find_router(name);
+        if (!r) throw ConfigError("config: unknown reflector " + name);
+        refl.push_back(*r);
+      }
+      net.set_reflectors(*net.find_router(s.name), std::move(refl));
+    }
+  }
+
+  // Pass 5: CDN nodes.
+  for (const CdnSpec& cd : cdn_specs) {
+    std::vector<RouterId> ingress;
+    for (const std::string& r : cd.ingress) {
+      auto rid = net.find_router(r);
+      if (!rid) throw ConfigError("inventory: unknown cdn ingress router " + r);
+      ingress.push_back(*rid);
+    }
+    net.add_cdn_node(cd.name, pop_ids.at(cd.pop), std::move(ingress),
+                     cd.servers);
+  }
+
+  net.validate();
+  return net;
+}
+
+}  // namespace grca::topology

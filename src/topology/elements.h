@@ -1,0 +1,142 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Network element records. These are plain data carriers (Core Guidelines
+// C.1/C.2: structs with no invariants beyond field validity); the Network
+// class owns consistency across elements.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/ids.h"
+#include "util/ipv4.h"
+#include "util/time.h"
+
+namespace grca::topology {
+
+/// A point of presence: a city-level site housing routers. The timezone is
+/// inherited by devices whose syslog stamps local time (paper §II-A).
+struct Pop {
+  PopId id;
+  std::string name;           // e.g. "nyc"
+  util::TimeZone timezone = util::TimeZone::utc();
+};
+
+enum class RouterRole {
+  kCore,           // backbone router (BR)
+  kAccess,         // access router (AR) aggregating PERs
+  kProviderEdge,   // PER holding eBGP sessions with customers
+  kRouteReflector, // iBGP route reflector
+};
+
+/// Returns a short human label ("core", "access", ...).
+std::string_view to_string(RouterRole role) noexcept;
+
+struct Router {
+  RouterId id;
+  std::string name;            // canonical lowercase, e.g. "nyc-per3"
+  PopId pop;
+  RouterRole role = RouterRole::kCore;
+  util::Ipv4Addr loopback;
+  std::vector<LineCardId> line_cards;
+  std::vector<InterfaceId> interfaces;
+  /// Route reflectors feeding this router with BGP updates (PER/AR only).
+  std::vector<RouterId> reflectors;
+};
+
+struct LineCard {
+  LineCardId id;
+  RouterId router;
+  int slot = 0;                // slot number within the chassis
+  std::vector<InterfaceId> interfaces;
+};
+
+enum class InterfaceKind {
+  kBackbone,        // connects to another ISP router over a logical link
+  kCustomerFacing,  // connects a PER to a customer site
+  kPeering,         // connects to a neighboring ISP
+  kLoopback,
+};
+
+std::string_view to_string(InterfaceKind kind) noexcept;
+
+struct Interface {
+  InterfaceId id;
+  RouterId router;
+  LineCardId line_card;
+  std::string name;            // e.g. "so-1/0/2"
+  InterfaceKind kind = InterfaceKind::kBackbone;
+  util::Ipv4Addr address;      // interface IP (point-to-point /30 for links)
+  /// Valid for kBackbone interfaces: the logical link this terminates.
+  LogicalLinkId link;
+  /// Valid for kCustomerFacing/kPeering: the attached customer site.
+  CustomerSiteId customer;
+};
+
+/// A layer-3 point-to-point adjacency between two routers. Carries the OSPF
+/// weight (the *initial* weight; time-varying weights live in the OSPF
+/// simulator) and may be realized by several physical links (APS / bundles).
+struct LogicalLink {
+  LogicalLinkId id;
+  std::string name;            // e.g. "nyc-cr1:so-0/0/0--chi-cr2:so-0/0/1"
+  InterfaceId side_a;
+  InterfaceId side_b;
+  util::Ipv4Prefix subnet;     // the /30 the two endpoints share
+  int ospf_weight = 10;
+  double capacity_gbps = 10.0;
+  std::vector<PhysicalLinkId> physical;
+};
+
+enum class Layer1Kind { kSonetRing, kOpticalMesh };
+
+std::string_view to_string(Layer1Kind kind) noexcept;
+
+struct Layer1Device {
+  Layer1DeviceId id;
+  std::string name;            // e.g. "nyc-oxc2"
+  Layer1Kind kind = Layer1Kind::kOpticalMesh;
+  PopId pop;
+};
+
+/// A physical circuit traversing a chain of layer-1 devices. It realizes
+/// either (part of) a backbone logical link, or a customer access tail
+/// (customer-facing interfaces are delivered over the ISP transport network
+/// too — that is why "SONET restoration" can root-cause an eBGP flap in the
+/// paper's Fig. 4). Exactly one of `logical` / `access_port` is valid. The
+/// circuit id exercises the collector's identifier normalization (the same
+/// facility is named differently at layer 1 and layer 3).
+struct PhysicalLink {
+  PhysicalLinkId id;
+  std::string circuit_id;      // e.g. "CKT.NYC.CHI.00042"
+  LogicalLinkId logical;       // backbone circuit: the link it carries
+  InterfaceId access_port;     // access circuit: the customer port it feeds
+  Layer1Kind kind = Layer1Kind::kOpticalMesh;
+  std::vector<Layer1DeviceId> path;  // layer-1 devices in order
+};
+
+/// A customer attachment point: the far end of a PER's customer-facing
+/// interface. G-RCA only ever sees the neighbor IP of the CPE router.
+struct CustomerSite {
+  CustomerSiteId id;
+  std::string name;            // e.g. "cust-00123-site2"
+  InterfaceId attachment;      // the PER interface it hangs off
+  util::Ipv4Addr neighbor_ip;  // CPE side of the /30
+  std::uint32_t asn = 0;       // customer AS number
+  util::Ipv4Prefix announced;  // prefix the customer announces over eBGP
+  /// Multicast VPN membership (empty string = not an MVPN customer). Sites
+  /// sharing a vpn id maintain PIM adjacencies between their PERs.
+  std::string mvpn;
+};
+
+/// A CDN node: a data center hosting content servers, attached to the
+/// network at a set of PER-like routers.
+struct CdnNode {
+  CdnNodeId id;
+  std::string name;            // e.g. "cdn-nyc"
+  PopId pop;
+  std::vector<RouterId> ingress_routers;
+  int server_count = 20;
+};
+
+}  // namespace grca::topology

@@ -1,0 +1,53 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Strongly typed element identifiers. Mixing up a router id and an interface
+// id is a classic source of silent spatial-correlation bugs; the tag makes it
+// a compile error.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace grca::topology {
+
+/// A dense, non-negative index into one of the Network's element tables.
+template <typename Tag>
+class Id {
+ public:
+  static constexpr std::uint32_t kInvalid =
+      std::numeric_limits<std::uint32_t>::max();
+
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(std::uint32_t value) noexcept : value_(value) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(Id, Id) noexcept = default;
+
+ private:
+  std::uint32_t value_ = kInvalid;
+};
+
+using PopId = Id<struct PopTag>;
+using RouterId = Id<struct RouterTag>;
+using LineCardId = Id<struct LineCardTag>;
+using InterfaceId = Id<struct InterfaceTag>;
+using LogicalLinkId = Id<struct LogicalLinkTag>;
+using PhysicalLinkId = Id<struct PhysicalLinkTag>;
+using Layer1DeviceId = Id<struct Layer1DeviceTag>;
+using CustomerSiteId = Id<struct CustomerSiteTag>;
+using CdnNodeId = Id<struct CdnNodeTag>;
+
+}  // namespace grca::topology
+
+namespace std {
+template <typename Tag>
+struct hash<grca::topology::Id<Tag>> {
+  std::size_t operator()(grca::topology::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,308 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "topology/topo_gen.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "util/strings.h"
+
+namespace grca::topology {
+namespace {
+
+using util::Ipv4Addr;
+using util::Ipv4Prefix;
+
+constexpr std::array<const char*, 16> kCityCodes = {
+    "nyc", "chi", "dal", "lax", "sea", "atl", "dcx", "sfo",
+    "den", "hou", "mia", "bos", "phl", "phx", "stl", "kcy"};
+
+const util::TimeZone kZones[4] = {
+    util::TimeZone::us_eastern(), util::TimeZone::us_central(),
+    util::TimeZone::us_mountain(), util::TimeZone::us_pacific()};
+
+/// Sequential allocator for /30 point-to-point subnets out of 10.0.0.0/8.
+class SubnetAllocator {
+ public:
+  explicit SubnetAllocator(std::uint32_t base) : next_(base) {}
+
+  /// Returns {subnet, side-a address, side-b address}.
+  struct P2p {
+    Ipv4Prefix subnet;
+    Ipv4Addr a;
+    Ipv4Addr b;
+  };
+  P2p next_p2p() {
+    std::uint32_t net = next_;
+    next_ += 4;
+    return P2p{Ipv4Prefix(Ipv4Addr(net), 30), Ipv4Addr(net + 1),
+               Ipv4Addr(net + 2)};
+  }
+
+ private:
+  std::uint32_t next_;
+};
+
+/// Allocates interfaces on a router, opening a new line card every
+/// `per_card` ports. Models the config-derived router→card→interface
+/// containment of §II-B utility 6.
+class PortAllocator {
+ public:
+  PortAllocator(Network& net, RouterId router, int per_card)
+      : net_(net), router_(router), per_card_(per_card) {}
+
+  InterfaceId add(InterfaceKind kind, Ipv4Addr addr) {
+    if (!card_.valid() || used_ == per_card_) {
+      card_ = net_.add_line_card(router_, slot_++);
+      used_ = 0;
+    }
+    const char* media = kind == InterfaceKind::kBackbone ? "so" : "ge";
+    char name[32];
+    std::snprintf(name, sizeof name, "%s-%d/0/%d", media, slot_ - 1, used_);
+    ++used_;
+    return net_.add_interface(router_, card_, name, kind, addr);
+  }
+
+ private:
+  Network& net_;
+  RouterId router_;
+  int per_card_;
+  LineCardId card_;
+  int slot_ = 0;
+  int used_ = 0;
+};
+
+std::string pop_name(int i) {
+  std::string base = kCityCodes[i % kCityCodes.size()];
+  if (i >= static_cast<int>(kCityCodes.size())) {
+    base += std::to_string(i / kCityCodes.size() + 1);
+  }
+  return base;
+}
+
+}  // namespace
+
+TopoParams paper_scale_params() {
+  TopoParams p;
+  p.pops = 25;
+  p.core_per_pop = 2;
+  p.access_per_pop = 3;
+  p.pers_per_pop = 25;  // 625 PERs total
+  p.customers_per_per = 8;
+  p.mvpn_count = 8;
+  p.mvpn_sites_per_vpn = 12;
+  p.cdn_nodes = 4;
+  return p;
+}
+
+Network generate_isp(const TopoParams& params) {
+  if (params.pops < 2 || params.core_per_pop < 1 || params.pers_per_pop < 1) {
+    throw ConfigError("generate_isp: degenerate parameters");
+  }
+  util::Rng rng(params.seed);
+  Network net;
+  SubnetAllocator backbone_nets(Ipv4Addr::parse("10.0.0.0").value());
+  SubnetAllocator customer_nets(Ipv4Addr::parse("172.16.0.0").value());
+  std::uint32_t next_loopback = Ipv4Addr::parse("10.255.0.1").value();
+  std::uint32_t next_customer_prefix = Ipv4Addr::parse("96.0.0.0").value();
+  std::uint32_t next_asn = 65001;
+
+  struct PopRouters {
+    std::vector<RouterId> core, access, pers;
+  };
+  std::vector<PopRouters> pr(params.pops);
+  std::vector<PopId> pops;
+  std::vector<std::unique_ptr<PortAllocator>> ports;  // indexed by RouterId
+
+  auto new_router = [&](const std::string& name, PopId pop, RouterRole role) {
+    RouterId id = net.add_router(name, pop, role, Ipv4Addr(next_loopback++));
+    ports.push_back(std::make_unique<PortAllocator>(
+        net, id, params.interfaces_per_card));
+    return id;
+  };
+  auto connect = [&](RouterId a, RouterId b, int weight, double cap) {
+    auto p2p = backbone_nets.next_p2p();
+    InterfaceId ia = ports[a.value()]->add(InterfaceKind::kBackbone, p2p.a);
+    InterfaceId ib = ports[b.value()]->add(InterfaceKind::kBackbone, p2p.b);
+    return net.add_logical_link(ia, ib, p2p.subnet, weight, cap);
+  };
+
+  // --- PoPs and routers ----------------------------------------------------
+  for (int p = 0; p < params.pops; ++p) {
+    PopId pop = net.add_pop(pop_name(p), kZones[(p / 2) % 4]);
+    pops.push_back(pop);
+    for (int i = 0; i < params.core_per_pop; ++i) {
+      pr[p].core.push_back(new_router(
+          pop_name(p) + "-cr" + std::to_string(i + 1), pop, RouterRole::kCore));
+    }
+    for (int i = 0; i < params.access_per_pop; ++i) {
+      pr[p].access.push_back(
+          new_router(pop_name(p) + "-ar" + std::to_string(i + 1), pop,
+                     RouterRole::kAccess));
+    }
+    for (int i = 0; i < params.pers_per_pop; ++i) {
+      pr[p].pers.push_back(
+          new_router(pop_name(p) + "-per" + std::to_string(i + 1), pop,
+                     RouterRole::kProviderEdge));
+    }
+  }
+
+  // Route reflectors: two, in the first two PoPs.
+  RouterId rr1 = new_router(pop_name(0) + "-rr1", pops[0],
+                            RouterRole::kRouteReflector);
+  RouterId rr2 = new_router(pop_name(1) + "-rr2", pops[1],
+                            RouterRole::kRouteReflector);
+
+  // --- Layer-1 devices ------------------------------------------------------
+  // One SONET add-drop mux and one optical cross-connect per PoP, plus a
+  // shared long-haul optical device per inter-PoP span (added lazily).
+  std::vector<Layer1DeviceId> pop_sonet(params.pops), pop_oxc(params.pops);
+  for (int p = 0; p < params.pops; ++p) {
+    pop_sonet[p] = net.add_layer1_device(pop_name(p) + "-adm1",
+                                         Layer1Kind::kSonetRing, pops[p]);
+    pop_oxc[p] = net.add_layer1_device(pop_name(p) + "-oxc1",
+                                       Layer1Kind::kOpticalMesh, pops[p]);
+  }
+
+  int circuit_seq = 1;
+  auto add_circuits = [&](LogicalLinkId link, int pa, int pb) {
+    // Intra-PoP links ride the local SONET ring; inter-PoP links ride the
+    // optical mesh through both PoPs' cross-connects.
+    char ckt[64];
+    bool intra = pa == pb;
+    Layer1Kind kind = intra ? Layer1Kind::kSonetRing : Layer1Kind::kOpticalMesh;
+    std::vector<Layer1DeviceId> path =
+        intra ? std::vector<Layer1DeviceId>{pop_sonet[pa]}
+              : std::vector<Layer1DeviceId>{pop_oxc[pa], pop_oxc[pb]};
+    std::snprintf(ckt, sizeof ckt, "CKT.%s.%s.%05d",
+                  util::to_lower(pop_name(pa)).c_str(),
+                  util::to_lower(pop_name(pb)).c_str(), circuit_seq++);
+    net.add_physical_link(ckt, link, kind, path);
+    if (rng.chance(params.aps_fraction)) {
+      // APS-protected: a second diverse circuit for the same logical link.
+      std::snprintf(ckt, sizeof ckt, "CKT.%s.%s.%05d",
+                    util::to_lower(pop_name(pa)).c_str(),
+                    util::to_lower(pop_name(pb)).c_str(), circuit_seq++);
+      net.add_physical_link(ckt, link, kind, path);
+    }
+  };
+
+  // --- Links ----------------------------------------------------------------
+  // Intra-PoP: core full mesh; each access dual-homed to two cores; each PER
+  // dual-homed to two access routers (its "uplinks").
+  for (int p = 0; p < params.pops; ++p) {
+    for (std::size_t i = 0; i < pr[p].core.size(); ++i) {
+      for (std::size_t j = i + 1; j < pr[p].core.size(); ++j) {
+        add_circuits(connect(pr[p].core[i], pr[p].core[j], 5, 40.0), p, p);
+      }
+    }
+    for (std::size_t i = 0; i < pr[p].access.size(); ++i) {
+      RouterId ar = pr[p].access[i];
+      add_circuits(connect(ar, pr[p].core[i % pr[p].core.size()], 10, 40.0), p, p);
+      add_circuits(
+          connect(ar, pr[p].core[(i + 1) % pr[p].core.size()], 10, 40.0), p, p);
+    }
+    for (std::size_t i = 0; i < pr[p].pers.size(); ++i) {
+      RouterId per = pr[p].pers[i];
+      add_circuits(
+          connect(per, pr[p].access[i % pr[p].access.size()], 10, 10.0), p, p);
+      add_circuits(
+          connect(per, pr[p].access[(i + 1) % pr[p].access.size()], 10, 10.0),
+          p, p);
+    }
+  }
+  // Reflectors attach to their PoPs' first core routers.
+  add_circuits(connect(rr1, pr[0].core[0], 10, 10.0), 0, 0);
+  add_circuits(connect(rr2, pr[1].core[0], 10, 10.0), 1, 1);
+
+  // Inter-PoP: a ring over first core routers plus random chords.
+  for (int p = 0; p < params.pops; ++p) {
+    int q = (p + 1) % params.pops;
+    int w = static_cast<int>(rng.range(20, 40));
+    add_circuits(connect(pr[p].core[0], pr[q].core[0], w, 100.0), p, q);
+    // Second parallel span between the other core pair for redundancy.
+    add_circuits(connect(pr[p].core[pr[p].core.size() - 1],
+                         pr[q].core[pr[q].core.size() - 1], w + 1, 100.0),
+                 p, q);
+  }
+  for (int c = 0; c < params.extra_chords; ++c) {
+    int p = static_cast<int>(rng.below(params.pops));
+    int q = static_cast<int>(rng.below(params.pops));
+    if (p == q || net.find_link_between(pr[p].core[0], pr[q].core[0])) continue;
+    int w = static_cast<int>(rng.range(25, 45));
+    add_circuits(connect(pr[p].core[0], pr[q].core[0], w, 100.0), p, q);
+  }
+
+  // --- Customers ------------------------------------------------------------
+  int site_seq = 1;
+  std::vector<CustomerSiteId> plain_sites;
+  for (int p = 0; p < params.pops; ++p) {
+    for (RouterId per : pr[p].pers) {
+      net.set_reflectors(per, {rr1, rr2});
+      for (int c = 0; c < params.customers_per_per; ++c) {
+        auto p2p = customer_nets.next_p2p();
+        InterfaceId port =
+            ports[per.value()]->add(InterfaceKind::kCustomerFacing, p2p.a);
+        char name[48];
+        std::snprintf(name, sizeof name, "cust-%05d", site_seq++);
+        Ipv4Prefix announced(Ipv4Addr(next_customer_prefix), 24);
+        next_customer_prefix += 256;
+        plain_sites.push_back(net.add_customer_site(
+            name, port, p2p.b, next_asn++, announced));
+        // Roughly half the customer tails are delivered over the ISP's
+        // transport network (60% SONET ring, 40% optical mesh); the rest are
+        // direct fiber with no layer-1 dependency.
+        if (rng.chance(0.5)) {
+          char ckt[64];
+          std::snprintf(ckt, sizeof ckt, "CKT.%s.ACC.%05d",
+                        pop_name(p).c_str(), circuit_seq++);
+          if (rng.chance(0.6)) {
+            net.add_access_circuit(ckt, port, Layer1Kind::kSonetRing,
+                                   {pop_sonet[p]});
+          } else {
+            net.add_access_circuit(ckt, port, Layer1Kind::kOpticalMesh,
+                                   {pop_oxc[p]});
+          }
+        }
+      }
+    }
+  }
+  // Reflectors also get reflector lists (themselves) so validate() passes for
+  // access routers that carry eBGP — only PERs are checked, but keep access
+  // routers consistent too.
+  for (int p = 0; p < params.pops; ++p) {
+    for (RouterId ar : pr[p].access) net.set_reflectors(ar, {rr1, rr2});
+  }
+
+  // Assign a subset of customer sites to MVPNs. A deterministic shuffle
+  // spreads each VPN's sites across PoPs, as MVPN customers are in practice.
+  std::vector<CustomerSiteId> shuffled = plain_sites;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.below(i)]);
+  }
+  std::size_t cursor = 0;
+  for (int v = 0; v < params.mvpn_count; ++v) {
+    std::string vpn = "mvpn-" + std::to_string(v + 1);
+    for (int s = 0; s < params.mvpn_sites_per_vpn && cursor < shuffled.size();
+         ++s) {
+      net.set_mvpn(shuffled[cursor++], vpn);
+    }
+  }
+
+  // --- CDN nodes --------------------------------------------------------------
+  for (int n = 0; n < params.cdn_nodes; ++n) {
+    int p = (n * (params.pops / std::max(params.cdn_nodes, 1))) % params.pops;
+    std::vector<RouterId> ingress = {pr[p].pers[0]};
+    if (pr[p].pers.size() > 1) ingress.push_back(pr[p].pers[1]);
+    net.add_cdn_node("cdn-" + pop_name(p), pops[p], ingress, 20);
+  }
+
+  net.validate();
+  return net;
+}
+
+}  // namespace grca::topology

@@ -1,0 +1,33 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Common exception types for the G-RCA library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace grca {
+
+/// Thrown when textual input (rule DSL, router configs, syslog messages,
+/// prefixes, timestamps) cannot be parsed.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a lookup against topology / routing / event state fails in a
+/// way that indicates a caller bug or inconsistent configuration.
+class LookupError : public std::runtime_error {
+ public:
+  explicit LookupError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a configuration object (diagnosis graph, rule, event
+/// definition) violates an invariant.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace grca

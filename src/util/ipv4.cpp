@@ -1,0 +1,64 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "util/ipv4.h"
+
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace grca::util {
+
+Ipv4Addr Ipv4Addr::parse(std::string_view text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char extra = 0;
+  std::string s(text);
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) != 4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    throw ParseError("Ipv4Addr: bad address '" + s + "'");
+  }
+  return Ipv4Addr((a << 24) | (b << 16) | (c << 8) | d);
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", value_ >> 24,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Addr addr, int length) : length_(length) {
+  if (length < 0 || length > 32) {
+    throw ParseError("Ipv4Prefix: bad length " + std::to_string(length));
+  }
+  address_ = Ipv4Addr(addr.value() & mask_bits(length));
+}
+
+Ipv4Prefix Ipv4Prefix::parse(std::string_view text) {
+  std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    throw ParseError("Ipv4Prefix: missing '/' in '" + std::string(text) + "'");
+  }
+  Ipv4Addr addr = Ipv4Addr::parse(text.substr(0, slash));
+  int len = 0;
+  std::string len_text(text.substr(slash + 1));
+  char extra = 0;
+  if (std::sscanf(len_text.c_str(), "%d%c", &len, &extra) != 1) {
+    throw ParseError("Ipv4Prefix: bad length '" + len_text + "'");
+  }
+  return Ipv4Prefix(addr, len);
+}
+
+bool Ipv4Prefix::contains(Ipv4Addr addr) const noexcept {
+  return (addr.value() & mask_bits(length_)) == address_.value();
+}
+
+bool Ipv4Prefix::covers(const Ipv4Prefix& other) const noexcept {
+  return other.length_ >= length_ && contains(other.address_);
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace grca::util

@@ -1,0 +1,75 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// IPv4 addresses and prefixes. Used by the topology (interface addressing,
+// /30 point-to-point inference), the BGP substrate (longest-prefix match),
+// and the collector's identifier normalization.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace grca::util {
+
+/// An IPv4 address as a host-order 32-bit integer.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() noexcept = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) noexcept : value_(value) {}
+
+  /// Parses dotted-quad notation; throws grca::ParseError on bad input.
+  static Ipv4Addr parse(std::string_view text);
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An IPv4 prefix (address + mask length). The address is stored already
+/// masked, so equal prefixes compare equal regardless of host bits given.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() noexcept = default;
+  Ipv4Prefix(Ipv4Addr addr, int length);
+
+  /// Parses "a.b.c.d/len"; throws grca::ParseError on bad input.
+  static Ipv4Prefix parse(std::string_view text);
+
+  constexpr Ipv4Addr address() const noexcept { return address_; }
+  constexpr int length() const noexcept { return length_; }
+
+  /// True when addr falls inside this prefix.
+  bool contains(Ipv4Addr addr) const noexcept;
+
+  /// True when other is equal to or more specific than this prefix.
+  bool covers(const Ipv4Prefix& other) const noexcept;
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Prefix&,
+                                    const Ipv4Prefix&) noexcept = default;
+
+ private:
+  Ipv4Addr address_;
+  int length_ = 0;
+};
+
+/// Network mask with `length` leading one bits.
+constexpr std::uint32_t mask_bits(int length) noexcept {
+  return length == 0 ? 0u : ~0u << (32 - length);
+}
+
+}  // namespace grca::util
+
+template <>
+struct std::hash<grca::util::Ipv4Addr> {
+  std::size_t operator()(grca::util::Ipv4Addr a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

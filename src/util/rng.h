@@ -1,0 +1,81 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Deterministic pseudo-random number generation. Every stochastic component
+// in the repository (topology generation, fault scenarios, workload mixes)
+// draws from a seeded Rng so that tests and benchmarks are reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace grca::util {
+
+/// SplitMix64: tiny, fast, statistically solid 64-bit generator.
+/// Reference: Steele, Lea, Flood, "Fast Splittable Pseudorandom Number
+/// Generators", OOPSLA 2014.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Modulo bias is negligible for n << 2^64 (all our uses).
+    return next() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) noexcept {
+    // Inverse-CDF; uniform() < 1 so the log argument is strictly positive.
+    return -mean * std::log(1.0 - uniform());
+  }
+
+  /// Draws an index from an unnormalized discrete weight vector.
+  /// Precondition: weights non-empty, all non-negative, sum > 0.
+  std::size_t weighted(const std::vector<double>& weights) noexcept {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0.0) return i;
+    }
+    return weights.size() - 1;  // Numerical edge: fall back to last bucket.
+  }
+
+  /// Derives an independent child generator (for parallel sub-streams).
+  Rng split() noexcept { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace grca::util

@@ -1,0 +1,53 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace grca::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw ConfigError("TextTable: header must be non-empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw ConfigError("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](std::string& out, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) out.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  std::string out;
+  if (!title.empty()) {
+    out += title;
+    out += '\n';
+  }
+  emit_row(out, header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(out, row);
+  return out;
+}
+
+}  // namespace grca::util

@@ -1,0 +1,32 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Plain-text table rendering, used by the Result Browser and by the bench
+// binaries that regenerate the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace grca::util {
+
+/// A simple left-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with column padding, a separator under the header, and an
+  /// optional title line.
+  std::string render(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace grca::util

@@ -1,0 +1,87 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "util/time.h"
+
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace grca::util {
+namespace {
+
+constexpr bool is_leap(int y) noexcept {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+constexpr int days_in_month(int y, int m) noexcept {
+  constexpr int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && is_leap(y)) return 29;
+  return kDays[m - 1];
+}
+
+/// Days from 1970-01-01 to y-m-d (civil-to-days, Howard Hinnant's algorithm).
+constexpr std::int64_t days_from_civil(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+/// Inverse of days_from_civil.
+constexpr void civil_from_days(std::int64_t z, int& y, int& m, int& d) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+}  // namespace
+
+TimeSec make_utc(int year, int month, int day, int hour, int minute,
+                 int second) {
+  if (month < 1 || month > 12 || day < 1 || day > days_in_month(year, month) ||
+      hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0 ||
+      second > 60) {
+    throw ParseError("make_utc: invalid calendar components");
+  }
+  return days_from_civil(year, month, day) * kDay + hour * kHour +
+         minute * kMinute + second;
+}
+
+std::string format_utc(TimeSec t) {
+  std::int64_t days = t / kDay;
+  std::int64_t rem = t % kDay;
+  if (rem < 0) {
+    rem += kDay;
+    days -= 1;
+  }
+  int y = 0, m = 0, d = 0;
+  civil_from_days(days, y, m, d);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d %02d:%02d:%02d", y, m, d,
+                static_cast<int>(rem / kHour),
+                static_cast<int>((rem % kHour) / kMinute),
+                static_cast<int>(rem % kMinute));
+  return buf;
+}
+
+TimeSec parse_utc(const std::string& text) {
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0;
+  char extra = 0;
+  int n = std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d%c", &y, &mo, &d, &h,
+                      &mi, &s, &extra);
+  if (n != 6) throw ParseError("parse_utc: expected 'YYYY-MM-DD HH:MM:SS', got '" + text + "'");
+  return make_utc(y, mo, d, h, mi, s);
+}
+
+}  // namespace grca::util

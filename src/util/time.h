@@ -1,0 +1,96 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Time model for G-RCA.
+//
+// All *normalized* timestamps in the platform are UTC seconds since the Unix
+// epoch (TimeSec). Raw telemetry records, however, arrive stamped in the
+// timezone of the emitting device or management system (paper §II-A: "The
+// timestamps can be a mixture of local time, network time as defined by the
+// service provider, and GMT"). The Data Collector converts everything to UTC
+// on ingest; the TimeZone type here models that conversion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace grca::util {
+
+/// Seconds since the Unix epoch, UTC. Signed so that differences and
+/// backward-shifted margins are natural.
+using TimeSec = std::int64_t;
+
+constexpr TimeSec kMinute = 60;
+constexpr TimeSec kHour = 3600;
+constexpr TimeSec kDay = 86400;
+
+/// A fixed-offset timezone, identified by name. Real ISPs deal with devices
+/// across many zones; for correlation correctness the only thing that
+/// matters is the UTC offset applied at normalization time. (Daylight-saving
+/// transitions are ignored: router clocks in the modeled ISP are configured
+/// with fixed offsets, as is common operational practice.)
+class TimeZone {
+ public:
+  /// Constructs a zone with the given IANA-style label and fixed offset.
+  TimeZone(std::string name, std::int32_t offset_seconds)
+      : name_(std::move(name)), offset_seconds_(offset_seconds) {}
+
+  static TimeZone utc() { return TimeZone("UTC", 0); }
+  static TimeZone us_eastern() { return TimeZone("US/Eastern", -5 * 3600); }
+  static TimeZone us_central() { return TimeZone("US/Central", -6 * 3600); }
+  static TimeZone us_mountain() { return TimeZone("US/Mountain", -7 * 3600); }
+  static TimeZone us_pacific() { return TimeZone("US/Pacific", -8 * 3600); }
+
+  const std::string& name() const noexcept { return name_; }
+  std::int32_t offset_seconds() const noexcept { return offset_seconds_; }
+
+  /// Converts a wall-clock reading taken in this zone to UTC.
+  TimeSec to_utc(TimeSec local) const noexcept { return local - offset_seconds_; }
+
+  /// Converts a UTC timestamp to this zone's wall clock.
+  TimeSec from_utc(TimeSec utc) const noexcept { return utc + offset_seconds_; }
+
+  bool operator==(const TimeZone& other) const noexcept {
+    return offset_seconds_ == other.offset_seconds_ && name_ == other.name_;
+  }
+
+ private:
+  std::string name_;
+  std::int32_t offset_seconds_;
+};
+
+/// A half-open-ish event interval [start, end] in UTC seconds. G-RCA events
+/// carry both endpoints; instantaneous events have start == end.
+struct TimeInterval {
+  TimeSec start = 0;
+  TimeSec end = 0;
+
+  constexpr bool valid() const noexcept { return end >= start; }
+  constexpr TimeSec duration() const noexcept { return end - start; }
+
+  /// Closed-interval overlap test, the primitive behind temporal joining.
+  constexpr bool overlaps(const TimeInterval& other) const noexcept {
+    return start <= other.end && other.start <= end;
+  }
+
+  constexpr bool contains(TimeSec t) const noexcept {
+    return start <= t && t <= end;
+  }
+
+  friend constexpr bool operator==(const TimeInterval&,
+                                   const TimeInterval&) noexcept = default;
+};
+
+/// Formats a UTC timestamp as "YYYY-MM-DD HH:MM:SS".
+std::string format_utc(TimeSec t);
+
+/// Parses "YYYY-MM-DD HH:MM:SS" as a UTC timestamp. Throws grca::ParseError
+/// on malformed input.
+TimeSec parse_utc(const std::string& text);
+
+/// Builds a UTC timestamp from calendar components (proleptic Gregorian).
+/// Months are 1-12, days 1-31.
+TimeSec make_utc(int year, int month, int day, int hour = 0, int minute = 0,
+                 int second = 0);
+
+}  // namespace grca::util

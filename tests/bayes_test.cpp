@@ -1,0 +1,158 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Tests for the Bayesian inference engine (§II-D.2 / Fig. 8): fuzzy ratios,
+// classification, symptom grouping, and the line-card inference story.
+
+#include <gtest/gtest.h>
+
+#include "apps/bgp_flap_app.h"
+#include "core/reasoning_bayes.h"
+
+namespace grca::core {
+namespace {
+
+TEST(Fuzzy, PaperValues) {
+  EXPECT_EQ(fuzzy_value(FuzzyLevel::kLow), 2.0);
+  EXPECT_EQ(fuzzy_value(FuzzyLevel::kMedium), 100.0);
+  EXPECT_EQ(fuzzy_value(FuzzyLevel::kHigh), 20000.0);
+}
+
+BayesEngine two_cause_engine() {
+  BayesEngine bayes;
+  bayes.add_cause("alpha", FuzzyLevel::kLow);
+  bayes.add_cause("beta", FuzzyLevel::kLow);
+  bayes.add_link("alpha", "ev-a", FuzzyLevel::kHigh);
+  bayes.add_link("beta", "ev-b", FuzzyLevel::kHigh);
+  bayes.add_link("beta", "ev-a", FuzzyLevel::kLow);
+  return bayes;
+}
+
+TEST(Bayes, EvidenceSelectsCause) {
+  BayesEngine bayes = two_cause_engine();
+  EXPECT_EQ(bayes.classify({{"ev-a", true}}).cause, "alpha");
+  EXPECT_EQ(bayes.classify({{"ev-b", true}}).cause, "beta");
+}
+
+TEST(Bayes, RankedScoresOrdered) {
+  BayesEngine bayes = two_cause_engine();
+  auto verdict = bayes.classify({{"ev-a", true}});
+  ASSERT_EQ(verdict.ranked.size(), 2u);
+  EXPECT_GE(verdict.ranked[0].second, verdict.ranked[1].second);
+  EXPECT_EQ(verdict.ranked[0].first, verdict.cause);
+}
+
+TEST(Bayes, PriorBreaksNoEvidence) {
+  BayesEngine bayes;
+  bayes.add_cause("common", FuzzyLevel::kMedium);
+  bayes.add_cause("rare", FuzzyLevel::kLow);
+  EXPECT_EQ(bayes.classify({}).cause, "common");
+}
+
+TEST(Bayes, AbsentPenaltyApplies) {
+  BayesEngine bayes;
+  bayes.add_cause("alpha", FuzzyLevel::kMedium);
+  bayes.add_cause("beta", FuzzyLevel::kMedium);
+  // Alpha strongly expects ev-x; when missing, alpha is penalized.
+  bayes.add_link("alpha", "ev-x", FuzzyLevel::kHigh, /*absent_penalty=*/100.0);
+  EXPECT_EQ(bayes.classify({}).cause, "beta");
+  EXPECT_EQ(bayes.classify({{"ev-x", true}}).cause, "alpha");
+}
+
+TEST(Bayes, DuplicateCauseRejected) {
+  BayesEngine bayes;
+  bayes.add_cause("a", FuzzyLevel::kLow);
+  EXPECT_THROW(bayes.add_cause("a", FuzzyLevel::kLow), ConfigError);
+}
+
+TEST(Bayes, UnknownCauseLinkRejected) {
+  BayesEngine bayes;
+  EXPECT_THROW(bayes.add_link("ghost", "f", FuzzyLevel::kLow), ConfigError);
+}
+
+TEST(Bayes, EmptyEngineRejected) {
+  BayesEngine bayes;
+  EXPECT_THROW(bayes.classify({}), ConfigError);
+}
+
+// ---- grouping ------------------------------------------------------------
+
+Diagnosis fake_diagnosis(util::TimeSec start, const std::string& evidence_event) {
+  Diagnosis d;
+  d.symptom = EventInstance{"ebgp-flap", {start, start + 10},
+                            Location::router_neighbor("r1", "1.2.3.4"), {}};
+  d.evidence.push_back(EvidenceNode{"ebgp-flap", {}, 0, 0});
+  if (!evidence_event.empty()) {
+    d.evidence.push_back(EvidenceNode{evidence_event, {}, 100, 1});
+  }
+  return d;
+}
+
+TEST(Grouping, WindowAndKey) {
+  std::vector<Diagnosis> diagnoses;
+  diagnoses.push_back(fake_diagnosis(100, "interface-flap"));
+  diagnoses.push_back(fake_diagnosis(150, "interface-flap"));
+  diagnoses.push_back(fake_diagnosis(5000, "interface-flap"));  // far away
+  auto key = [](const Diagnosis&) { return std::string("card-1"); };
+  auto groups = group_symptoms(diagnoses, 180, key);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].members.size(), 2u);
+  EXPECT_EQ(groups[1].members.size(), 1u);
+  EXPECT_TRUE(groups[0].features.at("has:interface-flap"));
+}
+
+TEST(Grouping, EmptyKeyIsSingleton) {
+  std::vector<Diagnosis> diagnoses;
+  diagnoses.push_back(fake_diagnosis(100, "interface-flap"));
+  diagnoses.push_back(fake_diagnosis(101, "interface-flap"));
+  auto groups = group_symptoms(diagnoses, 180,
+                               [](const Diagnosis&) { return std::string(); });
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(Grouping, SlidingWindowChains) {
+  // Events 100, 200, 300 with window 150: each is within 150 of the previous,
+  // so the group chains across all three.
+  std::vector<Diagnosis> diagnoses;
+  diagnoses.push_back(fake_diagnosis(100, ""));
+  diagnoses.push_back(fake_diagnosis(200, ""));
+  diagnoses.push_back(fake_diagnosis(300, ""));
+  auto groups = group_symptoms(diagnoses, 150,
+                               [](const Diagnosis&) { return std::string("k"); });
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].members.size(), 3u);
+}
+
+// ---- Fig. 8 configuration ----------------------------------------------------
+
+TEST(Fig8, SingleFlapIsInterfaceIssue) {
+  BayesEngine bayes = apps::bgp::build_bayes();
+  SymptomGroup group;
+  Diagnosis d = fake_diagnosis(100, "interface-flap");
+  group.members = {&d};
+  group.features = features_of(d);
+  auto verdict = bayes.classify(apps::bgp::group_features(group));
+  EXPECT_EQ(verdict.cause, "interface-issue");
+}
+
+TEST(Fig8, BurstOnOneCardIsLinecardIssue) {
+  BayesEngine bayes = apps::bgp::build_bayes();
+  std::vector<Diagnosis> diagnoses;
+  for (int i = 0; i < 20; ++i) {
+    diagnoses.push_back(fake_diagnosis(100 + i, "interface-flap"));
+  }
+  SymptomGroup group;
+  for (const Diagnosis& d : diagnoses) group.members.push_back(&d);
+  group.features = features_of(diagnoses[0]);
+  auto verdict = bayes.classify(apps::bgp::group_features(group));
+  EXPECT_EQ(verdict.cause, "linecard-issue");
+}
+
+TEST(Fig8, CpuEvidenceIsCpuIssue) {
+  BayesEngine bayes = apps::bgp::build_bayes();
+  FeatureSet features = {{"has:cpu-high-spike", true}, {"has:ebgp-hte", true}};
+  EXPECT_EQ(bayes.classify(features).cause, "cpu-high-issue");
+}
+
+}  // namespace
+}  // namespace grca::core

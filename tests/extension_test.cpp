@@ -1,0 +1,172 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Tests for the §VI future-work extensions: temporal-margin calibration and
+// trend change detection.
+
+#include <gtest/gtest.h>
+
+#include "apps/bgp_flap_app.h"
+#include "apps/pipeline.h"
+#include "apps/scoring.h"
+#include "core/calibration.h"
+#include "core/trending.h"
+#include "simulation/workloads.h"
+#include "topology/config.h"
+#include "topology/topo_gen.h"
+
+namespace grca::core {
+namespace {
+
+namespace t = topology;
+
+// ---- calibration ----------------------------------------------------------
+
+struct CalibrationFixture {
+  t::Network sim_net;
+  t::Network rca_net;
+  sim::StudyOutput study;
+  std::unique_ptr<apps::Pipeline> pipeline;
+
+  CalibrationFixture() {
+    t::TopoParams tp;
+    tp.pops = 5;
+    tp.pers_per_pop = 4;
+    sim_net = t::generate_isp(tp);
+    rca_net = t::build_network_from_configs(
+        t::render_all_configs(sim_net), t::render_layer1_inventory(sim_net));
+    sim::BgpStudyParams params;
+    params.days = 14;
+    params.target_symptoms = 600;
+    study = sim::run_bgp_study(sim_net, params);
+    pipeline = std::make_unique<apps::Pipeline>(rca_net, study.records);
+  }
+};
+
+TEST(Calibration, LearnsFlapLagDistribution) {
+  CalibrationFixture f;
+  auto result = calibrate_temporal(f.pipeline->store(), f.pipeline->mapper(),
+                                   "ebgp-flap", "interface-flap",
+                                   LocationType::kInterface);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GE(result->samples, 100u);
+  // With fast external fallover the session drops ~2 s after the port; the
+  // learned backward margin is far tighter than the 185 s timer worst case.
+  EXPECT_GE(result->rule.symptom.left, 2);
+  EXPECT_LE(result->rule.symptom.left, 60);
+  EXPECT_GE(result->median_lag, 0);
+}
+
+TEST(Calibration, CalibratedRuleKeepsAccuracy) {
+  CalibrationFixture f;
+  auto learned = calibrate_temporal(f.pipeline->store(), f.pipeline->mapper(),
+                                    "ebgp-flap", "interface-flap",
+                                    LocationType::kInterface);
+  ASSERT_TRUE(learned.has_value());
+  // Swap the learned rule into the BGP application and re-diagnose.
+  DiagnosisGraph original = apps::bgp::build_graph();
+  DiagnosisGraph tuned;
+  for (const EventDefinition* def : original.events()) tuned.define_event(*def);
+  for (DiagnosisRule rule : original.rules()) {
+    if (rule.symptom == "ebgp-flap" && rule.diagnostic == "interface-flap") {
+      rule.temporal = learned->rule;
+    }
+    tuned.add_rule(std::move(rule));
+  }
+  tuned.set_root(original.root());
+
+  RcaEngine engine(std::move(tuned), f.pipeline->store(),
+                   f.pipeline->mapper());
+  auto score = apps::score_diagnoses(engine.diagnose_all(), f.study.truth,
+                                     apps::bgp::canonical_cause);
+  EXPECT_GE(score.accuracy(), 0.97) << score.confusion_table().render();
+}
+
+TEST(Calibration, InsufficientSamplesDeclines) {
+  CalibrationFixture f;
+  // Almost no router reboots in the mix: calibration must refuse rather
+  // than fit noise.
+  CalibrationOptions options;
+  options.min_samples = 50;
+  auto result = calibrate_temporal(f.pipeline->store(), f.pipeline->mapper(),
+                                   "ebgp-flap", "router-reboot",
+                                   LocationType::kRouter, options);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Calibration, UnrelatedPairProducesNothingUseful) {
+  CalibrationFixture f;
+  CalibrationOptions options;
+  options.min_samples = 10;
+  // Layer-1 restorations are rare and only tied to a few flaps.
+  auto related = calibrate_temporal(f.pipeline->store(), f.pipeline->mapper(),
+                                    "ebgp-flap", "interface-flap",
+                                    LocationType::kInterface, options);
+  ASSERT_TRUE(related.has_value());
+  EXPECT_LT(related->rule.symptom.left + related->rule.symptom.right, 300);
+}
+
+// ---- trending ----------------------------------------------------------------
+
+Diagnosis diag_at(util::TimeSec start, const std::string& cause) {
+  Diagnosis d;
+  d.symptom = EventInstance{"ebgp-flap", {start, start + 5},
+                            Location::router_neighbor("r1", "1.1.1.1"), {}};
+  if (!cause.empty()) d.causes.push_back(RootCause{cause, 100, {}});
+  return d;
+}
+
+TEST(Trending, DailyCountsBucketCorrectly) {
+  std::vector<Diagnosis> ds;
+  util::TimeSec day0 = util::make_utc(2010, 1, 1);
+  ds.push_back(diag_at(day0 + 100, "a"));
+  ds.push_back(diag_at(day0 + 200, "a"));
+  ds.push_back(diag_at(day0 + util::kDay + 100, "b"));
+  TrendSeries all = daily_counts(ds);
+  ASSERT_EQ(all.daily.size(), 2u);
+  EXPECT_EQ(all.daily[0], 2u);
+  EXPECT_EQ(all.daily[1], 1u);
+  TrendSeries only_a = daily_counts(ds, "a");
+  EXPECT_EQ(only_a.daily[0], 2u);
+  EXPECT_EQ(only_a.daily[1], 0u);
+}
+
+TEST(Trending, DetectsLevelShift) {
+  // 14 quiet days (~3/day), then 14 loud days (~15/day): the upgrade story.
+  std::vector<Diagnosis> ds;
+  util::Rng rng(5);
+  util::TimeSec day0 = util::make_utc(2010, 2, 1);
+  for (int day = 0; day < 28; ++day) {
+    int n = day < 14 ? 3 : 15;
+    n += static_cast<int>(rng.range(-1, 1));
+    for (int i = 0; i < n; ++i) {
+      ds.push_back(diag_at(day0 + day * util::kDay + rng.range(0, 86000),
+                           "interface-flap"));
+    }
+  }
+  TrendSeries series = daily_counts(ds, "interface-flap");
+  auto alert = detect_level_shift(series, 7, 3.0);
+  ASSERT_TRUE(alert.has_value());
+  EXPECT_NEAR(static_cast<double>(alert->day_index), 14.0, 1.0);
+  EXPECT_GT(alert->after_mean, alert->before_mean);
+}
+
+TEST(Trending, FlatSeriesNoAlert) {
+  std::vector<Diagnosis> ds;
+  util::Rng rng(6);
+  util::TimeSec day0 = util::make_utc(2010, 2, 1);
+  for (int day = 0; day < 28; ++day) {
+    for (int i = 0; i < 5 + static_cast<int>(rng.range(-1, 1)); ++i) {
+      ds.push_back(diag_at(day0 + day * util::kDay + rng.range(0, 86000), "a"));
+    }
+  }
+  EXPECT_FALSE(detect_level_shift(daily_counts(ds, "a"), 7, 3.0).has_value());
+}
+
+TEST(Trending, ShortSeriesDeclines) {
+  std::vector<Diagnosis> ds = {diag_at(util::make_utc(2010, 1, 1), "a")};
+  EXPECT_FALSE(detect_level_shift(daily_counts(ds), 7).has_value());
+}
+
+}  // namespace
+}  // namespace grca::core

@@ -1,0 +1,439 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Tests for the routing substrate: prefix trie LPM, OSPF SPF over
+// time-versioned weights (incl. ECMP), and BGP best-path emulation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "routing/bgp.h"
+#include "routing/ospf.h"
+#include "routing/prefix_trie.h"
+#include "topology/topo_gen.h"
+#include "util/rng.h"
+
+namespace grca::routing {
+namespace {
+
+using topology::InterfaceKind;
+using topology::LogicalLinkId;
+using topology::Network;
+using topology::PopId;
+using topology::RouterId;
+using topology::RouterRole;
+using util::Ipv4Addr;
+using util::Ipv4Prefix;
+
+// ---- PrefixTrie --------------------------------------------------------
+
+TEST(PrefixTrie, LongestPrefixWins) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(Ipv4Prefix::parse("10.1.0.0/16"), 16);
+  trie.insert(Ipv4Prefix::parse("10.1.2.0/24"), 24);
+  auto m = trie.lookup(Ipv4Addr::parse("10.1.2.3"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->value, 24);
+  m = trie.lookup(Ipv4Addr::parse("10.1.9.9"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->value, 16);
+  m = trie.lookup(Ipv4Addr::parse("10.9.9.9"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->value, 8);
+  EXPECT_FALSE(trie.lookup(Ipv4Addr::parse("11.0.0.1")).has_value());
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::parse("0.0.0.0/0"), 0);
+  EXPECT_TRUE(trie.lookup(Ipv4Addr::parse("203.0.113.7")).has_value());
+}
+
+TEST(PrefixTrie, InsertOverwrites) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(Ipv4Prefix::parse("10.0.0.0/8"), 2);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.lookup(Ipv4Addr::parse("10.0.0.1"))->value, 2);
+}
+
+TEST(PrefixTrie, EraseRestoresShorterMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(Ipv4Prefix::parse("10.1.0.0/16"), 16);
+  EXPECT_TRUE(trie.erase(Ipv4Prefix::parse("10.1.0.0/16")));
+  EXPECT_EQ(*trie.lookup(Ipv4Addr::parse("10.1.2.3"))->value, 8);
+  EXPECT_FALSE(trie.erase(Ipv4Prefix::parse("10.1.0.0/16")));
+}
+
+TEST(PrefixTrie, HostRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::parse("192.0.2.1/32"), 32);
+  EXPECT_TRUE(trie.lookup(Ipv4Addr::parse("192.0.2.1")).has_value());
+  EXPECT_FALSE(trie.lookup(Ipv4Addr::parse("192.0.2.2")).has_value());
+}
+
+TEST(PrefixTrie, ForEachVisitsAll) {
+  PrefixTrie<int> trie;
+  std::set<std::string> want = {"10.0.0.0/8", "10.1.0.0/16", "192.0.2.0/24"};
+  for (const auto& p : want) trie.insert(Ipv4Prefix::parse(p), 1);
+  std::set<std::string> got;
+  trie.for_each([&](Ipv4Prefix p, int) { got.insert(p.to_string()); });
+  EXPECT_EQ(got, want);
+}
+
+// Property: trie LPM agrees with a brute-force scan over random prefixes.
+class TrieLpmProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrieLpmProperty, MatchesBruteForce) {
+  util::Rng rng(GetParam());
+  PrefixTrie<std::size_t> trie;
+  std::vector<Ipv4Prefix> prefixes;
+  for (int i = 0; i < 100; ++i) {
+    int len = static_cast<int>(rng.range(4, 28));
+    Ipv4Prefix p(Ipv4Addr(static_cast<std::uint32_t>(rng.next())), len);
+    trie.insert(p, prefixes.size());
+    prefixes.push_back(p);
+  }
+  for (int i = 0; i < 500; ++i) {
+    Ipv4Addr addr(static_cast<std::uint32_t>(rng.next()));
+    int best_len = -1;
+    for (const auto& p : prefixes) {
+      if (p.contains(addr) && p.length() > best_len) best_len = p.length();
+    }
+    auto m = trie.lookup(addr);
+    if (best_len < 0) {
+      EXPECT_FALSE(m.has_value());
+    } else {
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(m->prefix.length(), best_len);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieLpmProperty, ::testing::Values(1, 2, 3));
+
+// ---- OSPF ------------------------------------------------------------------
+
+/// Diamond: a -(1)- b -(1)- d, a -(1)- c -(1)- d, plus slow path a -(10)- d.
+struct Diamond {
+  Network net;
+  RouterId a, b, c, d;
+  LogicalLinkId ab, ac, bd, cd, ad;
+
+  Diamond() {
+    PopId p = net.add_pop("nyc", util::TimeZone::utc());
+    auto mk = [&](const char* name, int n) {
+      return net.add_router(name, p, RouterRole::kCore,
+                            Ipv4Addr(0x0AFF0000u + n));
+    };
+    a = mk("a", 1);
+    b = mk("b", 2);
+    c = mk("c", 3);
+    d = mk("d", 4);
+    std::uint32_t subnet = 0x0A000000;
+    auto connect = [&](RouterId x, RouterId y, int w) {
+      auto cx = net.add_line_card(x, net.router(x).line_cards.size());
+      auto cy = net.add_line_card(y, net.router(y).line_cards.size());
+      auto ix = net.add_interface(x, cx,
+                                  "so-" + std::to_string(subnet) + "/a",
+                                  InterfaceKind::kBackbone, Ipv4Addr(subnet + 1));
+      auto iy = net.add_interface(y, cy,
+                                  "so-" + std::to_string(subnet) + "/b",
+                                  InterfaceKind::kBackbone, Ipv4Addr(subnet + 2));
+      auto l = net.add_logical_link(ix, iy, Ipv4Prefix(Ipv4Addr(subnet), 30),
+                                    w, 10.0);
+      subnet += 4;
+      return l;
+    };
+    ab = connect(a, b, 1);
+    ac = connect(a, c, 1);
+    bd = connect(b, d, 1);
+    cd = connect(c, d, 1);
+    ad = connect(a, d, 10);
+  }
+};
+
+TEST(Ospf, ShortestDistance) {
+  Diamond g;
+  OspfSim ospf(g.net);
+  EXPECT_EQ(ospf.distance(g.a, g.d, 0), 2);
+  EXPECT_EQ(ospf.distance(g.a, g.a, 0), 0);
+}
+
+TEST(Ospf, EcmpRoutersIncludeBothBranches) {
+  Diamond g;
+  OspfSim ospf(g.net);
+  auto routers = ospf.routers_on_paths(g.a, g.d, 0);
+  // a, b, c, d all on some equal-cost path.
+  EXPECT_EQ(routers.size(), 4u);
+}
+
+TEST(Ospf, EcmpLinks) {
+  Diamond g;
+  OspfSim ospf(g.net);
+  auto links = ospf.links_on_paths(g.a, g.d, 0);
+  std::set<LogicalLinkId> got(links.begin(), links.end());
+  EXPECT_EQ(got, (std::set<LogicalLinkId>{g.ab, g.ac, g.bd, g.cd}));
+}
+
+TEST(Ospf, PathEnumeration) {
+  Diamond g;
+  OspfSim ospf(g.net);
+  auto paths = ospf.paths(g.a, g.d, 0);
+  EXPECT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.front(), g.a);
+    EXPECT_EQ(p.back(), g.d);
+    EXPECT_EQ(p.size(), 3u);
+  }
+}
+
+TEST(Ospf, WeightChangeRedirectsPath) {
+  Diamond g;
+  OspfSim ospf(g.net);
+  // At t=100, b-d link degrades to weight 10: only the a-c-d path remains.
+  ospf.set_weight(g.bd, 100, 10);
+  auto before = ospf.links_on_paths(g.a, g.d, 99);
+  auto after = ospf.links_on_paths(g.a, g.d, 100);
+  EXPECT_EQ(before.size(), 4u);
+  std::set<LogicalLinkId> got(after.begin(), after.end());
+  EXPECT_EQ(got, (std::set<LogicalLinkId>{g.ac, g.cd}));
+  // History is preserved: asking about t=50 still sees the old state.
+  EXPECT_EQ(ospf.links_on_paths(g.a, g.d, 50).size(), 4u);
+}
+
+TEST(Ospf, LinkDownFallsBackToSlowPath) {
+  Diamond g;
+  OspfSim ospf(g.net);
+  ospf.set_weight(g.ab, 10, kDown);
+  ospf.set_weight(g.ac, 20, kDown);
+  EXPECT_EQ(ospf.distance(g.a, g.d, 5), 2);
+  EXPECT_EQ(ospf.distance(g.a, g.d, 15), 2);   // via c
+  EXPECT_EQ(ospf.distance(g.a, g.d, 25), 10);  // direct slow link
+}
+
+TEST(Ospf, CostedOutBehavesLikeDownForPaths) {
+  Diamond g;
+  OspfSim ospf(g.net);
+  ospf.set_weight(g.bd, 100, kCostedOut);
+  auto links = ospf.links_on_paths(g.a, g.d, 200);
+  std::set<LogicalLinkId> got(links.begin(), links.end());
+  EXPECT_EQ(got, (std::set<LogicalLinkId>{g.ac, g.cd}));
+  EXPECT_FALSE(ospf.usable_at(g.bd, 200));
+  EXPECT_TRUE(ospf.usable_at(g.bd, 99));
+}
+
+TEST(Ospf, UnreachableReturnsEmpty) {
+  Diamond g;
+  OspfSim ospf(g.net);
+  ospf.set_weight(g.ab, 10, kDown);
+  ospf.set_weight(g.ac, 10, kDown);
+  ospf.set_weight(g.ad, 10, kDown);
+  EXPECT_FALSE(ospf.distance(g.a, g.d, 20).has_value());
+  EXPECT_TRUE(ospf.routers_on_paths(g.a, g.d, 20).empty());
+  EXPECT_TRUE(ospf.paths(g.a, g.d, 20).empty());
+}
+
+TEST(Ospf, RejectsOutOfOrderChanges) {
+  Diamond g;
+  OspfSim ospf(g.net);
+  ospf.set_weight(g.ab, 100, 5);
+  EXPECT_THROW(ospf.set_weight(g.ab, 50, 7), ConfigError);
+}
+
+TEST(Ospf, RejectsBogusWeight) {
+  Diamond g;
+  OspfSim ospf(g.net);
+  EXPECT_THROW(ospf.set_weight(g.ab, 0, 0), ConfigError);
+  EXPECT_THROW(ospf.set_weight(g.ab, 0, -7), ConfigError);
+}
+
+TEST(Ospf, ChangeLogRecordsTransitions) {
+  Diamond g;
+  OspfSim ospf(g.net);
+  ospf.set_weight(g.ab, 100, kDown);
+  ospf.set_weight(g.ab, 160, 1);
+  ASSERT_EQ(ospf.change_log().size(), 2u);
+  EXPECT_EQ(ospf.change_log()[0].old_weight, 1);
+  EXPECT_EQ(ospf.change_log()[0].new_weight, kDown);
+  EXPECT_EQ(ospf.change_log()[1].old_weight, kDown);
+  EXPECT_EQ(ospf.change_log()[1].new_weight, 1);
+}
+
+TEST(Ospf, CacheMatchesUncachedResults) {
+  // The SPF memoization must be semantically invisible.
+  Network net = topology::generate_isp(topology::TopoParams{});
+  OspfSim ospf(net);
+  util::Rng rng(17);
+  // A few weight changes to create multiple epochs.
+  for (int i = 0; i < 10; ++i) {
+    LogicalLinkId link(static_cast<std::uint32_t>(rng.below(net.links().size())));
+    int w = ospf.weight_at(link, 1000 * (i + 1));
+    if (w == kDown || w == kCostedOut) continue;
+    ospf.set_weight(link, 1000 * (i + 1), w + 3);
+  }
+  for (int i = 0; i < 30; ++i) {
+    RouterId a(static_cast<std::uint32_t>(rng.below(net.routers().size())));
+    RouterId b(static_cast<std::uint32_t>(rng.below(net.routers().size())));
+    util::TimeSec t = rng.range(0, 12000);
+    ospf.set_cache_enabled(true);
+    auto cached_dist = ospf.distance(a, b, t);
+    auto cached_links = ospf.links_on_paths(a, b, t);
+    ospf.set_cache_enabled(false);
+    EXPECT_EQ(ospf.distance(a, b, t), cached_dist);
+    EXPECT_EQ(ospf.links_on_paths(a, b, t), cached_links);
+    ospf.set_cache_enabled(true);
+  }
+}
+
+TEST(Ospf, CacheInvalidatedBySetWeight) {
+  Diamond g;
+  OspfSim ospf(g.net);
+  EXPECT_EQ(ospf.distance(g.a, g.d, 50), 2);  // populate the cache
+  ospf.set_weight(g.bd, 10, kDown);
+  ospf.set_weight(g.cd, 10, kDown);
+  // Same query time, new topology history: must reflect the change.
+  EXPECT_EQ(ospf.distance(g.a, g.d, 50), 10);
+}
+
+TEST(Ospf, GeneratedIspAllPairsReachable) {
+  Network net = topology::generate_isp(topology::TopoParams{});
+  OspfSim ospf(net);
+  // Sample a handful of router pairs; the generated backbone is connected.
+  util::Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    RouterId a(static_cast<std::uint32_t>(rng.below(net.routers().size())));
+    RouterId b(static_cast<std::uint32_t>(rng.below(net.routers().size())));
+    EXPECT_TRUE(ospf.distance(a, b, 0).has_value());
+  }
+}
+
+// ---- BGP ---------------------------------------------------------------
+
+/// Two egress routers for the same prefix over the diamond topology:
+/// egress b (near) and egress d (far from a).
+struct BgpFixture {
+  Diamond g;
+  OspfSim ospf;
+  BgpSim bgp;
+  Ipv4Prefix dst = Ipv4Prefix::parse("96.0.1.0/24");
+
+  BgpFixture() : ospf(g.net), bgp(ospf) {}
+
+  BgpRoute route(RouterId egress, int lp = 100, int aspath = 2, int med = 0) {
+    BgpRoute r;
+    r.prefix = dst;
+    r.egress = egress;
+    r.next_hop = Ipv4Addr::parse("192.0.2.1");
+    r.local_pref = lp;
+    r.as_path_len = aspath;
+    r.med = med;
+    return r;
+  }
+};
+
+TEST(Bgp, IgpTieBreakPrefersNearEgress) {
+  BgpFixture f;
+  f.bgp.announce(f.route(f.g.b), 0);
+  f.bgp.announce(f.route(f.g.d), 0);
+  // From a: IGP distance 1 to b, 2 to d -> choose b.
+  EXPECT_EQ(f.bgp.best_egress(f.g.a, Ipv4Addr::parse("96.0.1.7"), 10), f.g.b);
+  // From c: distance 2 to b (c-a-b or c-d-b), 1 to d -> choose d.
+  EXPECT_EQ(f.bgp.best_egress(f.g.c, Ipv4Addr::parse("96.0.1.7"), 10), f.g.d);
+}
+
+TEST(Bgp, LocalPrefDominatesIgp) {
+  BgpFixture f;
+  f.bgp.announce(f.route(f.g.b, /*lp=*/100), 0);
+  f.bgp.announce(f.route(f.g.d, /*lp=*/200), 0);
+  EXPECT_EQ(f.bgp.best_egress(f.g.a, Ipv4Addr::parse("96.0.1.7"), 10), f.g.d);
+}
+
+TEST(Bgp, AsPathBreaksBeforeMed) {
+  BgpFixture f;
+  f.bgp.announce(f.route(f.g.b, 100, /*aspath=*/3, /*med=*/0), 0);
+  f.bgp.announce(f.route(f.g.d, 100, /*aspath=*/2, /*med=*/9), 0);
+  EXPECT_EQ(f.bgp.best_egress(f.g.a, Ipv4Addr::parse("96.0.1.7"), 10), f.g.d);
+}
+
+TEST(Bgp, WithdrawMovesEgress) {
+  BgpFixture f;
+  f.bgp.announce(f.route(f.g.b), 0);
+  f.bgp.announce(f.route(f.g.d), 0);
+  f.bgp.withdraw(f.dst, f.g.b, 500);
+  EXPECT_EQ(f.bgp.best_egress(f.g.a, Ipv4Addr::parse("96.0.1.7"), 499), f.g.b);
+  EXPECT_EQ(f.bgp.best_egress(f.g.a, Ipv4Addr::parse("96.0.1.7"), 500), f.g.d);
+  // History intact: the past still shows b.
+  EXPECT_EQ(f.bgp.best_egress(f.g.a, Ipv4Addr::parse("96.0.1.7"), 100), f.g.b);
+}
+
+TEST(Bgp, IgpFailureMovesEgress) {
+  BgpFixture f;
+  f.bgp.announce(f.route(f.g.b), 0);
+  f.bgp.announce(f.route(f.g.d), 0);
+  // Cut a's links toward b; egress should shift to d (via c).
+  f.ospf.set_weight(f.g.ab, 300, kDown);
+  f.ospf.set_weight(f.g.bd, 300, kDown);
+  EXPECT_EQ(f.bgp.best_egress(f.g.a, Ipv4Addr::parse("96.0.1.7"), 299), f.g.b);
+  EXPECT_EQ(f.bgp.best_egress(f.g.a, Ipv4Addr::parse("96.0.1.7"), 301), f.g.d);
+}
+
+TEST(Bgp, NoCoveringPrefix) {
+  BgpFixture f;
+  f.bgp.announce(f.route(f.g.b), 0);
+  EXPECT_FALSE(
+      f.bgp.best_egress(f.g.a, Ipv4Addr::parse("203.0.113.1"), 10).has_value());
+}
+
+TEST(Bgp, FallbackToShorterCoveringPrefix) {
+  BgpFixture f;
+  // A /16 covering route at d plus a more specific /24 at b.
+  BgpRoute wide = f.route(f.g.d);
+  wide.prefix = Ipv4Prefix::parse("96.0.0.0/16");
+  f.bgp.announce(wide, 0);
+  f.bgp.announce(f.route(f.g.b), 0);
+  Ipv4Addr addr = Ipv4Addr::parse("96.0.1.7");
+  EXPECT_EQ(f.bgp.best_egress(f.g.a, addr, 10), f.g.b);
+  // Withdraw the /24: the /16 must take over (real LPM fallback).
+  f.bgp.withdraw(f.dst, f.g.b, 100);
+  EXPECT_EQ(f.bgp.best_egress(f.g.a, addr, 150), f.g.d);
+}
+
+TEST(Bgp, ReannounceReplacesAttributes) {
+  BgpFixture f;
+  f.bgp.announce(f.route(f.g.b, 100), 0);
+  f.bgp.announce(f.route(f.g.d, 100), 0);
+  // At t=100, b's route is re-announced with a worse local-pref.
+  f.bgp.announce(f.route(f.g.b, 50), 100);
+  EXPECT_EQ(f.bgp.best_egress(f.g.a, Ipv4Addr::parse("96.0.1.7"), 50), f.g.b);
+  EXPECT_EQ(f.bgp.best_egress(f.g.a, Ipv4Addr::parse("96.0.1.7"), 150), f.g.d);
+}
+
+TEST(Bgp, UpdateLogCapturesEverything) {
+  BgpFixture f;
+  f.bgp.announce(f.route(f.g.b), 0);
+  f.bgp.withdraw(f.dst, f.g.b, 10);
+  f.bgp.withdraw(f.dst, f.g.b, 20);  // double withdraw: no-op
+  ASSERT_EQ(f.bgp.update_log().size(), 2u);
+  EXPECT_TRUE(f.bgp.update_log()[0].announce);
+  EXPECT_FALSE(f.bgp.update_log()[1].announce);
+}
+
+TEST(Bgp, SeedCustomerRoutes) {
+  Network net = topology::generate_isp(topology::TopoParams{});
+  OspfSim ospf(net);
+  BgpSim bgp(ospf);
+  seed_customer_routes(bgp, net, 0);
+  // Every customer prefix resolves from any ingress to its attachment PER.
+  const auto& cust = net.customers()[7];
+  RouterId expected = net.interface(cust.attachment).router;
+  RouterId ingress = net.routers()[0].id;
+  Ipv4Addr inside(cust.announced.address().value() + 5);
+  EXPECT_EQ(bgp.best_egress(ingress, inside, 100), expected);
+}
+
+}  // namespace
+}  // namespace grca::routing

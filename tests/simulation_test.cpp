@@ -1,0 +1,332 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Tests for the scenario engine and study workloads: cascade structure,
+// ground-truth consistency, determinism, and mixture calibration.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "simulation/workloads.h"
+#include "topology/topo_gen.h"
+#include "util/strings.h"
+
+namespace grca::sim {
+namespace {
+
+namespace t = topology;
+using telemetry::RawRecord;
+using telemetry::SourceType;
+
+struct EngineFixture {
+  t::Network net;
+  routing::OspfSim ospf;
+  routing::BgpSim bgp;
+  ScenarioEngine eng;
+
+  EngineFixture()
+      : net(t::generate_isp(t::TopoParams{})),
+        ospf(net),
+        bgp(ospf),
+        eng(net, ospf, bgp, 1234) {
+    routing::seed_customer_routes(bgp, net, -util::kDay);
+  }
+};
+
+std::size_t count_source(const telemetry::RecordStream& s, SourceType type) {
+  std::size_t n = 0;
+  for (const RawRecord& r : s) n += r.source == type;
+  return n;
+}
+
+// ---- cascades -----------------------------------------------------------
+
+TEST(Scenario, InterfaceFlapCascadeShape) {
+  EngineFixture f;
+  f.eng.customer_interface_flap(f.net.customers()[0].id, 10000);
+  auto records = f.eng.take_records();
+  // 4 link/proto syslogs + 2 adjchange syslogs + 2 bgpmon records.
+  EXPECT_EQ(count_source(records, SourceType::kSyslog), 6u);
+  EXPECT_EQ(count_source(records, SourceType::kBgpMon), 2u);
+  ASSERT_EQ(f.eng.truth().size(), 1u);
+  EXPECT_EQ(f.eng.truth()[0].cause, cause::kInterfaceFlap);
+  EXPECT_EQ(f.eng.truth()[0].symptom, "ebgp-flap");
+}
+
+TEST(Scenario, TruthLocationMatchesEmittedRecords) {
+  EngineFixture f;
+  const t::CustomerSite& c = f.net.customers()[5];
+  f.eng.customer_interface_flap(c.id, 20000);
+  const TruthEntry& truth = f.eng.truth()[0];
+  EXPECT_EQ(truth.detail, c.neighbor_ip.to_string());
+  EXPECT_EQ(truth.router,
+            f.net.router(f.net.interface(c.attachment).router).name);
+  EXPECT_NEAR(static_cast<double>(truth.time), 20002.0, 3.0);
+}
+
+TEST(Scenario, RebootFlapsEverySession) {
+  EngineFixture f;
+  t::RouterId per;
+  for (const t::Router& r : f.net.routers()) {
+    if (r.role == t::RouterRole::kProviderEdge) {
+      per = r.id;
+      break;
+    }
+  }
+  f.eng.router_reboot(per, 50000);
+  std::size_t sessions = 0;
+  for (const t::CustomerSite& c : f.net.customers()) {
+    sessions += f.net.interface(c.attachment).router == per;
+  }
+  EXPECT_EQ(f.eng.truth().size(), sessions);
+  for (const TruthEntry& e : f.eng.truth()) {
+    EXPECT_EQ(e.cause, cause::kRouterReboot);
+  }
+}
+
+TEST(Scenario, Layer1RestorationEmitsDeviceLog) {
+  EngineFixture f;
+  t::PhysicalLinkId tail;
+  for (const t::PhysicalLink& pl : f.net.physical_links()) {
+    if (pl.access_port.valid()) {
+      tail = pl.id;
+      break;
+    }
+  }
+  ASSERT_TRUE(tail.valid());
+  f.eng.access_layer1_restoration(tail, 30000, RestorationKind::kSonet);
+  auto records = f.eng.take_records();
+  EXPECT_EQ(count_source(records, SourceType::kLayer1Log), 1u);
+  ASSERT_EQ(f.eng.truth().size(), 1u);
+  EXPECT_EQ(f.eng.truth()[0].cause, cause::kSonetRestoration);
+}
+
+TEST(Scenario, RestorationOnBackboneCircuitRejected) {
+  EngineFixture f;
+  t::PhysicalLinkId backbone;
+  for (const t::PhysicalLink& pl : f.net.physical_links()) {
+    if (pl.logical.valid()) {
+      backbone = pl.id;
+      break;
+    }
+  }
+  EXPECT_THROW(
+      f.eng.access_layer1_restoration(backbone, 100, RestorationKind::kSonet),
+      ConfigError);
+}
+
+TEST(Scenario, BackboneFlapUpdatesRoutingAndRestores) {
+  EngineFixture f;
+  t::LogicalLinkId link = f.net.links()[0].id;
+  int before = f.ospf.weight_at(link, 999);
+  f.eng.backbone_interface_flap(link, 1000, 60);
+  EXPECT_EQ(f.ospf.weight_at(link, 1030), routing::kDown);
+  EXPECT_EQ(f.ospf.weight_at(link, 1100), before);
+  auto records = f.eng.take_records();
+  EXPECT_EQ(count_source(records, SourceType::kOspfMon), 2u);
+  EXPECT_EQ(count_source(records, SourceType::kSyslog), 8u);  // both ends
+}
+
+TEST(Scenario, CostOutRouterGuardsConflicts) {
+  EngineFixture f;
+  t::RouterId core = f.net.routers()[0].id;
+  auto links = f.net.links_of_router(core);
+  ASSERT_GE(links.size(), 2u);
+  // Pre-date one link with a *later* change; cost-out must skip it quietly.
+  f.ospf.set_weight(links[0], 99999, 55);
+  f.eng.cost_out_router(core, 1000);
+  EXPECT_NE(f.ospf.weight_at(links[0], 2000), routing::kCostedOut);
+  EXPECT_EQ(f.ospf.weight_at(links[1], 2000), routing::kCostedOut);
+}
+
+TEST(Scenario, MvpnFlapCoversAllRemotePes) {
+  EngineFixture f;
+  auto sites = f.net.mvpn_sites("mvpn-1");
+  ASSERT_GE(sites.size(), 2u);
+  f.eng.mvpn_customer_flap(sites[0], 40000);
+  std::size_t pim_truth = 0;
+  for (const TruthEntry& e : f.eng.truth()) {
+    pim_truth += e.symptom == "pim-adjacency-flap";
+  }
+  EXPECT_GT(pim_truth, 0u);
+  EXPECT_EQ(pim_truth % 2, 0u);  // both directions logged
+}
+
+TEST(Scenario, NonMvpnSiteRejected) {
+  EngineFixture f;
+  t::CustomerSiteId plain;
+  for (const t::CustomerSite& c : f.net.customers()) {
+    if (c.mvpn.empty()) {
+      plain = c.id;
+      break;
+    }
+  }
+  EXPECT_THROW(f.eng.mvpn_customer_flap(plain, 100), ConfigError);
+  EXPECT_THROW(f.eng.pim_config_change(plain, 100), ConfigError);
+}
+
+TEST(Scenario, CdnEgressChangeMovesEgressAndRestores) {
+  EngineFixture f;
+  util::Ipv4Prefix prefix = util::Ipv4Prefix::parse("203.0.113.0/24");
+  const t::CdnNode& node = f.net.cdn_nodes().front();
+  t::RouterId ingress = node.ingress_routers[0];
+  t::RouterId primary, backup;
+  // Two PERs in distinct pops.
+  std::vector<t::RouterId> pers;
+  for (const t::Router& r : f.net.routers()) {
+    if (r.role == t::RouterRole::kProviderEdge) pers.push_back(r.id);
+  }
+  primary = pers[0];
+  backup = pers[pers.size() - 1];
+  f.eng.add_client_prefix(prefix, {primary, backup}, 0);
+  util::Ipv4Addr client = util::Ipv4Addr::parse("203.0.113.77");
+  ASSERT_EQ(f.bgp.best_egress(ingress, client, 500), primary);
+  f.eng.cdn_egress_change(node.id, client, prefix, 1000);
+  EXPECT_EQ(f.bgp.best_egress(ingress, client, 1100), backup);
+  // The preferred route is restored within hours.
+  EXPECT_EQ(f.bgp.best_egress(ingress, client, 1000 + 8000), primary);
+  ASSERT_EQ(f.eng.truth().size(), 1u);
+  EXPECT_EQ(f.eng.truth()[0].cause, cause::kBgpEgressChange);
+}
+
+TEST(Scenario, SnmpRecordsAlignedToBins) {
+  EngineFixture f;
+  f.eng.link_congestion(f.net.links()[0].id, 1234, 95.0);
+  auto records = f.eng.take_records();
+  for (const RawRecord& r : records) {
+    if (r.source == SourceType::kSnmp) {
+      EXPECT_EQ(r.timestamp % 300, 0);
+    }
+  }
+}
+
+TEST(Scenario, Determinism) {
+  auto run = [] {
+    EngineFixture f;
+    f.eng.cpu_spike(f.net.routers()[5].id, 1000, 2);
+    f.eng.customer_interface_flap(f.net.customers()[3].id, 5000);
+    return f.eng.take_records();
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].true_utc, b[i].true_utc);
+    EXPECT_EQ(a[i].body, b[i].body);
+    EXPECT_EQ(a[i].device, b[i].device);
+  }
+}
+
+// ---- workloads --------------------------------------------------------------
+
+TEST(Workloads, BgpStudyMixtureApproximatesTableIV) {
+  t::Network net = t::generate_isp(t::TopoParams{});
+  BgpStudyParams p;
+  p.days = 14;
+  p.target_symptoms = 800;
+  StudyOutput study = run_bgp_study(net, p);
+  std::map<std::string, double> shares;
+  std::size_t flaps = 0;
+  for (const TruthEntry& e : study.truth) {
+    if (e.symptom != "ebgp-flap") continue;
+    ++flaps;
+    shares[e.cause] += 1.0;
+  }
+  ASSERT_GT(flaps, 500u);
+  for (auto& [cause_name, count] : shares) count = 100.0 * count / flaps;
+  EXPECT_NEAR(shares[cause::kInterfaceFlap], 63.94, 6.0);
+  EXPECT_NEAR(shares[cause::kLineProtocolFlap], 11.15, 4.0);
+  EXPECT_NEAR(shares[cause::kUnknown], 10.95, 4.0);
+  EXPECT_LT(shares[cause::kRouterReboot], 4.0);
+}
+
+TEST(Workloads, BgpStudyRecordsAreSorted) {
+  t::Network net = t::generate_isp(t::TopoParams{});
+  BgpStudyParams p;
+  p.days = 7;
+  p.target_symptoms = 200;
+  StudyOutput study = run_bgp_study(net, p);
+  for (std::size_t i = 1; i < study.records.size(); ++i) {
+    EXPECT_LE(study.records[i - 1].true_utc, study.records[i].true_utc);
+  }
+}
+
+TEST(Workloads, PimStudyQuotasApproximateTableVIII) {
+  t::Network net = t::generate_isp(t::TopoParams{});
+  PimStudyParams p;
+  p.days = 14;
+  p.target_symptoms = 800;
+  StudyOutput study = run_pim_study(net, p);
+  std::map<std::string, double> shares;
+  std::size_t n = 0;
+  for (const TruthEntry& e : study.truth) {
+    if (e.symptom != "pim-adjacency-flap") continue;
+    ++n;
+    shares[e.cause] += 1.0;
+  }
+  ASSERT_GT(n, 400u);
+  for (auto& [cause_name, count] : shares) count = 100.0 * count / n;
+  EXPECT_NEAR(shares[cause::kInterfaceFlap], 69.21, 8.0);
+  EXPECT_NEAR(shares[cause::kRouterCostInOut], 10.34, 5.0);
+  EXPECT_NEAR(shares[cause::kOspfReconvergence], 10.36, 5.0);
+}
+
+TEST(Workloads, CdnStudyUnknownShareDominates) {
+  t::Network net = t::generate_isp(t::TopoParams{});
+  CdnStudyParams p;
+  p.days = 7;
+  p.target_symptoms = 400;
+  p.client_prefixes = 30;
+  StudyOutput study = run_cdn_study(net, p);
+  std::size_t unknown = 0, total = 0;
+  for (const TruthEntry& e : study.truth) {
+    if (e.symptom != "cdn-rtt-increase") continue;
+    ++total;
+    unknown += e.cause == std::string(cause::kUnknown);
+  }
+  ASSERT_GT(total, 200u);
+  EXPECT_NEAR(100.0 * unknown / total, 74.83, 8.0);
+  EXPECT_FALSE(study.client_prefixes.empty());
+}
+
+TEST(Workloads, CdnStudyRequiresCdnNode) {
+  t::TopoParams tp;
+  tp.cdn_nodes = 0;
+  t::Network net = t::generate_isp(tp);
+  EXPECT_THROW(run_cdn_study(net, CdnStudyParams{}), ConfigError);
+}
+
+TEST(Workloads, InnetStudyMixtureAndEvidence) {
+  t::Network net = t::generate_isp(t::TopoParams{});
+  InnetStudyParams p;
+  p.days = 14;
+  p.target_symptoms = 300;
+  StudyOutput study = run_innet_study(net, p);
+  std::map<std::string, std::size_t> counts;
+  for (const TruthEntry& e : study.truth) ++counts[e.cause];
+  std::size_t total = study.truth.size();
+  ASSERT_GT(total, 200u);
+  EXPECT_NEAR(100.0 * counts[cause::kLinkCongestion] / total, 40.0, 8.0);
+  EXPECT_NEAR(100.0 * counts[cause::kUnknown] / total, 20.0, 8.0);
+  // Perf probes present, both symptomatic and benign.
+  std::size_t probes = 0;
+  for (const auto& r : study.records) {
+    probes += r.source == telemetry::SourceType::kPerfMon;
+  }
+  EXPECT_GT(probes, total);
+}
+
+TEST(Workloads, NoiseScalesRecordVolume) {
+  t::Network net = t::generate_isp(t::TopoParams{});
+  BgpStudyParams quiet, noisy;
+  quiet.days = noisy.days = 7;
+  quiet.target_symptoms = noisy.target_symptoms = 100;
+  quiet.noise = 0.0;
+  noisy.noise = 2.0;
+  EXPECT_LT(run_bgp_study(net, quiet).records.size(),
+            run_bgp_study(net, noisy).records.size());
+}
+
+}  // namespace
+}  // namespace grca::sim

@@ -1,0 +1,176 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Tests for SRLG modeling and SCORE-style localization (§V integration):
+// risk-group derivation from the inventory and the greedy set cover.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/srlg.h"
+#include "topology/topo_gen.h"
+
+namespace grca::core {
+namespace {
+
+namespace t = topology;
+
+struct Fixture {
+  t::Network net = t::generate_isp(t::TopoParams{});
+  SrlgModel model{net};
+
+  /// All interface locations riding the given layer-1 device.
+  std::vector<Location> ports_of_device(const std::string& device) const {
+    for (const RiskGroup& g : model.groups()) {
+      if (g.name == "layer1:" + device) return g.elements;
+    }
+    return {};
+  }
+};
+
+TEST(Srlg, DerivesGroupsFromInventory) {
+  Fixture f;
+  std::size_t circuit_groups = 0, device_groups = 0;
+  for (const RiskGroup& g : f.model.groups()) {
+    circuit_groups += g.name.rfind("circuit:", 0) == 0;
+    device_groups += g.name.rfind("layer1:", 0) == 0;
+  }
+  EXPECT_EQ(circuit_groups, f.net.physical_links().size());
+  EXPECT_EQ(device_groups, f.net.layer1_devices().size());
+}
+
+TEST(Srlg, DeviceGroupsSubsumeTheirCircuits) {
+  Fixture f;
+  const t::PhysicalLink& pl = f.net.physical_links()[0];
+  ASSERT_FALSE(pl.path.empty());
+  auto device_ports =
+      f.ports_of_device(f.net.layer1_device(pl.path[0]).name);
+  // Each circuit through the device contributes its ports.
+  const RiskGroup* circuit = nullptr;
+  for (const RiskGroup& g : f.model.groups()) {
+    if (g.name == "circuit:" + pl.circuit_id) circuit = &g;
+  }
+  ASSERT_NE(circuit, nullptr);
+  for (const Location& port : circuit->elements) {
+    EXPECT_NE(std::find(device_ports.begin(), device_ports.end(), port),
+              device_ports.end());
+  }
+}
+
+TEST(Srlg, LocalizesLayer1DeviceFailure) {
+  // Simulate an unobservable failure of an optical device: every port it
+  // carries goes down, with no layer-1 alarm collected. SCORE must name it.
+  Fixture f;
+  const t::Layer1Device& dev = f.net.layer1_devices()[1];
+  auto faults = f.ports_of_device(dev.name);
+  ASSERT_GE(faults.size(), 3u);
+  auto result = f.model.localize(faults);
+  ASSERT_FALSE(result.hypotheses.empty());
+  EXPECT_EQ(result.hypotheses[0].group, "layer1:" + dev.name);
+  EXPECT_DOUBLE_EQ(result.hypotheses[0].hit_ratio, 1.0);
+  EXPECT_TRUE(result.unexplained.empty());
+}
+
+TEST(Srlg, LocalizesSingleCircuitFailure) {
+  Fixture f;
+  // Find a backbone circuit (covers two ports) and fail exactly its ports:
+  // the circuit group (hit ratio 1.0) must beat the device group (partial).
+  const t::PhysicalLink* backbone = nullptr;
+  for (const t::PhysicalLink& pl : f.net.physical_links()) {
+    if (pl.logical.valid()) {
+      backbone = &pl;
+      break;
+    }
+  }
+  ASSERT_NE(backbone, nullptr);
+  const RiskGroup* circuit = nullptr;
+  for (const RiskGroup& g : f.model.groups()) {
+    if (g.name == "circuit:" + backbone->circuit_id) circuit = &g;
+  }
+  auto result = f.model.localize(circuit->elements);
+  ASSERT_FALSE(result.hypotheses.empty());
+  // APS-protected links share both ports across two circuits, so either the
+  // exact circuit or its twin explains the failure at ratio 1.0.
+  EXPECT_DOUBLE_EQ(result.hypotheses[0].hit_ratio, 1.0);
+  EXPECT_TRUE(result.hypotheses[0].group.rfind("circuit:", 0) == 0);
+}
+
+TEST(Srlg, TwoSimultaneousFailuresBothFound) {
+  Fixture f;
+  const t::Layer1Device& a = f.net.layer1_devices()[0];
+  const t::Layer1Device& b = f.net.layer1_devices()[3];
+  auto faults = f.ports_of_device(a.name);
+  auto more = f.ports_of_device(b.name);
+  faults.insert(faults.end(), more.begin(), more.end());
+  auto result = f.model.localize(faults);
+  std::set<std::string> named;
+  for (const RiskHypothesis& h : result.hypotheses) named.insert(h.group);
+  EXPECT_TRUE(named.count("layer1:" + a.name));
+  EXPECT_TRUE(named.count("layer1:" + b.name));
+}
+
+TEST(Srlg, SingletonFaultUnexplained) {
+  // One lone port failure is not a shared-risk signature.
+  Fixture f;
+  const t::Interface& ifc = f.net.interfaces()[0];
+  std::vector<Location> faults = {
+      Location::interface(f.net.router(ifc.router).name, ifc.name)};
+  auto result = f.model.localize(faults);
+  EXPECT_TRUE(result.hypotheses.empty());
+  EXPECT_EQ(result.unexplained.size(), 1u);
+}
+
+TEST(Srlg, NoiseDoesNotBreakLocalization) {
+  // Device failure plus two unrelated port faults: the device is still the
+  // top hypothesis and the noise lands in unexplained (or a tiny group).
+  Fixture f;
+  const t::Layer1Device& dev = f.net.layer1_devices()[1];
+  auto faults = f.ports_of_device(dev.name);
+  std::size_t signal = faults.size();
+  ASSERT_GE(signal, 3u);
+  faults.push_back(Location::interface("nyc-cr1", "nonexistent-0/0/9"));
+  auto result = f.model.localize(faults);
+  ASSERT_FALSE(result.hypotheses.empty());
+  EXPECT_EQ(result.hypotheses[0].group, "layer1:" + dev.name);
+  EXPECT_GE(result.hypotheses[0].explained.size(), signal);
+  EXPECT_FALSE(result.unexplained.empty());
+}
+
+TEST(Srlg, LineCardGroups) {
+  // Fig. 8 solved spatially: fail every port of one card.
+  Fixture f;
+  SrlgModel model(f.net);
+  for (RiskGroup& g : line_card_risk_groups(f.net)) {
+    model.add_group(std::move(g));
+  }
+  const t::LineCard* card = nullptr;
+  for (const t::LineCard& c : f.net.line_cards()) {
+    if (c.interfaces.size() >= 3) {
+      card = &c;
+      break;
+    }
+  }
+  ASSERT_NE(card, nullptr);
+  std::vector<Location> faults;
+  for (t::InterfaceId i : card->interfaces) {
+    const t::Interface& ifc = f.net.interface(i);
+    faults.push_back(
+        Location::interface(f.net.router(ifc.router).name, ifc.name));
+  }
+  auto result = model.localize(faults);
+  ASSERT_FALSE(result.hypotheses.empty());
+  EXPECT_EQ(result.hypotheses[0].group,
+            "linecard:" + f.net.router(card->router).name + ":slot" +
+                std::to_string(card->slot));
+}
+
+TEST(Srlg, EmptyFaultsEmptyResult) {
+  Fixture f;
+  auto result = f.model.localize({});
+  EXPECT_TRUE(result.hypotheses.empty());
+  EXPECT_TRUE(result.unexplained.empty());
+}
+
+}  // namespace
+}  // namespace grca::core

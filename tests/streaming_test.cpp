@@ -1,0 +1,178 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Tests for streaming (real-time) RCA: batch-equivalence, bounded detection
+// latency, late-record handling, and drain semantics.
+
+#include <gtest/gtest.h>
+
+#include "apps/bgp_flap_app.h"
+#include "apps/pipeline.h"
+#include "apps/scoring.h"
+#include "apps/streaming.h"
+#include "simulation/workloads.h"
+#include "topology/config.h"
+#include "topology/topo_gen.h"
+
+namespace grca::apps {
+namespace {
+
+namespace t = topology;
+
+struct StreamFixture {
+  t::Network sim_net;
+  t::Network rca_net;
+  sim::StudyOutput study;
+
+  StreamFixture() {
+    t::TopoParams tp;
+    tp.pops = 4;
+    tp.pers_per_pop = 3;
+    tp.customers_per_per = 5;
+    sim_net = t::generate_isp(tp);
+    rca_net = t::build_network_from_configs(
+        t::render_all_configs(sim_net), t::render_layer1_inventory(sim_net));
+    sim::BgpStudyParams params;
+    params.days = 3;
+    params.target_symptoms = 150;
+    params.noise = 0.3;
+    study = sim::run_bgp_study(sim_net, params);
+  }
+
+  StreamingOptions stream_options() const {
+    StreamingOptions options;
+    options.freeze_horizon = 900;
+    options.settle = 400;
+    options.extract.flap_pair_window = 600;
+    return options;
+  }
+};
+
+TEST(Streaming, MatchesBatchDiagnoses) {
+  StreamFixture f;
+  // Batch reference (same shortened pairing window).
+  collector::ExtractOptions extract;
+  extract.flap_pair_window = 600;
+  Pipeline pipeline(f.rca_net, f.study.records, extract);
+  core::RcaEngine engine(bgp::build_graph(), pipeline.store(),
+                         pipeline.mapper());
+  auto batch = engine.diagnose_all();
+
+  // Streaming run, ticking every 5 minutes of record time.
+  StreamingRca stream(f.rca_net, bgp::build_graph(), f.stream_options());
+  std::vector<core::Diagnosis> streamed;
+  util::TimeSec next_tick = f.study.records.front().true_utc;
+  for (const telemetry::RawRecord& r : f.study.records) {
+    while (r.true_utc >= next_tick) {
+      for (auto& d : stream.advance(next_tick)) streamed.push_back(std::move(d));
+      next_tick += 300;
+    }
+    stream.ingest(r);
+  }
+  for (auto& d : stream.drain()) streamed.push_back(std::move(d));
+
+  ASSERT_EQ(streamed.size(), batch.size());
+  // Same verdict for every symptom (order may differ; match by key+time).
+  std::map<std::string, std::string> batch_verdicts;
+  for (const core::Diagnosis& d : batch) {
+    batch_verdicts[d.symptom.where.key() + "@" +
+                   std::to_string(d.symptom.when.start)] = d.primary();
+  }
+  std::size_t mismatches = 0;
+  for (const core::Diagnosis& d : streamed) {
+    auto it = batch_verdicts.find(d.symptom.where.key() + "@" +
+                                  std::to_string(d.symptom.when.start));
+    ASSERT_NE(it, batch_verdicts.end());
+    mismatches += it->second != d.primary();
+  }
+  EXPECT_EQ(mismatches, 0u);
+}
+
+TEST(Streaming, AccuracyMatchesGroundTruth) {
+  StreamFixture f;
+  StreamingRca stream(f.rca_net, bgp::build_graph(), f.stream_options());
+  for (const telemetry::RawRecord& r : f.study.records) stream.ingest(r);
+  auto diagnoses = stream.drain();
+  Score score = score_diagnoses(diagnoses, f.study.truth,
+                                bgp::canonical_cause);
+  EXPECT_GE(score.accuracy(), 0.9) << score.confusion_table().render();
+}
+
+TEST(Streaming, DetectionLatencyBounded) {
+  StreamFixture f;
+  StreamingOptions options = f.stream_options();
+  StreamingRca stream(f.rca_net, bgp::build_graph(), options);
+  util::TimeSec max_latency = 0;
+  util::TimeSec next_tick = f.study.records.front().true_utc;
+  for (const telemetry::RawRecord& r : f.study.records) {
+    while (r.true_utc >= next_tick) {
+      for (const core::Diagnosis& d : stream.advance(next_tick)) {
+        max_latency =
+            std::max(max_latency, next_tick - d.symptom.when.start);
+      }
+      next_tick += 300;
+    }
+    stream.ingest(r);
+  }
+  EXPECT_GT(stream.diagnosed(), 0u);
+  // Latency is bounded by horizon + settle + one tick.
+  EXPECT_LE(max_latency, options.freeze_horizon + options.settle + 300 + 60);
+}
+
+TEST(Streaming, LateRecordsDroppedNotCrashed) {
+  StreamFixture f;
+  StreamingRca stream(f.rca_net, bgp::build_graph(), f.stream_options());
+  const telemetry::RawRecord& first = f.study.records.front();
+  stream.ingest(first);
+  stream.advance(first.true_utc + 3 * util::kHour);
+  // A record far behind the frozen cut must be counted, not applied.
+  telemetry::RawRecord stale = first;
+  stream.ingest(stale);
+  EXPECT_EQ(stream.dropped_late(), 1u);
+}
+
+TEST(Streaming, AdvanceBeforeDataIsEmpty) {
+  StreamFixture f;
+  StreamingRca stream(f.rca_net, bgp::build_graph(), f.stream_options());
+  EXPECT_TRUE(stream.advance(util::make_utc(2010, 1, 1)).empty());
+  EXPECT_TRUE(stream.drain().empty());
+}
+
+TEST(Streaming, RejectsInsufficientHorizon) {
+  StreamFixture f;
+  StreamingOptions options;
+  options.freeze_horizon = 300;
+  options.extract.flap_pair_window = 600;
+  EXPECT_THROW(StreamingRca(f.rca_net, bgp::build_graph(), options),
+               ConfigError);
+}
+
+TEST(Streaming, EachSymptomDiagnosedOnce) {
+  StreamFixture f;
+  StreamingRca stream(f.rca_net, bgp::build_graph(), f.stream_options());
+  std::set<std::string> seen;
+  util::TimeSec next_tick = f.study.records.front().true_utc;
+  std::size_t duplicates = 0;
+  for (const telemetry::RawRecord& r : f.study.records) {
+    while (r.true_utc >= next_tick) {
+      for (const core::Diagnosis& d : stream.advance(next_tick)) {
+        duplicates += !seen
+                           .insert(d.symptom.where.key() + "@" +
+                                   std::to_string(d.symptom.when.start))
+                           .second;
+      }
+      next_tick += 300;
+    }
+    stream.ingest(r);
+  }
+  for (const core::Diagnosis& d : stream.drain()) {
+    duplicates += !seen
+                       .insert(d.symptom.where.key() + "@" +
+                               std::to_string(d.symptom.when.start))
+                       .second;
+  }
+  EXPECT_EQ(duplicates, 0u);
+}
+
+}  // namespace
+}  // namespace grca::apps
