@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_iterative_learning.dir/ablation_iterative_learning.cpp.o"
+  "CMakeFiles/ablation_iterative_learning.dir/ablation_iterative_learning.cpp.o.d"
+  "ablation_iterative_learning"
+  "ablation_iterative_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iterative_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlation_bench.dir/correlation_bench.cpp.o"
+  "CMakeFiles/correlation_bench.dir/correlation_bench.cpp.o.d"
+  "correlation_bench"
+  "correlation_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlation_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnosis_latency.dir/diagnosis_latency.cpp.o"
+  "CMakeFiles/diagnosis_latency.dir/diagnosis_latency.cpp.o.d"
+  "diagnosis_latency"
+  "diagnosis_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnosis_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_scaling.dir/engine_scaling.cpp.o"
+  "CMakeFiles/engine_scaling.dir/engine_scaling.cpp.o.d"
+  "engine_scaling"
+  "engine_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

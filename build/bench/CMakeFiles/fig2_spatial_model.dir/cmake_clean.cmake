@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_spatial_model.dir/fig2_spatial_model.cpp.o"
+  "CMakeFiles/fig2_spatial_model.dir/fig2_spatial_model.cpp.o.d"
+  "fig2_spatial_model"
+  "fig2_spatial_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_spatial_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

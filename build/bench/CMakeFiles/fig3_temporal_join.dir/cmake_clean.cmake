@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_temporal_join.dir/fig3_temporal_join.cpp.o"
+  "CMakeFiles/fig3_temporal_join.dir/fig3_temporal_join.cpp.o.d"
+  "fig3_temporal_join"
+  "fig3_temporal_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_temporal_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

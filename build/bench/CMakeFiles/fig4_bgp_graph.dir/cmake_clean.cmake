@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bgp_graph.dir/fig4_bgp_graph.cpp.o"
+  "CMakeFiles/fig4_bgp_graph.dir/fig4_bgp_graph.cpp.o.d"
+  "fig4_bgp_graph"
+  "fig4_bgp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bgp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

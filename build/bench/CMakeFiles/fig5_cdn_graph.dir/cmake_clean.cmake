@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cdn_graph.dir/fig5_cdn_graph.cpp.o"
+  "CMakeFiles/fig5_cdn_graph.dir/fig5_cdn_graph.cpp.o.d"
+  "fig5_cdn_graph"
+  "fig5_cdn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cdn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pim_graph.dir/fig6_pim_graph.cpp.o"
+  "CMakeFiles/fig6_pim_graph.dir/fig6_pim_graph.cpp.o.d"
+  "fig6_pim_graph"
+  "fig6_pim_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pim_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

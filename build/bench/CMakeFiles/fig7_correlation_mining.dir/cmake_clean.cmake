@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_correlation_mining.dir/fig7_correlation_mining.cpp.o"
+  "CMakeFiles/fig7_correlation_mining.dir/fig7_correlation_mining.cpp.o.d"
+  "fig7_correlation_mining"
+  "fig7_correlation_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_correlation_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

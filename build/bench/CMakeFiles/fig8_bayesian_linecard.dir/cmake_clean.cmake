@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bayesian_linecard.dir/fig8_bayesian_linecard.cpp.o"
+  "CMakeFiles/fig8_bayesian_linecard.dir/fig8_bayesian_linecard.cpp.o.d"
+  "fig8_bayesian_linecard"
+  "fig8_bayesian_linecard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bayesian_linecard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intro_innet_loss.dir/intro_innet_loss.cpp.o"
+  "CMakeFiles/intro_innet_loss.dir/intro_innet_loss.cpp.o.d"
+  "intro_innet_loss"
+  "intro_innet_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intro_innet_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srlg_localization.dir/srlg_localization.cpp.o"
+  "CMakeFiles/srlg_localization.dir/srlg_localization.cpp.o.d"
+  "srlg_localization"
+  "srlg_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srlg_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

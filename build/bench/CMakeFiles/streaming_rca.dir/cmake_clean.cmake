@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_rca.dir/streaming_rca.cpp.o"
+  "CMakeFiles/streaming_rca.dir/streaming_rca.cpp.o.d"
+  "streaming_rca"
+  "streaming_rca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_rca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_rule_library.dir/table2_rule_library.cpp.o"
+  "CMakeFiles/table2_rule_library.dir/table2_rule_library.cpp.o.d"
+  "table2_rule_library"
+  "table2_rule_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_rule_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

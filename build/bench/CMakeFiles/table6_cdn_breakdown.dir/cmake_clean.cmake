@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_cdn_breakdown.dir/table6_cdn_breakdown.cpp.o"
+  "CMakeFiles/table6_cdn_breakdown.dir/table6_cdn_breakdown.cpp.o.d"
+  "table6_cdn_breakdown"
+  "table6_cdn_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_cdn_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

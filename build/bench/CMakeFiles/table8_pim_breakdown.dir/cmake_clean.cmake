@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_pim_breakdown.dir/table8_pim_breakdown.cpp.o"
+  "CMakeFiles/table8_pim_breakdown.dir/table8_pim_breakdown.cpp.o.d"
+  "table8_pim_breakdown"
+  "table8_pim_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_pim_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

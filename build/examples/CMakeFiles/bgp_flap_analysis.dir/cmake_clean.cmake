@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_flap_analysis.dir/bgp_flap_analysis.cpp.o"
+  "CMakeFiles/bgp_flap_analysis.dir/bgp_flap_analysis.cpp.o.d"
+  "bgp_flap_analysis"
+  "bgp_flap_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_flap_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

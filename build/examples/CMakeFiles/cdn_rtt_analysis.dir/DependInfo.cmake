@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cdn_rtt_analysis.cpp" "examples/CMakeFiles/cdn_rtt_analysis.dir/cdn_rtt_analysis.cpp.o" "gcc" "examples/CMakeFiles/cdn_rtt_analysis.dir/cdn_rtt_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/grca_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/collector/CMakeFiles/grca_collector.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/grca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulation/CMakeFiles/grca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/grca_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/grca_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/grca_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/grca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_rtt_analysis.dir/cdn_rtt_analysis.cpp.o"
+  "CMakeFiles/cdn_rtt_analysis.dir/cdn_rtt_analysis.cpp.o.d"
+  "cdn_rtt_analysis"
+  "cdn_rtt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_rtt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_mvpn_analysis.dir/pim_mvpn_analysis.cpp.o"
+  "CMakeFiles/pim_mvpn_analysis.dir/pim_mvpn_analysis.cpp.o.d"
+  "pim_mvpn_analysis"
+  "pim_mvpn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_mvpn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grca_apps.dir/bgp_flap_app.cpp.o"
+  "CMakeFiles/grca_apps.dir/bgp_flap_app.cpp.o.d"
+  "CMakeFiles/grca_apps.dir/cdn_app.cpp.o"
+  "CMakeFiles/grca_apps.dir/cdn_app.cpp.o.d"
+  "CMakeFiles/grca_apps.dir/innet_app.cpp.o"
+  "CMakeFiles/grca_apps.dir/innet_app.cpp.o.d"
+  "CMakeFiles/grca_apps.dir/pim_app.cpp.o"
+  "CMakeFiles/grca_apps.dir/pim_app.cpp.o.d"
+  "CMakeFiles/grca_apps.dir/pipeline.cpp.o"
+  "CMakeFiles/grca_apps.dir/pipeline.cpp.o.d"
+  "CMakeFiles/grca_apps.dir/scoring.cpp.o"
+  "CMakeFiles/grca_apps.dir/scoring.cpp.o.d"
+  "CMakeFiles/grca_apps.dir/streaming.cpp.o"
+  "CMakeFiles/grca_apps.dir/streaming.cpp.o.d"
+  "libgrca_apps.a"
+  "libgrca_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grca_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

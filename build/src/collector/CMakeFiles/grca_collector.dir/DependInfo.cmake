@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collector/extract.cpp" "src/collector/CMakeFiles/grca_collector.dir/extract.cpp.o" "gcc" "src/collector/CMakeFiles/grca_collector.dir/extract.cpp.o.d"
+  "/root/repo/src/collector/normalizer.cpp" "src/collector/CMakeFiles/grca_collector.dir/normalizer.cpp.o" "gcc" "src/collector/CMakeFiles/grca_collector.dir/normalizer.cpp.o.d"
+  "/root/repo/src/collector/record_index.cpp" "src/collector/CMakeFiles/grca_collector.dir/record_index.cpp.o" "gcc" "src/collector/CMakeFiles/grca_collector.dir/record_index.cpp.o.d"
+  "/root/repo/src/collector/routing_rebuild.cpp" "src/collector/CMakeFiles/grca_collector.dir/routing_rebuild.cpp.o" "gcc" "src/collector/CMakeFiles/grca_collector.dir/routing_rebuild.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/grca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/grca_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/grca_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/grca_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/grca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grca_collector.dir/extract.cpp.o"
+  "CMakeFiles/grca_collector.dir/extract.cpp.o.d"
+  "CMakeFiles/grca_collector.dir/normalizer.cpp.o"
+  "CMakeFiles/grca_collector.dir/normalizer.cpp.o.d"
+  "CMakeFiles/grca_collector.dir/record_index.cpp.o"
+  "CMakeFiles/grca_collector.dir/record_index.cpp.o.d"
+  "CMakeFiles/grca_collector.dir/routing_rebuild.cpp.o"
+  "CMakeFiles/grca_collector.dir/routing_rebuild.cpp.o.d"
+  "libgrca_collector.a"
+  "libgrca_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grca_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/grca_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/grca_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/correlation.cpp" "src/core/CMakeFiles/grca_core.dir/correlation.cpp.o" "gcc" "src/core/CMakeFiles/grca_core.dir/correlation.cpp.o.d"
+  "/root/repo/src/core/diagnosis_graph.cpp" "src/core/CMakeFiles/grca_core.dir/diagnosis_graph.cpp.o" "gcc" "src/core/CMakeFiles/grca_core.dir/diagnosis_graph.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/grca_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/grca_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/event_store.cpp" "src/core/CMakeFiles/grca_core.dir/event_store.cpp.o" "gcc" "src/core/CMakeFiles/grca_core.dir/event_store.cpp.o.d"
+  "/root/repo/src/core/knowledge_library.cpp" "src/core/CMakeFiles/grca_core.dir/knowledge_library.cpp.o" "gcc" "src/core/CMakeFiles/grca_core.dir/knowledge_library.cpp.o.d"
+  "/root/repo/src/core/location.cpp" "src/core/CMakeFiles/grca_core.dir/location.cpp.o" "gcc" "src/core/CMakeFiles/grca_core.dir/location.cpp.o.d"
+  "/root/repo/src/core/reasoning_bayes.cpp" "src/core/CMakeFiles/grca_core.dir/reasoning_bayes.cpp.o" "gcc" "src/core/CMakeFiles/grca_core.dir/reasoning_bayes.cpp.o.d"
+  "/root/repo/src/core/result_browser.cpp" "src/core/CMakeFiles/grca_core.dir/result_browser.cpp.o" "gcc" "src/core/CMakeFiles/grca_core.dir/result_browser.cpp.o.d"
+  "/root/repo/src/core/rule_dsl.cpp" "src/core/CMakeFiles/grca_core.dir/rule_dsl.cpp.o" "gcc" "src/core/CMakeFiles/grca_core.dir/rule_dsl.cpp.o.d"
+  "/root/repo/src/core/srlg.cpp" "src/core/CMakeFiles/grca_core.dir/srlg.cpp.o" "gcc" "src/core/CMakeFiles/grca_core.dir/srlg.cpp.o.d"
+  "/root/repo/src/core/temporal.cpp" "src/core/CMakeFiles/grca_core.dir/temporal.cpp.o" "gcc" "src/core/CMakeFiles/grca_core.dir/temporal.cpp.o.d"
+  "/root/repo/src/core/trending.cpp" "src/core/CMakeFiles/grca_core.dir/trending.cpp.o" "gcc" "src/core/CMakeFiles/grca_core.dir/trending.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/grca_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/grca_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/grca_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grca_core.dir/calibration.cpp.o"
+  "CMakeFiles/grca_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/grca_core.dir/correlation.cpp.o"
+  "CMakeFiles/grca_core.dir/correlation.cpp.o.d"
+  "CMakeFiles/grca_core.dir/diagnosis_graph.cpp.o"
+  "CMakeFiles/grca_core.dir/diagnosis_graph.cpp.o.d"
+  "CMakeFiles/grca_core.dir/engine.cpp.o"
+  "CMakeFiles/grca_core.dir/engine.cpp.o.d"
+  "CMakeFiles/grca_core.dir/event_store.cpp.o"
+  "CMakeFiles/grca_core.dir/event_store.cpp.o.d"
+  "CMakeFiles/grca_core.dir/knowledge_library.cpp.o"
+  "CMakeFiles/grca_core.dir/knowledge_library.cpp.o.d"
+  "CMakeFiles/grca_core.dir/location.cpp.o"
+  "CMakeFiles/grca_core.dir/location.cpp.o.d"
+  "CMakeFiles/grca_core.dir/reasoning_bayes.cpp.o"
+  "CMakeFiles/grca_core.dir/reasoning_bayes.cpp.o.d"
+  "CMakeFiles/grca_core.dir/result_browser.cpp.o"
+  "CMakeFiles/grca_core.dir/result_browser.cpp.o.d"
+  "CMakeFiles/grca_core.dir/rule_dsl.cpp.o"
+  "CMakeFiles/grca_core.dir/rule_dsl.cpp.o.d"
+  "CMakeFiles/grca_core.dir/srlg.cpp.o"
+  "CMakeFiles/grca_core.dir/srlg.cpp.o.d"
+  "CMakeFiles/grca_core.dir/temporal.cpp.o"
+  "CMakeFiles/grca_core.dir/temporal.cpp.o.d"
+  "CMakeFiles/grca_core.dir/trending.cpp.o"
+  "CMakeFiles/grca_core.dir/trending.cpp.o.d"
+  "libgrca_core.a"
+  "libgrca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

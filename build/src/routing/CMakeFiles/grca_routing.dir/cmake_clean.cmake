@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grca_routing.dir/bgp.cpp.o"
+  "CMakeFiles/grca_routing.dir/bgp.cpp.o.d"
+  "CMakeFiles/grca_routing.dir/ospf.cpp.o"
+  "CMakeFiles/grca_routing.dir/ospf.cpp.o.d"
+  "libgrca_routing.a"
+  "libgrca_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grca_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrca_routing.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grca_sim.dir/emitter.cpp.o"
+  "CMakeFiles/grca_sim.dir/emitter.cpp.o.d"
+  "CMakeFiles/grca_sim.dir/scenario.cpp.o"
+  "CMakeFiles/grca_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/grca_sim.dir/workloads.cpp.o"
+  "CMakeFiles/grca_sim.dir/workloads.cpp.o.d"
+  "libgrca_sim.a"
+  "libgrca_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grca_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

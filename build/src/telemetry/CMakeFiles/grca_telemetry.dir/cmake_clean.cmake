@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grca_telemetry.dir/records.cpp.o"
+  "CMakeFiles/grca_telemetry.dir/records.cpp.o.d"
+  "CMakeFiles/grca_telemetry.dir/records_io.cpp.o"
+  "CMakeFiles/grca_telemetry.dir/records_io.cpp.o.d"
+  "libgrca_telemetry.a"
+  "libgrca_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grca_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

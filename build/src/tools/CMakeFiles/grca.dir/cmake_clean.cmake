@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grca.dir/grca_cli.cpp.o"
+  "CMakeFiles/grca.dir/grca_cli.cpp.o.d"
+  "grca"
+  "grca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

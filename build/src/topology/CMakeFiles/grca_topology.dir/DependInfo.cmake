@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/config.cpp" "src/topology/CMakeFiles/grca_topology.dir/config.cpp.o" "gcc" "src/topology/CMakeFiles/grca_topology.dir/config.cpp.o.d"
+  "/root/repo/src/topology/network.cpp" "src/topology/CMakeFiles/grca_topology.dir/network.cpp.o" "gcc" "src/topology/CMakeFiles/grca_topology.dir/network.cpp.o.d"
+  "/root/repo/src/topology/topo_gen.cpp" "src/topology/CMakeFiles/grca_topology.dir/topo_gen.cpp.o" "gcc" "src/topology/CMakeFiles/grca_topology.dir/topo_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/grca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grca_topology.dir/config.cpp.o"
+  "CMakeFiles/grca_topology.dir/config.cpp.o.d"
+  "CMakeFiles/grca_topology.dir/network.cpp.o"
+  "CMakeFiles/grca_topology.dir/network.cpp.o.d"
+  "CMakeFiles/grca_topology.dir/topo_gen.cpp.o"
+  "CMakeFiles/grca_topology.dir/topo_gen.cpp.o.d"
+  "libgrca_topology.a"
+  "libgrca_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grca_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grca_util.dir/ipv4.cpp.o"
+  "CMakeFiles/grca_util.dir/ipv4.cpp.o.d"
+  "CMakeFiles/grca_util.dir/strings.cpp.o"
+  "CMakeFiles/grca_util.dir/strings.cpp.o.d"
+  "CMakeFiles/grca_util.dir/table.cpp.o"
+  "CMakeFiles/grca_util.dir/table.cpp.o.d"
+  "CMakeFiles/grca_util.dir/time.cpp.o"
+  "CMakeFiles/grca_util.dir/time.cpp.o.d"
+  "libgrca_util.a"
+  "libgrca_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grca_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bayes_test.dir/bayes_test.cpp.o"
+  "CMakeFiles/bayes_test.dir/bayes_test.cpp.o.d"
+  "bayes_test"
+  "bayes_test.pdb"
+  "bayes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bayes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

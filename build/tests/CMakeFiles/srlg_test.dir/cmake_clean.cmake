@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srlg_test.dir/srlg_test.cpp.o"
+  "CMakeFiles/srlg_test.dir/srlg_test.cpp.o.d"
+  "srlg_test"
+  "srlg_test.pdb"
+  "srlg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srlg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
