@@ -5,8 +5,18 @@
 // queries, temporal-spatial joins, and full diagnoses as the stored event
 // volume grows (the paper's deployment ingests hundreds of millions of
 // records per day; windowed queries must stay sublinear in store size).
+//
+// `--threads N` (default 1) sets the worker count for the parallel
+// diagnose_all benchmark; run with --threads 1 and --threads 8 to measure
+// the engine's multicore scaling. The parallel run is checked to be
+// byte-identical to the serial one before timing starts.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
 
 #include "core/engine.h"
 #include "core/rule_dsl.h"
@@ -121,6 +131,73 @@ BENCHMARK(BM_DiagnoseVsStoreSize)
     ->Complexity(benchmark::oLogN)
     ->Unit(benchmark::kMicrosecond);
 
+unsigned g_threads = 1;  // set from --threads in main()
+
+core::DiagnosisGraph scaling_graph() {
+  core::DiagnosisGraph graph;
+  core::load_dsl(R"(
+event ebgp-flap {
+  location router-neighbor
+}
+event interface-flap {
+  location interface
+}
+rule ebgp-flap -> interface-flap {
+  priority 180
+  symptom start-start 185 5
+  diagnostic start-end 5 15
+  join interface
+}
+graph {
+  root ebgp-flap
+}
+)",
+                 graph);
+  return graph;
+}
+
+/// Stable text form of a diagnosis batch, for the byte-identity check.
+std::string render_diagnoses(const std::vector<core::Diagnosis>& batch) {
+  std::ostringstream out;
+  for (const core::Diagnosis& d : batch) {
+    out << d.symptom.where.key() << '@' << d.symptom.when.start << " -> "
+        << d.primary() << " causes=" << d.causes.size() << " evidence=[";
+    for (const core::EvidenceNode& n : d.evidence) {
+      out << n.event << ':' << n.instances.size() << ',';
+    }
+    out << "]\n";
+  }
+  return out.str();
+}
+
+/// Full diagnose_all over the standard scenario with --threads workers.
+/// Throughput (items/s) is symptoms diagnosed per second.
+void BM_DiagnoseAllThreads(benchmark::State& state) {
+  const topology::Network& net = bench_net();
+  static ScaledStore scaled(net, 200000);  // ~2000 symptoms
+  routing::OspfSim ospf(net);
+  routing::BgpSim bgp(ospf);
+  core::LocationMapper mapper(net, ospf, bgp);
+  core::RcaEngine engine(scaling_graph(), scaled.store, mapper);
+  // Correctness gate: the parallel batch must match the serial batch
+  // byte-for-byte before we bother timing it.
+  if (g_threads > 1 &&
+      render_diagnoses(engine.diagnose_all(g_threads)) !=
+          render_diagnoses(engine.diagnose_all(1))) {
+    state.SkipWithError("parallel diagnose_all differs from serial");
+    return;
+  }
+  std::size_t diagnosed = 0;
+  for (auto _ : state) {
+    auto batch = engine.diagnose_all(g_threads);
+    diagnosed += batch.size();
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(diagnosed));
+  state.counters["threads"] = g_threads;
+}
+BENCHMARK(BM_DiagnoseAllThreads)->Unit(benchmark::kMillisecond);
+
 void BM_SpatialProjection(benchmark::State& state) {
   const topology::Network& net = bench_net();
   routing::OspfSim ospf(net);
@@ -140,4 +217,26 @@ BENCHMARK(BM_SpatialProjection)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+/// Custom main: extract our --threads flag before google-benchmark sees
+/// (and rejects) it.
+int main(int argc, char** argv) {
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_threads = static_cast<unsigned>(std::stoul(argv[i] + 10));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

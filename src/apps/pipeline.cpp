@@ -3,6 +3,8 @@
 
 #include "apps/pipeline.h"
 
+#include "util/thread_pool.h"
+
 namespace grca::apps {
 
 Pipeline::Pipeline(const topology::Network& net,
@@ -20,6 +22,35 @@ Pipeline::Pipeline(const topology::Network& net,
     extractor.extract_egress_changes(index_.all(), routing_.bgp(),
                                      egress_observers, store_);
   }
+}
+
+std::vector<core::Diagnosis> Pipeline::diagnose_all(core::DiagnosisGraph graph,
+                                                    unsigned threads) const {
+  core::RcaEngine engine(std::move(graph), store_, mapper_);
+  return engine.diagnose_all(threads);
+}
+
+std::vector<std::vector<core::Diagnosis>> Pipeline::diagnose_apps(
+    std::vector<core::DiagnosisGraph> graphs, unsigned threads) const {
+  std::vector<std::vector<core::Diagnosis>> out(graphs.size());
+  if (threads == 0) threads = util::ThreadPool::default_threads();
+  if (threads <= 1 || graphs.size() < 2) {
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      out[i] = diagnose_all(std::move(graphs[i]), threads);
+    }
+    return out;
+  }
+  // Warm once from this thread; the applications then share read-only
+  // store/mapper state. Each application runs serially within its task —
+  // the fan-out here is across applications.
+  store_.warm();
+  util::ThreadPool pool(
+      static_cast<unsigned>(std::min<std::size_t>(threads, graphs.size())));
+  pool.parallel_for(0, graphs.size(), [&](std::size_t i) {
+    core::RcaEngine engine(std::move(graphs[i]), store_, mapper_);
+    out[i] = engine.diagnose_all();
+  });
+  return out;
 }
 
 core::ResultBrowser::ContextLookup Pipeline::context_lookup() const {

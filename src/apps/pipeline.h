@@ -14,6 +14,7 @@
 #include "collector/normalizer.h"
 #include "collector/record_index.h"
 #include "collector/routing_rebuild.h"
+#include "core/engine.h"
 #include "core/location.h"
 #include "core/result_browser.h"
 
@@ -38,6 +39,19 @@ class Pipeline {
   /// Drill-down context source for the Result Browser: raw records on the
   /// routers spanned by a location.
   core::ResultBrowser::ContextLookup context_lookup() const;
+
+  /// Runs one application's full RCA over this pipeline's store, fanning
+  /// per-symptom diagnosis out over `threads` workers (0 = hardware
+  /// concurrency, 1 = serial). The result is identical — same diagnoses,
+  /// same order — for every thread count.
+  std::vector<core::Diagnosis> diagnose_all(core::DiagnosisGraph graph,
+                                            unsigned threads = 0) const;
+
+  /// Per-application fan-out: diagnoses several applications' graphs
+  /// concurrently on one pool over the shared store. Results are returned
+  /// in input order, each identical to a serial diagnose_all of that graph.
+  std::vector<std::vector<core::Diagnosis>> diagnose_apps(
+      std::vector<core::DiagnosisGraph> graphs, unsigned threads = 0) const;
 
  private:
   const topology::Network& net_;

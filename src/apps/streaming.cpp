@@ -26,6 +26,19 @@ StreamingRca::StreamingRca(const topology::Network& net,
   }
   engine_ = std::make_unique<core::RcaEngine>(std::move(graph), store_,
                                               mapper_);
+  if (options_.workers > 1) {
+    jobs_ = std::make_unique<util::BoundedQueue<DiagnosisJob>>(
+        std::size_t{4} * options_.workers);
+    workers_.reserve(options_.workers);
+    for (unsigned i = 0; i < options_.workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+StreamingRca::~StreamingRca() {
+  if (jobs_) jobs_->close();
+  for (std::thread& t : workers_) t.join();
 }
 
 void StreamingRca::ingest(const telemetry::RawRecord& raw) {
@@ -102,16 +115,61 @@ void StreamingRca::freeze_until(TimeSec new_cut) {
   buffer_.erase(buffer_.begin(), keep);
 }
 
+/// Join state for one batch pushed through the worker queue.
+struct StreamingRca::Batch {
+  std::vector<core::Diagnosis> results;
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t remaining = 0;
+  std::exception_ptr error;
+};
+
+void StreamingRca::worker_loop() {
+  DiagnosisJob job;
+  while (jobs_->pop(job)) {
+    std::exception_ptr error;
+    try {
+      job.batch->results[job.slot] = engine_->diagnose(*job.symptom);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard lock(job.batch->mutex);
+    if (error && !job.batch->error) job.batch->error = error;
+    if (--job.batch->remaining == 0) job.batch->done.notify_all();
+  }
+}
+
 std::vector<core::Diagnosis> StreamingRca::diagnose_ready(TimeSec ready_cut) {
-  std::vector<core::Diagnosis> out;
   auto symptoms = store_.all(engine_->graph().root());
+  std::size_t first = diagnose_cursor_;
   while (diagnose_cursor_ < symptoms.size() &&
          symptoms[diagnose_cursor_].when.start < ready_cut) {
-    out.push_back(engine_->diagnose(symptoms[diagnose_cursor_]));
     ++diagnose_cursor_;
-    ++diagnosed_count_;
   }
-  return out;
+  const std::size_t count = diagnose_cursor_ - first;
+  diagnosed_count_ += count;
+  if (!jobs_ || count == 0) {
+    std::vector<core::Diagnosis> out;
+    out.reserve(count);
+    for (std::size_t i = first; i < diagnose_cursor_; ++i) {
+      out.push_back(engine_->diagnose(symptoms[i]));
+    }
+    return out;
+  }
+  // Parallel stage: the store is frozen for the duration of the batch (the
+  // next ingest/freeze happens only after this returns), so workers see a
+  // read-only store. Pre-sort any dirty buckets from this thread first.
+  store_.warm();
+  Batch batch;
+  batch.results.resize(count);
+  batch.remaining = count;
+  for (std::size_t i = 0; i < count; ++i) {
+    jobs_->push(DiagnosisJob{&symptoms[first + i], i, &batch});
+  }
+  std::unique_lock lock(batch.mutex);
+  batch.done.wait(lock, [&] { return batch.remaining == 0; });
+  if (batch.error) std::rethrow_exception(batch.error);
+  return std::move(batch.results);
 }
 
 std::vector<core::Diagnosis> StreamingRca::advance(TimeSec now) {

@@ -19,11 +19,13 @@
 
 #include <memory>
 #include <set>
+#include <thread>
 
 #include "collector/extract.h"
 #include "collector/normalizer.h"
 #include "collector/routing_rebuild.h"
 #include "core/engine.h"
+#include "util/thread_pool.h"
 
 namespace grca::apps {
 
@@ -36,6 +38,11 @@ struct StreamingOptions {
   util::TimeSec settle = 600;
   /// Maximum tolerated arrival skew; older records are dropped and counted.
   util::TimeSec max_skew = util::kHour;
+  /// Diagnosis workers between event freezing and diagnosis: 0 or 1
+  /// diagnoses inline on the caller's thread; N > 1 starts N persistent
+  /// workers fed through a bounded queue. Diagnoses are returned in the
+  /// same order as the serial run regardless of worker count.
+  unsigned workers = 1;
   collector::ExtractOptions extract;
 };
 
@@ -43,6 +50,10 @@ class StreamingRca {
  public:
   StreamingRca(const topology::Network& net, core::DiagnosisGraph graph,
                StreamingOptions options = {});
+
+  /// Drains the diagnosis worker stage (closes the job queue, joins the
+  /// workers). Any batch in flight completes first.
+  ~StreamingRca();
 
   /// Feeds one raw record. Records may arrive out of order by up to
   /// max_skew relative to the high-water mark already ingested.
@@ -63,8 +74,21 @@ class StreamingRca {
   /// Extracts events from the buffered records and freezes those starting
   /// in [frozen_cut_, new_cut).
   void freeze_until(util::TimeSec new_cut);
-  /// Diagnoses frozen, settled, not-yet-diagnosed symptoms.
+  /// Diagnoses frozen, settled, not-yet-diagnosed symptoms. With workers
+  /// configured, the batch is pushed through the bounded queue and this
+  /// call blocks until the whole batch is diagnosed — the store is never
+  /// mutated while workers are running.
   std::vector<core::Diagnosis> diagnose_ready(util::TimeSec ready_cut);
+
+  /// Join state for one in-flight diagnosis batch (defined in streaming.cpp).
+  struct Batch;
+  /// One slot of an in-flight diagnosis batch, handed to a worker.
+  struct DiagnosisJob {
+    const core::EventInstance* symptom = nullptr;
+    std::size_t slot = 0;
+    Batch* batch = nullptr;
+  };
+  void worker_loop();
 
   const topology::Network& net_;
   StreamingOptions options_;
@@ -74,6 +98,12 @@ class StreamingRca {
   core::LocationMapper mapper_;
   core::EventStore store_;
   std::unique_ptr<core::RcaEngine> engine_;
+
+  /// Worker stage between event ingestion and diagnosis: ingestion (the
+  /// caller's thread) produces frozen symptom batches into the bounded
+  /// queue; the workers consume and diagnose. Empty when workers <= 1.
+  std::unique_ptr<util::BoundedQueue<DiagnosisJob>> jobs_;
+  std::vector<std::thread> workers_;
 
   std::vector<collector::NormalizedRecord> buffer_;  // kept sorted by utc
   util::TimeSec high_water_ = std::numeric_limits<util::TimeSec>::min();

@@ -9,6 +9,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/thread_pool.h"
+
 namespace grca::core {
 
 namespace {
@@ -20,6 +22,7 @@ const std::string& Diagnosis::primary() const noexcept {
 }
 
 bool Diagnosis::has_evidence(const std::string& event) const noexcept {
+  if (!evidence_index.empty()) return evidence_index.count(event) > 0;
   for (const EvidenceNode& n : evidence) {
     if (n.event == event) return true;
   }
@@ -73,6 +76,10 @@ Diagnosis RcaEngine::diagnose(const EventInstance& symptom) const {
   auto& nodes = result.evidence;
   nodes.push_back(EvidenceNode{symptom.name, {}, 0, 0});
   node_index.emplace(symptom.name, 0);
+  // Set-of-pointers twin of each node's instance vector (and of `matched`
+  // below), so duplicate-instance checks are O(1) instead of a linear
+  // std::find over vectors that can grow large on busy symptoms.
+  std::vector<std::unordered_set<const EventInstance*>> node_instance_sets(1);
   std::deque<std::size_t> frontier = {0};
   std::unordered_set<std::string> has_evidenced_child;
 
@@ -87,12 +94,10 @@ Diagnosis RcaEngine::diagnose(const EventInstance& symptom) const {
     const int parent_depth = nodes[parent_idx].depth;
     for (const DiagnosisRule& rule : graph_.rules_from(parent_name)) {
       std::vector<const EventInstance*> matched;
+      std::unordered_set<const EventInstance*> matched_set;
       for (const EventInstance* anchor : parent_instances) {
         for (const EventInstance* inst : join(*anchor, rule)) {
-          if (std::find(matched.begin(), matched.end(), inst) ==
-              matched.end()) {
-            matched.push_back(inst);
-          }
+          if (matched_set.insert(inst).second) matched.push_back(inst);
         }
       }
       if (matched.empty()) continue;
@@ -102,14 +107,14 @@ Diagnosis RcaEngine::diagnose(const EventInstance& symptom) const {
         node_index.emplace(rule.diagnostic, nodes.size());
         nodes.push_back(EvidenceNode{rule.diagnostic, std::move(matched),
                                      rule.priority, parent_depth + 1});
+        node_instance_sets.push_back(std::move(matched_set));
         frontier.push_back(nodes.size() - 1);
       } else {
         EvidenceNode& node = nodes[it->second];
+        std::unordered_set<const EventInstance*>& seen =
+            node_instance_sets[it->second];
         for (const EventInstance* inst : matched) {
-          if (std::find(node.instances.begin(), node.instances.end(), inst) ==
-              node.instances.end()) {
-            node.instances.push_back(inst);
-          }
+          if (seen.insert(inst).second) node.instances.push_back(inst);
         }
         if (rule.priority > node.priority) node.priority = rule.priority;
         // Re-explore from this node so deeper evidence is reachable through
@@ -136,6 +141,9 @@ Diagnosis RcaEngine::diagnose(const EventInstance& symptom) const {
               return a.event < b.event;
             });
 
+  result.evidence_index.reserve(nodes.size());
+  for (const EvidenceNode& n : nodes) result.evidence_index.insert(n.event);
+
   result.elapsed_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
@@ -143,11 +151,23 @@ Diagnosis RcaEngine::diagnose(const EventInstance& symptom) const {
   return result;
 }
 
-std::vector<Diagnosis> RcaEngine::diagnose_all() const {
-  std::vector<Diagnosis> out;
-  for (const EventInstance& symptom : store_.all(graph_.root())) {
-    out.push_back(diagnose(symptom));
+std::vector<Diagnosis> RcaEngine::diagnose_all(unsigned threads) const {
+  std::span<const EventInstance> symptoms = store_.all(graph_.root());
+  std::vector<Diagnosis> out(symptoms.size());
+  if (threads == 0) threads = util::ThreadPool::default_threads();
+  if (threads <= 1 || symptoms.size() < 2) {
+    for (std::size_t i = 0; i < symptoms.size(); ++i) {
+      out[i] = diagnose(symptoms[i]);
+    }
+    return out;
   }
+  // Pay every lazy bucket sort from this thread; afterwards all store
+  // queries issued by the workers are read-only.
+  store_.warm();
+  util::ThreadPool pool(
+      static_cast<unsigned>(std::min<std::size_t>(threads, symptoms.size())));
+  pool.parallel_for(0, symptoms.size(),
+                    [&](std::size_t i) { out[i] = diagnose(symptoms[i]); });
   return out;
 }
 

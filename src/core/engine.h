@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/diagnosis_graph.h"
@@ -38,6 +39,10 @@ struct Diagnosis {
   EventInstance symptom;
   std::vector<EvidenceNode> evidence;  // every evidenced node, BFS order
   std::vector<RootCause> causes;       // max-priority leaves; empty = unknown
+  /// Event names in `evidence`, maintained by the engine for O(1)
+  /// has_evidence lookups. Hand-built diagnoses may leave it empty;
+  /// has_evidence then falls back to scanning `evidence`.
+  std::unordered_set<std::string> evidence_index;
   double elapsed_ms = 0.0;
 
   /// The headline root-cause label: the single (or first joint) cause event
@@ -58,10 +63,17 @@ class RcaEngine {
             const LocationMapper& mapper);
 
   /// Diagnoses a single symptom instance (its name must equal graph root).
+  /// Thread-safe once the store has been warmed/finalized (see EventStore's
+  /// freeze-then-query contract); the graph, mapper and routing simulators
+  /// are only read.
   Diagnosis diagnose(const EventInstance& symptom) const;
 
-  /// Diagnoses every stored instance of the root symptom event.
-  std::vector<Diagnosis> diagnose_all() const;
+  /// Diagnoses every stored instance of the root symptom event. With
+  /// threads > 1 the symptoms are fanned out over a thread pool (0 means
+  /// hardware concurrency); the store is warmed first so queries are
+  /// read-only. The result is identical — same diagnoses, same order — for
+  /// every thread count.
+  std::vector<Diagnosis> diagnose_all(unsigned threads = 1) const;
 
   const DiagnosisGraph& graph() const noexcept { return graph_; }
 

@@ -8,6 +8,10 @@
 namespace grca::core {
 
 void EventStore::add(EventInstance instance) {
+  if (finalized_) {
+    throw ConfigError("EventStore: add(" + instance.name +
+                      ") after finalize()");
+  }
   if (!instance.when.valid()) {
     throw ConfigError("EventStore: invalid interval for " + instance.name);
   }
@@ -26,6 +30,15 @@ void EventStore::ensure_sorted(const Bucket& bucket) const {
                      return x.when.start < y.when.start;
                    });
   b.dirty = false;
+}
+
+void EventStore::warm() const {
+  for (const auto& [name, bucket] : buckets_) ensure_sorted(bucket);
+}
+
+void EventStore::finalize() {
+  warm();
+  finalized_ = true;
 }
 
 std::vector<const EventInstance*> EventStore::query(const std::string& name,

@@ -6,6 +6,13 @@
 // (event-name × time-window) queries during temporal-spatial correlation.
 // Instances are kept sorted by start time per event name, so a window query
 // is a binary search plus a linear scan of the overlap range.
+//
+// Threading contract (freeze-then-query): add() and the first query after a
+// mutation are single-threaded — queries lazily (re)sort dirty buckets.
+// Calling warm() sorts every dirty bucket from the calling thread; from that
+// point until the next add(), all query paths are physically const and safe
+// to call from any number of threads concurrently. finalize() additionally
+// pins that state permanently: further add() calls throw.
 #pragma once
 
 #include <functional>
@@ -21,8 +28,20 @@ namespace grca::core {
 class EventStore {
  public:
   /// Adds one instance. Instances may arrive in any order; the index is
-  /// (re)sorted lazily on first query after a mutation.
+  /// (re)sorted lazily on first query after a mutation. Throws ConfigError
+  /// after finalize().
   void add(EventInstance instance);
+
+  /// Sorts every dirty bucket now. After this returns — and until the next
+  /// add() — queries are read-only and safe from concurrent threads.
+  void warm() const;
+
+  /// warm() plus a permanent write lock: any later add() throws ConfigError.
+  /// Call once ingestion is complete and before sharing the store across
+  /// diagnosis threads.
+  void finalize();
+
+  bool finalized() const noexcept { return finalized_; }
 
   /// All instances of `name` whose interval could overlap an expanded window
   /// [from, to] — i.e. start <= to and end >= from. `max_duration` hints the
@@ -55,6 +74,7 @@ class EventStore {
 
   std::unordered_map<std::string, Bucket> buckets_;
   std::size_t total_ = 0;
+  bool finalized_ = false;
 };
 
 }  // namespace grca::core

@@ -31,11 +31,13 @@ void OspfSim::set_weight(LogicalLinkId link, util::TimeSec time,
   int old = hist.back().second;
   hist.emplace_back(time, new_weight);
   log_.push_back(WeightChange{time, link, old, new_weight});
+  std::lock_guard lock(cache_mutex_);
   epochs_dirty_ = true;
   spf_cache_.clear();
 }
 
 std::size_t OspfSim::epoch_of(util::TimeSec time) const {
+  // Caller holds cache_mutex_.
   if (epochs_dirty_) {
     epoch_times_.clear();
     epoch_times_.reserve(log_.size());
@@ -52,16 +54,23 @@ std::size_t OspfSim::epoch_of(util::TimeSec time) const {
 
 std::shared_ptr<const OspfSim::SpfResult> OspfSim::run_spf(
     RouterId src, util::TimeSec time) const {
-  if (!cache_enabled_) {
-    return std::make_shared<SpfResult>(compute_spf(src, time));
+  std::uint64_t key = 0;
+  {
+    std::lock_guard lock(cache_mutex_);
+    if (cache_enabled_) {
+      key = (static_cast<std::uint64_t>(src.value()) << 32) | epoch_of(time);
+      auto it = spf_cache_.find(key);
+      if (it != spf_cache_.end()) return it->second;
+    }
   }
-  std::uint64_t key =
-      (static_cast<std::uint64_t>(src.value()) << 32) | epoch_of(time);
-  auto it = spf_cache_.find(key);
-  if (it != spf_cache_.end()) return it->second;
-  if (spf_cache_.size() >= 8192) spf_cache_.clear();  // crude size bound
+  // Dijkstra runs unlocked: concurrent misses on the same key duplicate the
+  // computation but stay correct (last insert wins).
   auto result = std::make_shared<SpfResult>(compute_spf(src, time));
-  spf_cache_.emplace(key, result);
+  std::lock_guard lock(cache_mutex_);
+  if (cache_enabled_) {
+    if (spf_cache_.size() >= 8192) spf_cache_.clear();  // crude size bound
+    spf_cache_.emplace(key, result);
+  }
   return result;
 }
 

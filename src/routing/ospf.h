@@ -14,6 +14,7 @@
 
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -43,6 +44,11 @@ struct WeightChange {
 /// The OSPF simulator. Construction snapshots the initial weights from the
 /// Network; set_weight() appends changes (times must be non-decreasing per
 /// link). All queries take an explicit time.
+///
+/// Threading: the const query interface is safe to call from concurrent
+/// threads (the SPF memo cache is internally synchronized); set_weight() and
+/// set_cache_enabled() must not race with queries — replay routing first,
+/// then fan diagnosis out.
 class OspfSim {
  public:
   explicit OspfSim(const topology::Network& net);
@@ -95,6 +101,7 @@ class OspfSim {
   /// benches use this to measure the raw route-reconstruction cost that
   /// dominated the paper's CDN diagnosis times.
   void set_cache_enabled(bool enabled) const {
+    std::lock_guard lock(cache_mutex_);
     cache_enabled_ = enabled;
     spf_cache_.clear();
   }
@@ -125,6 +132,9 @@ class OspfSim {
   /// weight at time -inf.
   std::vector<std::vector<std::pair<util::TimeSec, int>>> history_;
   std::vector<WeightChange> log_;
+  /// Guards the memoization state below; compute_spf itself runs outside
+  /// the lock (concurrent misses may duplicate work, which is harmless).
+  mutable std::mutex cache_mutex_;
   mutable std::vector<util::TimeSec> epoch_times_;  // sorted, lazily rebuilt
   mutable bool epochs_dirty_ = false;
   mutable bool cache_enabled_ = true;

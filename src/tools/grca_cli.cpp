@@ -13,12 +13,15 @@
 //       ground-truth labels under DIR.
 //
 //   grca diagnose --study bgp|cdn|pim|innet --data DIR
-//                 [--dsl FILE]... [--trend] [--score] [--drill CAUSE]
+//                 [--dsl FILE]... [--threads N] [--trend] [--score]
+//                 [--drill CAUSE]
 //       Rebuild the network from DIR's configs, replay the telemetry
 //       archive, run the study's RCA application (plus any extra DSL
-//       files), and print the root-cause breakdown. --score compares
-//       against DIR/truth.tsv; --drill prints one drill-down for the given
-//       diagnosed cause ("unknown" works).
+//       files), and print the root-cause breakdown. --threads fans
+//       per-symptom diagnosis out over N workers (default: hardware
+//       concurrency; 1 = serial — same output either way). --score
+//       compares against DIR/truth.tsv; --drill prints one drill-down for
+//       the given diagnosed cause ("unknown" works).
 //
 //   grca calibrate --study bgp|cdn|pim --data DIR
 //                  --symptom EVENT --diagnostic EVENT --join LEVEL
@@ -60,7 +63,7 @@ namespace {
   grca simulate --study bgp|cdn|pim|innet --out DIR [--days N] [--symptoms N]
                 [--seed S] [--paper-scale]
   grca diagnose --study bgp|cdn|pim|innet --data DIR [--dsl FILE]...
-                [--trend] [--score] [--drill CAUSE]
+                [--threads N] [--trend] [--score] [--drill CAUSE]
   grca calibrate --study bgp|cdn|pim --data DIR --symptom EVENT
                  --diagnostic EVENT --join LEVEL
 )";
@@ -99,7 +102,13 @@ struct Args {
   }
   long get_long(const std::string& key, long fallback) const {
     auto it = values.find(key);
-    return it == values.end() ? fallback : std::stol(it->second.back());
+    if (it == values.end()) return fallback;
+    try {
+      return std::stol(it->second.back());
+    } catch (const std::exception&) {
+      throw ConfigError("--" + key + ": expected an integer, got '" +
+                        it->second.back() + "'");
+    }
   }
 };
 
@@ -266,9 +275,12 @@ int cmd_diagnose(const Args& args) {
     }
     graph.validate();
   }
+  long threads = args.get_long("threads", 0);  // 0 = hardware concurrency
+  if (threads < 0) usage("--threads must be >= 0");
   core::RcaEngine engine(std::move(graph), pipeline.store(),
                          pipeline.mapper());
-  core::ResultBrowser browser(engine.diagnose_all());
+  core::ResultBrowser browser(
+      engine.diagnose_all(static_cast<unsigned>(threads)));
   hooks.browser(browser);
   std::cout << browser.breakdown().render("root cause breakdown");
   std::cout << "\nmean diagnosis time: " << browser.mean_diagnosis_ms()

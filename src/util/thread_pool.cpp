@@ -1,0 +1,110 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace grca::util {
+
+unsigned ThreadPool::default_threads() noexcept {
+  unsigned n = std::thread::hardware_concurrency();
+  return n ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = default_threads();
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [&] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_available_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ set and nothing left to run
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !first_error_) first_error_ = error;
+    if (--in_flight_ == 0) all_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  // ~4 chunks per worker balances load without flooding the queue; never
+  // more chunks than items.
+  const std::size_t chunks = std::min<std::size_t>(n, std::size_t{4} * size());
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+
+  // Local join state so concurrent parallel_for calls don't wait on each
+  // other's tasks.
+  struct Join {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+  } join;
+  for (std::size_t lo = begin; lo < end; lo += chunk) ++join.remaining;
+
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    submit([&join, &fn, lo, hi] {
+      std::exception_ptr error;
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard lock(join.mutex);
+      if (error && !join.error) join.error = error;
+      if (--join.remaining == 0) join.done.notify_all();
+    });
+  }
+  std::unique_lock lock(join.mutex);
+  join.done.wait(lock, [&] { return join.remaining == 0; });
+  if (join.error) std::rethrow_exception(join.error);
+}
+
+}  // namespace grca::util
