@@ -7,12 +7,14 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "apps/pipeline.h"
 #include "apps/scoring.h"
 #include "core/result_browser.h"
+#include "obs/export.h"
 #include "topology/config.h"
 #include "topology/topo_gen.h"
 #include "util/strings.h"
@@ -50,6 +52,31 @@ inline topology::TopoParams bench_params(int argc, char** argv) {
   p.mvpn_sites_per_vpn = 10;
   p.cdn_nodes = 2;
   return p;
+}
+
+/// Dumps the metrics registry to `file` — `.json` selects JSON, anything
+/// else Prometheus text. No-op when observability is disabled.
+inline void write_metrics_file(const std::string& file) {
+  obs::MetricsRegistry* reg = obs::registry_ptr();
+  if (!reg) return;
+  std::ofstream out(file);
+  bool json =
+      file.size() >= 5 && file.compare(file.size() - 5, 5, ".json") == 0;
+  out << (json ? obs::render_json(*reg) : obs::render_prometheus(*reg));
+  std::printf("metrics written to %s\n", file.c_str());
+}
+
+/// Scans argv for `--metrics-out FILE` (or `--metrics-out=FILE`) and, when
+/// present, dumps the metrics registry there. Call at the end of a bench
+/// run so the CI smoke job can archive the counters alongside the timings.
+inline void write_metrics_if_requested(int argc, char** argv) {
+  std::string file;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics-out" && i + 1 < argc) file = argv[i + 1];
+    if (arg.rfind("--metrics-out=", 0) == 0) file = arg.substr(14);
+  }
+  if (!file.empty()) write_metrics_file(file);
 }
 
 /// One row of a paper-vs-measured comparison.

@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "core/engine.h"
 #include "core/rule_dsl.h"
 #include "routing/bgp.h"
@@ -217,16 +218,21 @@ BENCHMARK(BM_SpatialProjection)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-/// Custom main: extract our --threads flag before google-benchmark sees
-/// (and rejects) it.
+/// Custom main: extract our --threads / --metrics-out flags before
+/// google-benchmark sees (and rejects) them.
 int main(int argc, char** argv) {
   std::vector<char*> passthrough;
   passthrough.reserve(static_cast<std::size_t>(argc));
+  std::string metrics_out;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       g_threads = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       g_threads = static_cast<unsigned>(std::stoul(argv[i] + 10));
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -238,5 +244,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!metrics_out.empty()) grca::bench::write_metrics_file(metrics_out);
   return 0;
 }

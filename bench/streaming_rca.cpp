@@ -73,5 +73,6 @@ int main(int argc, char** argv) {
       "\nThe same collector/engine code path runs incrementally: extraction "
       "finalizes behind a\nsliding freeze horizon, so real-time deployment "
       "is a configuration choice, not a rewrite.\n");
+  bench::write_metrics_if_requested(argc, argv);
   return score.accuracy() > 0.9 ? 0 : 1;
 }

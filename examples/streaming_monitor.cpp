@@ -17,6 +17,7 @@
 #include "apps/bgp_flap_app.h"
 #include "apps/streaming.h"
 #include "core/trending.h"
+#include "obs/feed_health.h"
 #include "simulation/scenario.h"
 #include "topology/config.h"
 #include "topology/topo_gen.h"
@@ -73,11 +74,30 @@ int main(int argc, char** argv) {
   options.workers = workers;
   apps::StreamingRca stream(rca_net, apps::bgp::build_graph(), options);
 
+  // Like the production console: one feed-health line per (simulated) day —
+  // is the data still flowing, how far behind is it, did we drop anything?
+  auto print_health = [&](util::TimeSec now) {
+    std::printf("[%s] feed health:", util::format_utc(now).c_str());
+    for (const obs::FeedHealthMonitor::Status& s :
+         stream.feed_health().status()) {
+      std::string name(telemetry::to_string(s.source));
+      std::printf(" %s=%llu(lag %.0fs%s)", name.c_str(),
+                  static_cast<unsigned long long>(s.records), s.mean_lag,
+                  s.silent ? ", SILENT" : "");
+    }
+    std::printf(" late-drops=%zu\n", stream.dropped_late());
+  };
+
   std::vector<core::Diagnosis> all;
   std::size_t printed = 0;
   util::TimeSec next_tick = records.front().true_utc;
+  util::TimeSec next_health = next_tick + util::kDay;
   for (const telemetry::RawRecord& r : records) {
     while (r.true_utc >= next_tick) {
+      if (next_tick >= next_health) {
+        print_health(next_tick);
+        next_health += util::kDay;
+      }
       for (core::Diagnosis& d : stream.advance(next_tick)) {
         // Print the first few like a console, then just count.
         if (printed < 5) {
@@ -96,6 +116,7 @@ int main(int argc, char** argv) {
     stream.ingest(r);
   }
   for (core::Diagnosis& d : stream.drain()) all.push_back(std::move(d));
+  print_health(next_tick);
   std::printf("... %zu diagnoses total (showing the first %zu live)\n\n",
               all.size(), printed);
 

@@ -3,29 +3,57 @@
 
 #include "apps/pipeline.h"
 
+#include "obs/span.h"
 #include "util/thread_pool.h"
 
 namespace grca::apps {
+
+namespace {
+
+/// Normalize + index under a stage span (member-init needs an expression).
+collector::RecordIndex build_index(const topology::Network& net,
+                                   const telemetry::RecordStream& raw,
+                                   obs::FeedHealthMonitor& feed_health) {
+  obs::ScopedSpan span("normalize");
+  return collector::RecordIndex(
+      collector::Normalizer(net, &feed_health).normalize_stream(raw));
+}
+
+}  // namespace
 
 Pipeline::Pipeline(const topology::Network& net,
                    const telemetry::RecordStream& raw,
                    collector::ExtractOptions options,
                    std::vector<topology::RouterId> egress_observers)
     : net_(net),
-      index_(collector::Normalizer(net).normalize_stream(raw)),
+      index_(build_index(net, raw, feed_health_)),
       routing_(net),
       mapper_(net, routing_.ospf(), routing_.bgp()) {
-  routing_.replay(index_.all());
+  {
+    obs::ScopedSpan span("routing-replay");
+    routing_.replay(index_.all());
+  }
+  store_.enable_metrics(obs::registry_ptr());
   collector::EventExtractor extractor(net, options);
-  extractor.extract(index_.all(), store_);
+  {
+    obs::ScopedSpan span("extract");
+    extractor.extract(index_.all(), store_);
+  }
   if (!egress_observers.empty()) {
+    obs::ScopedSpan span("extract-egress");
     extractor.extract_egress_changes(index_.all(), routing_.bgp(),
                                      egress_observers, store_);
+  }
+  // Gap gauges are relative to the end of the archive: a feed that went
+  // quiet mid-archive shows up with a large gap here.
+  if (!index_.all().empty()) {
+    feed_health_.observe_clock(index_.all().back().utc);
   }
 }
 
 std::vector<core::Diagnosis> Pipeline::diagnose_all(core::DiagnosisGraph graph,
                                                     unsigned threads) const {
+  obs::ScopedSpan span("diagnose");
   core::RcaEngine engine(std::move(graph), store_, mapper_);
   return engine.diagnose_all(threads);
 }

@@ -17,6 +17,7 @@
 #include "core/engine.h"
 #include "core/location.h"
 #include "core/result_browser.h"
+#include "obs/feed_health.h"
 
 namespace grca::apps {
 
@@ -35,6 +36,12 @@ class Pipeline {
   core::EventStore& store() noexcept { return store_; }
   const core::EventStore& store() const noexcept { return store_; }
   const core::LocationMapper& mapper() const noexcept { return mapper_; }
+
+  /// Per-source ingest health, accumulated while the archive was replayed
+  /// (counts, rejects, arrival-lag distribution, end-of-archive gaps).
+  const obs::FeedHealthMonitor& feed_health() const noexcept {
+    return feed_health_;
+  }
 
   /// Drill-down context source for the Result Browser: raw records on the
   /// routers spanned by a location.
@@ -55,6 +62,8 @@ class Pipeline {
 
  private:
   const topology::Network& net_;
+  obs::FeedHealthMonitor feed_health_;  // must precede index_ (normalizer
+                                        // reports into it during ingest)
   collector::RecordIndex index_;
   collector::RebuiltRouting routing_;
   core::EventStore store_;

@@ -4,6 +4,9 @@
 #include "apps/streaming.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/span.h"
 
 namespace grca::apps {
 
@@ -15,7 +18,7 @@ StreamingRca::StreamingRca(const topology::Network& net,
                            StreamingOptions options)
     : net_(net),
       options_(options),
-      normalizer_(net),
+      normalizer_(net, &feed_health_),
       extractor_(net, options.extract),
       routing_(net),
       mapper_(net, routing_.ospf(), routing_.bgp()) {
@@ -23,6 +26,15 @@ StreamingRca::StreamingRca(const topology::Network& net,
     throw ConfigError(
         "StreamingRca: freeze_horizon must exceed the flap pairing window "
         "(+2 min slack), or flaps spanning the horizon would be lost");
+  }
+  store_.enable_metrics(obs::registry_ptr());
+  if (obs::MetricsRegistry* reg = obs::registry_ptr()) {
+    freeze_lag_gauge_ = &reg->gauge("grca_streaming_freeze_lag_seconds");
+    queue_depth_gauge_ = &reg->gauge("grca_streaming_queue_depth");
+    batch_seconds_ = &reg->histogram("grca_streaming_batch_seconds");
+    batch_size_ = &reg->histogram(
+        "grca_streaming_batch_size",
+        {0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
   }
   engine_ = std::make_unique<core::RcaEngine>(std::move(graph), store_,
                                               mapper_);
@@ -49,6 +61,7 @@ void StreamingRca::ingest(const telemetry::RawRecord& raw) {
       (high_water_ != kNever &&
        record.utc < high_water_ - options_.max_skew)) {
     ++dropped_late_;  // arrived after its region was finalized
+    feed_health_.on_late_drop(record.source);
     return;
   }
   high_water_ = std::max(high_water_, record.utc);
@@ -140,6 +153,7 @@ void StreamingRca::worker_loop() {
 }
 
 std::vector<core::Diagnosis> StreamingRca::diagnose_ready(TimeSec ready_cut) {
+  auto t0 = std::chrono::steady_clock::now();
   auto symptoms = store_.all(engine_->graph().root());
   std::size_t first = diagnose_cursor_;
   while (diagnose_cursor_ < symptoms.size() &&
@@ -148,12 +162,21 @@ std::vector<core::Diagnosis> StreamingRca::diagnose_ready(TimeSec ready_cut) {
   }
   const std::size_t count = diagnose_cursor_ - first;
   diagnosed_count_ += count;
+  if (batch_size_) batch_size_->observe(static_cast<double>(count));
+  auto record_batch_time = [&] {
+    if (batch_seconds_) {
+      batch_seconds_->observe(std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count());
+    }
+  };
   if (!jobs_ || count == 0) {
     std::vector<core::Diagnosis> out;
     out.reserve(count);
     for (std::size_t i = first; i < diagnose_cursor_; ++i) {
       out.push_back(engine_->diagnose(symptoms[i]));
     }
+    record_batch_time();
     return out;
   }
   // Parallel stage: the store is frozen for the duration of the batch (the
@@ -166,21 +189,47 @@ std::vector<core::Diagnosis> StreamingRca::diagnose_ready(TimeSec ready_cut) {
   for (std::size_t i = 0; i < count; ++i) {
     jobs_->push(DiagnosisJob{&symptoms[first + i], i, &batch});
   }
+  // Depth right after the producer finished: how far the workers are
+  // behind at the moment the batch is fully enqueued.
+  if (queue_depth_gauge_) {
+    queue_depth_gauge_->set(static_cast<double>(jobs_->size()));
+  }
   std::unique_lock lock(batch.mutex);
   batch.done.wait(lock, [&] { return batch.remaining == 0; });
   if (batch.error) std::rethrow_exception(batch.error);
+  if (queue_depth_gauge_) queue_depth_gauge_->set(0.0);
+  record_batch_time();
   return std::move(batch.results);
 }
 
 std::vector<core::Diagnosis> StreamingRca::advance(TimeSec now) {
-  freeze_until(now - options_.freeze_horizon);
+  {
+    obs::ScopedSpan span("stream-freeze");
+    freeze_until(now - options_.freeze_horizon);
+  }
+  update_freeze_lag();
+  feed_health_.observe_clock(now);
+  obs::ScopedSpan span("stream-diagnose");
   return diagnose_ready(frozen_cut_ - options_.settle);
 }
 
 std::vector<core::Diagnosis> StreamingRca::drain() {
   if (high_water_ == std::numeric_limits<TimeSec>::min()) return {};
-  freeze_until(high_water_ + 1);
+  {
+    obs::ScopedSpan span("stream-freeze");
+    freeze_until(high_water_ + 1);
+  }
+  update_freeze_lag();
+  obs::ScopedSpan span("stream-diagnose");
   return diagnose_ready(std::numeric_limits<TimeSec>::max());
+}
+
+void StreamingRca::update_freeze_lag() {
+  constexpr TimeSec kNever = std::numeric_limits<TimeSec>::min();
+  if (freeze_lag_gauge_ && high_water_ != kNever && frozen_cut_ != kNever) {
+    freeze_lag_gauge_->set(
+        static_cast<double>(std::max<TimeSec>(0, high_water_ - frozen_cut_)));
+  }
 }
 
 }  // namespace grca::apps

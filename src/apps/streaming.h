@@ -25,6 +25,7 @@
 #include "collector/normalizer.h"
 #include "collector/routing_rebuild.h"
 #include "core/engine.h"
+#include "obs/feed_health.h"
 #include "util/thread_pool.h"
 
 namespace grca::apps {
@@ -70,6 +71,13 @@ class StreamingRca {
   std::size_t dropped_late() const noexcept { return dropped_late_; }
   std::size_t diagnosed() const noexcept { return diagnosed_count_; }
 
+  /// Per-source feed health (arrival counts, lag, gaps, late drops),
+  /// updated on every ingest and re-evaluated against the clock on every
+  /// advance(). Call from the ingest thread.
+  const obs::FeedHealthMonitor& feed_health() const noexcept {
+    return feed_health_;
+  }
+
  private:
   /// Extracts events from the buffered records and freezes those starting
   /// in [frozen_cut_, new_cut).
@@ -79,6 +87,8 @@ class StreamingRca {
   /// call blocks until the whole batch is diagnosed — the store is never
   /// mutated while workers are running.
   std::vector<core::Diagnosis> diagnose_ready(util::TimeSec ready_cut);
+  /// Publishes high_water - frozen_cut to the freeze-lag gauge.
+  void update_freeze_lag();
 
   /// Join state for one in-flight diagnosis batch (defined in streaming.cpp).
   struct Batch;
@@ -92,6 +102,7 @@ class StreamingRca {
 
   const topology::Network& net_;
   StreamingOptions options_;
+  obs::FeedHealthMonitor feed_health_;  // must precede normalizer_
   collector::Normalizer normalizer_;
   collector::EventExtractor extractor_;
   collector::RebuiltRouting routing_;
@@ -112,6 +123,12 @@ class StreamingRca {
   std::size_t diagnose_cursor_ = 0;  // symptoms diagnosed so far (by order)
   std::size_t dropped_late_ = 0;
   std::size_t diagnosed_count_ = 0;
+
+  // Streaming instrumentation (null when no registry is installed).
+  obs::Gauge* freeze_lag_gauge_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Histogram* batch_seconds_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;
 };
 
 }  // namespace grca::apps

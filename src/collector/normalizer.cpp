@@ -45,13 +45,28 @@ std::string render(const NormalizedRecord& record) {
   return out;
 }
 
-Normalizer::Normalizer(const topology::Network& net) : net_(net) {
+Normalizer::Normalizer(const topology::Network& net,
+                       obs::FeedHealthMonitor* feed_health)
+    : net_(net), feed_health_(feed_health) {
   for (const topology::Layer1Device& d : net.layer1_devices()) {
     l1_by_name_.emplace(d.name, d.id);
   }
 }
 
 bool Normalizer::normalize(const RawRecord& raw, NormalizedRecord& out) const {
+  if (!normalize_impl(raw, out)) {
+    if (feed_health_) feed_health_->on_rejected(raw.source);
+    return false;
+  }
+  if (feed_health_) {
+    arrival_high_ = std::max(arrival_high_, out.utc);
+    feed_health_->on_record(out.source, out.utc, arrival_high_);
+  }
+  return true;
+}
+
+bool Normalizer::normalize_impl(const RawRecord& raw,
+                                NormalizedRecord& out) const {
   out = NormalizedRecord{};
   out.source = raw.source;
   out.field = raw.field;

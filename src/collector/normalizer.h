@@ -13,16 +13,22 @@
 // metric).
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "collector/normalized.h"
+#include "obs/feed_health.h"
 #include "topology/network.h"
 
 namespace grca::collector {
 
 class Normalizer {
  public:
-  explicit Normalizer(const topology::Network& net);
+  /// When `feed_health` is supplied, every normalized record is reported to
+  /// it (per-source counts + arrival lag against the running high-water
+  /// mark) and every unknown-device rejection is counted per source.
+  explicit Normalizer(const topology::Network& net,
+                      obs::FeedHealthMonitor* feed_health = nullptr);
 
   /// Normalizes one raw record; returns false (and counts it) when the
   /// record references an unknown device.
@@ -35,9 +41,17 @@ class Normalizer {
   std::size_t dropped() const noexcept { return dropped_; }
 
  private:
+  bool normalize_impl(const telemetry::RawRecord& raw,
+                      NormalizedRecord& out) const;
+
   const topology::Network& net_;
   std::unordered_map<std::string, topology::Layer1DeviceId> l1_by_name_;
+  obs::FeedHealthMonitor* feed_health_ = nullptr;
   mutable std::size_t dropped_ = 0;
+  /// Highest UTC seen so far: the arrival-time proxy for feed lag (records
+  /// are reported in arrival order, so the stream's high-water mark is when
+  /// "now" was when the record landed).
+  mutable util::TimeSec arrival_high_ = std::numeric_limits<util::TimeSec>::min();
 };
 
 }  // namespace grca::collector

@@ -33,6 +33,13 @@ RcaEngine::RcaEngine(DiagnosisGraph graph, const EventStore& store,
                      const LocationMapper& mapper)
     : graph_(std::move(graph)), store_(store), mapper_(mapper) {
   graph_.validate();
+  if (obs::MetricsRegistry* reg = obs::registry_ptr()) {
+    diagnoses_total_ = &reg->counter("grca_engine_diagnoses_total");
+    rule_evals_total_ = &reg->counter("grca_engine_rule_evals_total");
+    evidence_matches_total_ =
+        &reg->counter("grca_engine_evidence_matches_total");
+    diagnosis_seconds_ = &reg->histogram("grca_engine_diagnosis_seconds");
+  }
 }
 
 std::vector<const EventInstance*> RcaEngine::join(
@@ -82,6 +89,10 @@ Diagnosis RcaEngine::diagnose(const EventInstance& symptom) const {
   std::vector<std::unordered_set<const EventInstance*>> node_instance_sets(1);
   std::deque<std::size_t> frontier = {0};
   std::unordered_set<std::string> has_evidenced_child;
+  // Accumulated locally, published as two atomic adds at the end — the BFS
+  // loop stays free of shared-memory traffic.
+  std::uint64_t rule_evals = 0;
+  std::uint64_t evidence_matches = 0;
 
   while (!frontier.empty()) {
     std::size_t parent_idx = frontier.front();
@@ -93,6 +104,7 @@ Diagnosis RcaEngine::diagnose(const EventInstance& symptom) const {
     if (parent_idx == 0) parent_instances.assign(1, &symptom);
     const int parent_depth = nodes[parent_idx].depth;
     for (const DiagnosisRule& rule : graph_.rules_from(parent_name)) {
+      ++rule_evals;
       std::vector<const EventInstance*> matched;
       std::unordered_set<const EventInstance*> matched_set;
       for (const EventInstance* anchor : parent_instances) {
@@ -101,6 +113,7 @@ Diagnosis RcaEngine::diagnose(const EventInstance& symptom) const {
         }
       }
       if (matched.empty()) continue;
+      evidence_matches += matched.size();
       has_evidenced_child.insert(parent_name);
       auto it = node_index.find(rule.diagnostic);
       if (it == node_index.end()) {
@@ -148,6 +161,12 @@ Diagnosis RcaEngine::diagnose(const EventInstance& symptom) const {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
+  if (diagnoses_total_) {
+    diagnoses_total_->inc();
+    rule_evals_total_->inc(rule_evals);
+    evidence_matches_total_->inc(evidence_matches);
+    diagnosis_seconds_->observe(result.elapsed_ms / 1000.0);
+  }
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "core/diagnosis_graph.h"
 #include "core/event_store.h"
 #include "core/location.h"
+#include "obs/metrics.h"
 
 namespace grca::core {
 
@@ -85,6 +86,15 @@ class RcaEngine {
   const DiagnosisGraph graph_;
   const EventStore& store_;
   const LocationMapper& mapper_;
+
+  // Engine instrumentation, resolved from the installed registry at
+  // construction (all-or-nothing: checking one pointer covers the set).
+  // Counters are sharded atomics, so concurrent diagnose() calls from the
+  // parallel fan-out update them race-free.
+  obs::Counter* diagnoses_total_ = nullptr;
+  obs::Counter* rule_evals_total_ = nullptr;
+  obs::Counter* evidence_matches_total_ = nullptr;
+  obs::Histogram* diagnosis_seconds_ = nullptr;
 };
 
 }  // namespace grca::core

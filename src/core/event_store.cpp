@@ -16,6 +16,12 @@ void EventStore::add(EventInstance instance) {
     throw ConfigError("EventStore: invalid interval for " + instance.name);
   }
   Bucket& b = buckets_[instance.name];
+  if (metrics_ && !b.counter) {
+    b.counter =
+        &metrics_->counter("grca_events_total{event=\"" + instance.name +
+                           "\"}");
+  }
+  if (b.counter) b.counter->inc();
   b.max_duration = std::max(b.max_duration, instance.when.duration());
   b.items.push_back(std::move(instance));
   b.dirty = true;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/event.h"
+#include "obs/metrics.h"
 
 namespace grca::core {
 
@@ -42,6 +43,14 @@ class EventStore {
   void finalize();
 
   bool finalized() const noexcept { return finalized_; }
+
+  /// Mirrors every add() into `registry` as per-signature-class counters
+  /// (`grca_events_total{event="<name>"}`). Enable on the *primary* store
+  /// only — scratch stores (e.g. the streaming engine's incremental
+  /// extraction buffers) would double-count. Pass nullptr to disable.
+  void enable_metrics(obs::MetricsRegistry* registry) noexcept {
+    metrics_ = registry;
+  }
 
   /// All instances of `name` whose interval could overlap an expanded window
   /// [from, to] — i.e. start <= to and end >= from. `max_duration` hints the
@@ -69,12 +78,14 @@ class EventStore {
     std::vector<EventInstance> items;   // sorted by when.start once clean
     util::TimeSec max_duration = 0;
     bool dirty = false;
+    obs::Counter* counter = nullptr;    // resolved once per signature class
   };
   void ensure_sorted(const Bucket& bucket) const;
 
   std::unordered_map<std::string, Bucket> buckets_;
   std::size_t total_ = 0;
   bool finalized_ = false;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace grca::core

@@ -1,0 +1,151 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "obs/export.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace grca::obs {
+
+namespace {
+
+/// %g-style but always parseable; Prometheus accepts scientific notation.
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string format_bound(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// "name{a=\"b\"}" + extra label -> "name{a=\"b\",le=\"5\"}".
+std::string with_label(const std::string& base, const std::string& labels,
+                       const std::string& suffix, const std::string& extra) {
+  std::string out = base + suffix;
+  if (labels.empty() && extra.empty()) return out;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
+void type_header(std::ostringstream& out, std::string& last_family,
+                 const std::string& family, const char* type) {
+  if (family == last_family) return;
+  last_family = family;
+  out << "# TYPE " << family << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::pair<std::string, std::string> split_labels(const std::string& name) {
+  std::size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') return {name, ""};
+  return {name.substr(0, brace),
+          name.substr(brace + 1, name.size() - brace - 2)};
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsRegistry& registry) {
+  MetricsRegistry::Snapshot snap = registry.snapshot();
+  std::ostringstream out;
+  std::string last_family;
+  for (const auto& [name, value] : snap.counters) {
+    auto [base, labels] = split_labels(name);
+    type_header(out, last_family, base, "counter");
+    out << with_label(base, labels, "", "") << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    auto [base, labels] = split_labels(name);
+    type_header(out, last_family, base, "gauge");
+    out << with_label(base, labels, "", "") << ' ' << format_value(value)
+        << '\n';
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    auto [base, labels] = split_labels(name);
+    type_header(out, last_family, base, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      cumulative += hist.data.buckets[i];
+      out << with_label(base, labels, "_bucket",
+                        "le=\"" + format_bound(hist.bounds[i]) + "\"")
+          << ' ' << cumulative << '\n';
+    }
+    out << with_label(base, labels, "_bucket", "le=\"+Inf\"") << ' '
+        << hist.data.count << '\n';
+    out << with_label(base, labels, "_sum", "") << ' '
+        << format_value(hist.data.sum) << '\n';
+    out << with_label(base, labels, "_count", "") << ' ' << hist.data.count
+        << '\n';
+  }
+  return out.str();
+}
+
+std::string render_json(const MetricsRegistry& registry) {
+  MetricsRegistry::Snapshot snap = registry.snapshot();
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name)
+        << "\": " << format_value(value);
+    first = false;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : snap.histograms) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": {";
+    out << "\n      \"bounds\": [";
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      out << (i ? ", " : "") << format_value(hist.bounds[i]);
+    }
+    out << "],\n      \"buckets\": [";
+    for (std::size_t i = 0; i < hist.data.buckets.size(); ++i) {
+      out << (i ? ", " : "") << hist.data.buckets[i];
+    }
+    out << "],\n      \"count\": " << hist.data.count
+        << ",\n      \"sum\": " << format_value(hist.data.sum)
+        << "\n    }";
+    first = false;
+  }
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+}  // namespace grca::obs

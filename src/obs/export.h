@@ -1,0 +1,37 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Registry exporters. Two formats:
+//
+//  - Prometheus text exposition format (0.0.4): `# TYPE` headers per metric
+//    family, `name{labels} value` samples, histograms expanded into
+//    cumulative `_bucket{le="..."}` series plus `_sum`/`_count` — directly
+//    scrapeable or checkable with promtool.
+//  - JSON: one object with "counters", "gauges" and "histograms" maps; the
+//    full registry name (including the label block) is the key. Histograms
+//    carry raw per-bucket counts (non-cumulative), bounds, count and sum.
+//
+// Registry names follow the `base{label="value",...}` convention described
+// in metrics.h; the renderers split the label block off the base name.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace grca::obs {
+
+/// Renders a snapshot of `registry` in Prometheus text format.
+std::string render_prometheus(const MetricsRegistry& registry);
+
+/// Renders a snapshot of `registry` as a JSON document.
+std::string render_json(const MetricsRegistry& registry);
+
+/// Splits `name` into (base, labels): "a_total{x=\"y\"}" -> ("a_total",
+/// "x=\"y\""); names without a label block return an empty label string.
+std::pair<std::string, std::string> split_labels(const std::string& name);
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& text);
+
+}  // namespace grca::obs

@@ -1,0 +1,81 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "obs/span.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+
+namespace grca::obs {
+
+namespace {
+
+/// The process-wide span log: a mutex-guarded append-only JSONL stream.
+struct SpanLog {
+  std::mutex mutex;
+  std::ofstream out;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  std::atomic<bool> attached{false};
+};
+
+SpanLog& span_log() {
+  static SpanLog log;
+  return log;
+}
+
+}  // namespace
+
+bool set_span_log(const std::string& path) {
+  SpanLog& log = span_log();
+  std::lock_guard lock(log.mutex);
+  if (log.out.is_open()) log.out.close();
+  log.attached.store(false, std::memory_order_release);
+  if (path.empty()) return true;
+  log.out.open(path, std::ios::trunc);
+  if (!log.out) return false;
+  log.epoch = std::chrono::steady_clock::now();
+  log.attached.store(true, std::memory_order_release);
+  return true;
+}
+
+bool span_log_attached() noexcept {
+  return span_log().attached.load(std::memory_order_acquire);
+}
+
+ScopedSpan::ScopedSpan(std::string_view stage, MetricsRegistry* registry)
+    : stage_(stage), start_(std::chrono::steady_clock::now()) {
+  if (registry) {
+    histogram_ =
+        &registry->histogram("grca_stage_seconds{stage=\"" + stage_ + "\"}");
+  }
+}
+
+double ScopedSpan::stop() {
+  if (stopped_) return elapsed_;
+  stopped_ = true;
+  auto end = std::chrono::steady_clock::now();
+  elapsed_ = std::chrono::duration<double>(end - start_).count();
+  if (histogram_) histogram_->observe(elapsed_);
+  SpanLog& log = span_log();
+  if (log.attached.load(std::memory_order_acquire)) {
+    std::lock_guard lock(log.mutex);
+    if (log.out.is_open()) {
+      auto start_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          start_ - log.epoch)
+                          .count();
+      auto dur_us = static_cast<long long>(elapsed_ * 1e6);
+      char line[192];
+      std::snprintf(line, sizeof(line),
+                    "{\"span\":\"%s\",\"start_us\":%lld,\"dur_us\":%lld}\n",
+                    stage_.c_str(), static_cast<long long>(start_us), dur_us);
+      log.out << line;
+      log.out.flush();
+    }
+  }
+  return elapsed_;
+}
+
+}  // namespace grca::obs

@@ -1,0 +1,55 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// RAII trace spans. A ScopedSpan measures the wall time of one pipeline
+// stage (normalize, extract, correlate, diagnose; streaming freeze / settle
+// / diagnose) and records it into the stage's latency histogram
+// `grca_stage_seconds{stage="<name>"}` on destruction. When a span log is
+// attached (set_span_log), every completed span additionally appends one
+// JSONL line — enough to reconstruct a flame-style view of a run offline.
+//
+// Spans are deliberately coarse (stages, not per-record work): a span costs
+// two steady_clock reads plus one histogram observe, so wrapping a stage
+// that runs for milliseconds is free. The span log serializes appends under
+// a mutex; attach it only for offline analysis runs.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace grca::obs {
+
+/// Opens `path` (truncating) as the process-wide JSONL span sink; an empty
+/// path detaches it. Returns false when the file cannot be opened.
+bool set_span_log(const std::string& path);
+
+/// True when a span log is attached.
+bool span_log_attached() noexcept;
+
+class ScopedSpan {
+ public:
+  /// Records into `registry` (or the installed default when omitted).
+  /// A null registry makes the span a no-op timer.
+  explicit ScopedSpan(std::string_view stage,
+                      MetricsRegistry* registry = registry_ptr());
+
+  ~ScopedSpan() { stop(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Ends the span now (idempotent); returns the elapsed seconds.
+  double stop();
+
+ private:
+  std::string stage_;
+  Histogram* histogram_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+  double elapsed_ = 0.0;
+  bool stopped_ = false;
+};
+
+}  // namespace grca::obs

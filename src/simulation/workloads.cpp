@@ -59,7 +59,10 @@ class SitePicker {
     for (int attempt = 0; attempt < 16; ++attempt) {
       t::CustomerSiteId site(
           static_cast<std::uint32_t>(rng_.below(net_.customers().size())));
-      if (time - last_use_[site.value()] >= gap) {
+      const TimeSec last = last_use_[site.value()];
+      // The min() sentinel marks a never-used site; `time - last` would
+      // overflow for it, so test it before forming the difference.
+      if (last == std::numeric_limits<TimeSec>::min() || time - last >= gap) {
         last_use_[site.value()] = time;
         return site;
       }

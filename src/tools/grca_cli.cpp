@@ -14,18 +14,29 @@
 //
 //   grca diagnose --study bgp|cdn|pim|innet --data DIR
 //                 [--dsl FILE]... [--threads N] [--trend] [--score]
-//                 [--drill CAUSE]
+//                 [--drill CAUSE] [--metrics-out FILE]
 //       Rebuild the network from DIR's configs, replay the telemetry
 //       archive, run the study's RCA application (plus any extra DSL
 //       files), and print the root-cause breakdown. --threads fans
 //       per-symptom diagnosis out over N workers (default: hardware
 //       concurrency; 1 = serial — same output either way). --score
 //       compares against DIR/truth.tsv; --drill prints one drill-down for
-//       the given diagnosed cause ("unknown" works).
+//       the given diagnosed cause ("unknown" works). --metrics-out dumps
+//       the metrics registry after the run (FILE ending in .json selects
+//       JSON, anything else Prometheus text).
+//
+//   grca metrics --study bgp|cdn|pim|innet --data DIR [--threads N]
+//                [--format prometheus|json]
+//       Run the same pipeline + diagnosis as `diagnose`, but print the
+//       metrics registry instead of the breakdown: per-source feed
+//       counts/lag/gaps, per-stage latency histograms, engine counters.
 //
 //   grca calibrate --study bgp|cdn|pim --data DIR
 //                  --symptom EVENT --diagnostic EVENT --join LEVEL
 //       Learn temporal margins for a rule from the archived data (§VI).
+//
+//   grca version
+//       Print the build version (also: grca --version).
 
 #include <filesystem>
 #include <set>
@@ -44,6 +55,8 @@
 #include "core/knowledge_library.h"
 #include "core/rule_dsl.h"
 #include "core/trending.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "simulation/workloads.h"
 #include "util/strings.h"
 #include "telemetry/records_io.h"
@@ -52,6 +65,11 @@
 
 namespace fs = std::filesystem;
 using namespace grca;
+
+// Injected by src/tools/CMakeLists.txt (project version + git describe).
+#ifndef GRCA_VERSION
+#define GRCA_VERSION "unknown"
+#endif
 
 namespace {
 
@@ -64,8 +82,12 @@ namespace {
                 [--seed S] [--paper-scale]
   grca diagnose --study bgp|cdn|pim|innet --data DIR [--dsl FILE]...
                 [--threads N] [--trend] [--score] [--drill CAUSE]
+                [--metrics-out FILE]
+  grca metrics --study bgp|cdn|pim|innet --data DIR [--threads N]
+               [--format prometheus|json]
   grca calibrate --study bgp|cdn|pim --data DIR --symptom EVENT
                  --diagnostic EVENT --join LEVEL
+  grca version
 )";
   std::exit(2);
 }
@@ -251,20 +273,32 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
-int cmd_diagnose(const Args& args) {
+/// The shared front half of `diagnose` and `metrics`: network + pipeline
+/// from DIR, study graph (plus extra DSL files), full diagnose_all. The
+/// network is owned here because the pipeline keeps a reference to it.
+struct StudyRun {
+  std::unique_ptr<topology::Network> net;
+  std::unique_ptr<apps::Pipeline> pipeline;
+  std::vector<core::Diagnosis> diagnoses;
+  StudyHooks hooks{};
+};
+
+StudyRun run_study(const Args& args) {
+  StudyRun run;
   std::string study = args.get("study");
   fs::path data(args.get("data"));
-  StudyHooks hooks = hooks_for(study);
+  run.hooks = hooks_for(study);
 
-  topology::Network net = load_network(data);
+  run.net = std::make_unique<topology::Network>(load_network(data));
   telemetry::RecordStream records = load_records(data);
   std::vector<topology::RouterId> observers;
-  if (study == "cdn" && !net.cdn_nodes().empty()) {
-    observers = net.cdn_nodes().front().ingress_routers;
+  if (study == "cdn" && !run.net->cdn_nodes().empty()) {
+    observers = run.net->cdn_nodes().front().ingress_routers;
   }
-  apps::Pipeline pipeline(net, records, {}, observers);
+  run.pipeline = std::make_unique<apps::Pipeline>(
+      *run.net, records, collector::ExtractOptions{}, observers);
 
-  core::DiagnosisGraph graph = hooks.graph();
+  core::DiagnosisGraph graph = run.hooks.graph();
   if (auto it = args.values.find("dsl"); it != args.values.end()) {
     for (const std::string& file : it->second) {
       std::ifstream in(file);
@@ -277,11 +311,27 @@ int cmd_diagnose(const Args& args) {
   }
   long threads = args.get_long("threads", 0);  // 0 = hardware concurrency
   if (threads < 0) usage("--threads must be >= 0");
-  core::RcaEngine engine(std::move(graph), pipeline.store(),
-                         pipeline.mapper());
-  core::ResultBrowser browser(
-      engine.diagnose_all(static_cast<unsigned>(threads)));
-  hooks.browser(browser);
+  run.diagnoses = run.pipeline->diagnose_all(std::move(graph),
+                                             static_cast<unsigned>(threads));
+  return run;
+}
+
+/// Dumps the installed registry to FILE; `.json` selects JSON, anything
+/// else Prometheus text.
+void write_metrics_file(const fs::path& file) {
+  obs::MetricsRegistry* reg = obs::registry_ptr();
+  if (!reg) throw ConfigError("--metrics-out: no metrics registry installed");
+  std::ofstream out(file);
+  if (!out) usage("cannot write " + file.string());
+  out << (file.extension() == ".json" ? obs::render_json(*reg)
+                                      : obs::render_prometheus(*reg));
+}
+
+int cmd_diagnose(const Args& args) {
+  StudyRun run = run_study(args);
+  apps::Pipeline& pipeline = *run.pipeline;
+  core::ResultBrowser browser(std::move(run.diagnoses));
+  run.hooks.browser(browser);
   std::cout << browser.breakdown().render("root cause breakdown");
   std::cout << "\nmean diagnosis time: " << browser.mean_diagnosis_ms()
             << " ms/symptom over " << browser.diagnoses().size()
@@ -298,12 +348,12 @@ int cmd_diagnose(const Args& args) {
     }
   }
   if (args.flags.count("score")) {
-    auto truth = load_truth(data);
+    auto truth = load_truth(fs::path(args.get("data")));
     if (truth.empty()) {
       std::cout << "\nno truth.tsv found; skipping scoring\n";
     } else {
       apps::Score score = apps::score_diagnoses(browser.diagnoses(), truth,
-                                                hooks.canonical);
+                                                run.hooks.canonical);
       std::cout << "\naccuracy vs ground truth: " << 100.0 * score.accuracy()
                 << "% (" << score.correct << "/" << score.matched
                 << " matched diagnoses)\n";
@@ -319,6 +369,25 @@ int cmd_diagnose(const Args& args) {
                                       pipeline.context_lookup());
     }
   }
+  if (auto it = args.values.find("metrics-out"); it != args.values.end()) {
+    write_metrics_file(fs::path(it->second.back()));
+  }
+  return 0;
+}
+
+int cmd_metrics(const Args& args) {
+  std::string format = args.get("format", "prometheus");
+  if (format != "prometheus" && format != "json") {
+    usage("--format must be prometheus or json");
+  }
+  StudyRun run = run_study(args);  // fills the registry as a side effect
+  obs::MetricsRegistry* reg = obs::registry_ptr();
+  if (!reg) {
+    std::cerr << "error: no metrics registry installed\n";
+    return 1;
+  }
+  std::cout << (format == "json" ? obs::render_json(*reg)
+                                 : obs::render_prometheus(*reg));
   return 0;
 }
 
@@ -353,12 +422,19 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   std::string command = argv[1];
   try {
+    if (command == "version" || command == "--version") {
+      std::cout << "grca " << GRCA_VERSION << "\n";
+      return 0;
+    }
     if (command == "dump-library") return cmd_dump_library();
     if (command == "simulate") {
       return cmd_simulate(Args::parse(argc, argv, 2, {"paper-scale"}));
     }
     if (command == "diagnose") {
       return cmd_diagnose(Args::parse(argc, argv, 2, {"trend", "score"}));
+    }
+    if (command == "metrics") {
+      return cmd_metrics(Args::parse(argc, argv, 2, {}));
     }
     if (command == "calibrate") {
       return cmd_calibrate(Args::parse(argc, argv, 2, {}));

@@ -113,9 +113,15 @@ class BoundedQueue {
     not_full_.notify_all();
   }
 
+  /// Items currently buffered (a snapshot; stale by the time it returns).
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
  private:
   const std::size_t capacity_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;

@@ -10,6 +10,7 @@
 #include "apps/pipeline.h"
 #include "apps/scoring.h"
 #include "apps/streaming.h"
+#include "obs/metrics.h"
 #include "simulation/workloads.h"
 #include "topology/config.h"
 #include "topology/topo_gen.h"
@@ -129,6 +130,59 @@ TEST(Streaming, LateRecordsDroppedNotCrashed) {
   telemetry::RawRecord stale = first;
   stream.ingest(stale);
   EXPECT_EQ(stream.dropped_late(), 1u);
+}
+
+// The skew bound is inclusive: a record exactly max_skew behind the
+// high-water mark is still accepted; one second older is dropped. (Before
+// any advance() the frozen cut is still unset, so only the skew condition
+// is in play.)
+TEST(Streaming, SkewBoundaryExactlyAtMaxSkewIsKept) {
+  StreamFixture f;
+  StreamingRca stream(f.rca_net, bgp::build_graph(), f.stream_options());
+  const telemetry::RawRecord& first = f.study.records.front();
+  stream.ingest(first);  // high-water mark = this record's normalized utc
+
+  // Shifting the raw timestamp shifts the normalized utc by the same amount
+  // (the collector's timezone reconstruction is a fixed per-source offset).
+  telemetry::RawRecord boundary = first;
+  boundary.timestamp -= util::kHour;  // default max_skew
+  stream.ingest(boundary);
+  EXPECT_EQ(stream.dropped_late(), 0u);
+
+  telemetry::RawRecord beyond = first;
+  beyond.timestamp -= util::kHour + 1;
+  stream.ingest(beyond);
+  EXPECT_EQ(stream.dropped_late(), 1u);
+}
+
+// Late drops are attributed to the originating feed, both in the monitor's
+// status and in the registry's labelled counter (satellite of the
+// observability subsystem).
+TEST(Streaming, LateDropsCountedPerSource) {
+  StreamFixture f;
+  obs::MetricsRegistry registry;
+  obs::ScopedRegistry scoped(&registry);
+  StreamingRca stream(f.rca_net, bgp::build_graph(), f.stream_options());
+  const telemetry::RawRecord& first = f.study.records.front();
+  stream.ingest(first);
+  stream.advance(first.true_utc + 3 * util::kHour);
+  telemetry::RawRecord stale = first;
+  stream.ingest(stale);  // behind the frozen cut now
+
+  EXPECT_EQ(stream.dropped_late(), 1u);
+  EXPECT_EQ(stream.feed_health().total_late_drops(), 1u);
+  bool found = false;
+  for (const auto& s : stream.feed_health().status()) {
+    if (s.source == first.source) {
+      found = true;
+      EXPECT_EQ(s.late_drops, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+  std::string series = "grca_feed_late_drops_total{source=\"" +
+                       std::string(telemetry::to_string(first.source)) +
+                       "\"}";
+  EXPECT_EQ(registry.counter(series).value(), 1u);
 }
 
 TEST(Streaming, AdvanceBeforeDataIsEmpty) {
