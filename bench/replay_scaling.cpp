@@ -1,0 +1,117 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Feed-replay scaling: replays the two-week BGP study through the
+// FeedReplayer at maximum rate for 1, 2 and 4 ingest threads and reports
+// throughput, ingest-latency percentiles and queue high-water per
+// configuration. Two hard gates ride along: the diagnosis set must be
+// byte-identical across thread counts (arrival-permutation determinism),
+// and the final truth-checked run must conserve every record and match
+// the batch pipeline verdict-for-verdict. Writes the gated run's report
+// as JSON (default BENCH_replay.json) for the CI artifact trail.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/bgp_flap_app.h"
+#include "apps/replay.h"
+#include "bench/bench_util.h"
+#include "simulation/workloads.h"
+#include "util/table.h"
+
+namespace {
+
+std::string fingerprint(const std::vector<grca::core::Diagnosis>& diagnoses) {
+  std::vector<std::string> lines;
+  lines.reserve(diagnoses.size());
+  for (const grca::core::Diagnosis& d : diagnoses) {
+    lines.push_back(d.symptom.where.key() + "@" +
+                    std::to_string(d.symptom.when.start) + " -> " +
+                    d.primary());
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace grca;
+  std::string out_file = "BENCH_replay.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) out_file = argv[i + 1];
+    if (arg.rfind("--out=", 0) == 0) out_file = arg.substr(6);
+  }
+
+  bench::World world(bench::bench_params(argc, argv));
+  sim::BgpStudyParams params;
+  params.days = 14;
+  params.target_symptoms = 1000;
+  sim::StudyOutput study = sim::run_bgp_study(world.sim_net, params);
+  std::printf("replaying %zu records (%d days) at max rate\n",
+              study.records.size(), params.days);
+
+  apps::ReplayOptions base;
+  base.stream.freeze_horizon = 900;
+  base.stream.settle = 400;
+  base.stream.extract.flap_pair_window = 600;
+  base.source_lag = 120;
+  base.record_jitter = 60;
+
+  util::TextTable table({"Ingest threads", "Wall (s)", "Records/s",
+                         "M records/min", "p50 (us)", "p99 (us)",
+                         "Queue HW", "Conserved"});
+  std::string reference;
+  bool deterministic = true;
+  bool conserved = true;
+  for (unsigned threads : {1u, 2u, 4u}) {
+    apps::ReplayOptions options = base;
+    options.ingest_threads = threads;
+    apps::FeedReplayer replayer(world.rca_net, options);
+    apps::ReplayReport report =
+        replayer.replay(study.records, apps::bgp::build_graph());
+    conserved &= report.conservation.conserved();
+    std::string fp = fingerprint(report.diagnoses);
+    if (reference.empty()) {
+      reference = fp;
+    } else if (fp != reference) {
+      deterministic = false;
+    }
+    table.add_row({std::to_string(threads),
+                   util::format_double(report.wall_seconds, 3),
+                   util::format_double(report.records_per_sec, 0),
+                   util::format_double(report.records_per_min() / 1e6, 2),
+                   util::format_double(report.ingest_p50_us, 2),
+                   util::format_double(report.ingest_p99_us, 2),
+                   std::to_string(report.queue_high_water),
+                   report.conservation.conserved() ? "yes" : "NO"});
+  }
+  std::fputs(table.render("feed replay scaling (max rate)").c_str(), stdout);
+  std::printf("diagnosis sets across thread counts: %s\n",
+              deterministic ? "byte-identical" : "DIVERGED");
+
+  // The gated run: truth coverage + batch verdict diff, archived as JSON.
+  apps::ReplayOptions gated = base;
+  gated.ingest_threads = 2;
+  apps::FeedReplayer replayer(world.rca_net, gated);
+  apps::ReplayReport report =
+      replayer.replay(study.records, apps::bgp::build_graph(), &study.truth,
+                      apps::bgp::canonical_cause);
+  std::fputs(apps::render_text(report).c_str(), stdout);
+  {
+    std::ofstream out(out_file);
+    out << apps::render_json(report);
+    std::printf("report written to %s\n", out_file.c_str());
+  }
+  bench::write_metrics_if_requested(argc, argv);
+  return (deterministic && conserved && report.passed()) ? 0 : 1;
+}

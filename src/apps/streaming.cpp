@@ -72,6 +72,7 @@ void StreamingRca::ingest(const telemetry::RawRecord& raw) {
                                 return t < r.utc;
                               });
   buffer_.insert(pos, std::move(record));
+  ++stored_;
 }
 
 void StreamingRca::freeze_until(TimeSec new_cut) {
@@ -203,6 +204,12 @@ std::vector<core::Diagnosis> StreamingRca::diagnose_ready(TimeSec ready_cut) {
 }
 
 std::vector<core::Diagnosis> StreamingRca::advance(TimeSec now) {
+  if (now < last_now_) {
+    throw StateError("StreamingRca::advance: clock moved backwards (" +
+                     std::to_string(now) + " after " +
+                     std::to_string(last_now_) + ")");
+  }
+  last_now_ = now;
   {
     obs::ScopedSpan span("stream-freeze");
     freeze_until(now - options_.freeze_horizon);

@@ -57,17 +57,26 @@ class StreamingRca {
   ~StreamingRca();
 
   /// Feeds one raw record. Records may arrive out of order by up to
-  /// max_skew relative to the high-water mark already ingested.
+  /// max_skew relative to the high-water mark already ingested. Every record
+  /// is accounted for in exactly one of stored() / rejected() /
+  /// dropped_late() — the conservation invariant the replay harness checks.
   void ingest(const telemetry::RawRecord& raw);
 
   /// Advances the stream clock and returns diagnoses newly completed at
-  /// `now`. `now` must be non-decreasing across calls.
+  /// `now`. `now` must be non-decreasing across calls; a backwards clock is
+  /// a caller bug and throws StateError (the contract is pinned, not UB).
   std::vector<core::Diagnosis> advance(util::TimeSec now);
 
   /// Finalizes everything buffered and diagnoses all remaining symptoms.
+  /// Idempotent: a second drain() (with no ingest in between) returns an
+  /// empty vector.
   std::vector<core::Diagnosis> drain();
 
   const core::EventStore& store() const noexcept { return store_; }
+  /// Records accepted into the stream buffer (normalized, within skew).
+  std::size_t stored() const noexcept { return stored_; }
+  /// Records rejected by the collector (unknown device).
+  std::size_t rejected() const noexcept { return normalizer_.dropped(); }
   std::size_t dropped_late() const noexcept { return dropped_late_; }
   std::size_t diagnosed() const noexcept { return diagnosed_count_; }
 
@@ -120,7 +129,9 @@ class StreamingRca {
   util::TimeSec high_water_ = std::numeric_limits<util::TimeSec>::min();
   util::TimeSec frozen_cut_ = std::numeric_limits<util::TimeSec>::min();
   util::TimeSec routing_cut_ = std::numeric_limits<util::TimeSec>::min();
+  util::TimeSec last_now_ = std::numeric_limits<util::TimeSec>::min();
   std::size_t diagnose_cursor_ = 0;  // symptoms diagnosed so far (by order)
+  std::size_t stored_ = 0;
   std::size_t dropped_late_ = 0;
   std::size_t diagnosed_count_ = 0;
 

@@ -1,0 +1,36 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "obs/sampling.h"
+
+namespace grca::obs {
+
+RegistrySampler::RegistrySampler(MetricsRegistry* registry)
+    : registry_(registry) {
+  if (registry_) baseline_ = registry_->snapshot().counters;
+}
+
+void RegistrySampler::sample() {
+  if (!registry_) return;
+  MetricsRegistry::Snapshot snap = registry_->snapshot();
+  for (const auto& [name, value] : snap.gauges) {
+    auto [it, inserted] = peaks_.emplace(name, value);
+    if (!inserted && value > it->second) it->second = value;
+  }
+  latest_ = std::move(snap.counters);
+  ++samples_;
+}
+
+double RegistrySampler::gauge_peak(const std::string& gauge) const {
+  auto it = peaks_.find(gauge);
+  return it == peaks_.end() ? 0.0 : it->second;
+}
+
+std::uint64_t RegistrySampler::counter_delta(const std::string& counter) const {
+  auto it = latest_.find(counter);
+  if (it == latest_.end()) return 0;
+  auto base = baseline_.find(counter);
+  return it->second - (base == baseline_.end() ? 0 : base->second);
+}
+
+}  // namespace grca::obs

@@ -1,0 +1,99 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "simulation/archive.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/records_io.h"
+#include "topology/config.h"
+#include "util/strings.h"
+
+namespace grca::sim {
+
+namespace fs = std::filesystem;
+
+void write_corpus(const fs::path& dir, const topology::Network& net,
+                  const telemetry::RecordStream& records,
+                  const std::vector<TruthEntry>& truth) {
+  fs::create_directories(dir / "configs");
+  for (const topology::Router& r : net.routers()) {
+    std::ofstream cfg(dir / "configs" / (r.name + ".cfg"));
+    cfg << topology::render_config(net, r.id);
+  }
+  {
+    std::ofstream inv(dir / "inventory.txt");
+    inv << topology::render_layer1_inventory(net);
+  }
+  {
+    std::ofstream rec(dir / "records.tsv");
+    telemetry::write_stream(rec, records);
+  }
+  if (!truth.empty()) {
+    std::ofstream out(dir / "truth.tsv");
+    out << "# symptom\trouter\tdetail\ttime\tcause\n";
+    for (const TruthEntry& e : truth) {
+      out << e.symptom << '\t' << e.router << '\t' << e.detail << '\t'
+          << e.time << '\t' << e.cause << '\n';
+    }
+  }
+}
+
+std::vector<TruthEntry> read_truth(const fs::path& dir) {
+  std::vector<TruthEntry> truth;
+  std::ifstream in(dir / "truth.tsv");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto f = util::split(line, '\t');
+    if (f.size() != 5) {
+      throw ParseError("truth.tsv: expected 5 tab-separated fields, got " +
+                       std::to_string(f.size()));
+    }
+    truth.push_back(TruthEntry{f[0], f[1], f[2], std::stoll(f[3]), f[4]});
+  }
+  return truth;
+}
+
+ReplayCorpus read_corpus(const fs::path& dir) {
+  if (!fs::is_directory(dir / "configs")) {
+    throw ConfigError("replay corpus " + dir.string() + ": missing configs/");
+  }
+  // Directory iteration order is filesystem-dependent; sort the paths so a
+  // corpus loads identically everywhere.
+  std::vector<fs::path> config_paths;
+  for (const auto& entry : fs::directory_iterator(dir / "configs")) {
+    config_paths.push_back(entry.path());
+  }
+  std::sort(config_paths.begin(), config_paths.end());
+  std::vector<std::string> configs;
+  configs.reserve(config_paths.size());
+  for (const fs::path& path : config_paths) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    configs.push_back(ss.str());
+  }
+
+  std::ifstream inv(dir / "inventory.txt");
+  if (!inv) {
+    throw ConfigError("replay corpus " + dir.string() +
+                      ": missing inventory.txt");
+  }
+  std::stringstream ss;
+  ss << inv.rdbuf();
+
+  std::ifstream rec(dir / "records.tsv");
+  if (!rec) {
+    throw ConfigError("replay corpus " + dir.string() +
+                      ": missing records.tsv");
+  }
+
+  return ReplayCorpus{
+      topology::build_network_from_configs(configs, ss.str()),
+      telemetry::read_stream(rec), read_truth(dir)};
+}
+
+}  // namespace grca::sim

@@ -1,0 +1,43 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Replay corpora: the on-disk data-directory layout the paper's platform
+// consumes (daily config snapshots, layer-1 inventory, the raw telemetry
+// archive, ground-truth labels), written and read as one unit. The grca
+// CLI's simulate/diagnose/replay commands and the replay harness all share
+// this code path, so a corpus recorded once replays deterministically —
+// byte-identical inputs produce byte-identical archives.
+#pragma once
+
+#include <filesystem>
+
+#include "simulation/scenario.h"
+#include "topology/network.h"
+
+namespace grca::sim {
+
+/// One loaded corpus. `network` is rebuilt purely from the rendered configs
+/// and inventory — the RCA-side view of the network, exactly what the
+/// platform would know, not the simulator's internal state.
+struct ReplayCorpus {
+  topology::Network network;
+  telemetry::RecordStream records;
+  std::vector<TruthEntry> truth;  // empty when the corpus has no truth.tsv
+};
+
+/// Writes DIR/configs/<router>.cfg, DIR/inventory.txt, DIR/records.tsv and
+/// — when `truth` is non-empty — DIR/truth.tsv. Creates DIR as needed.
+void write_corpus(const std::filesystem::path& dir,
+                  const topology::Network& net,
+                  const telemetry::RecordStream& records,
+                  const std::vector<TruthEntry>& truth);
+
+/// Reads a corpus written by write_corpus (or assembled by hand in the same
+/// layout). Throws ConfigError when configs/, inventory.txt or records.tsv
+/// are missing; a missing truth.tsv just yields empty truth.
+ReplayCorpus read_corpus(const std::filesystem::path& dir);
+
+/// Reads only the truth labels (empty when DIR has no truth.tsv).
+std::vector<TruthEntry> read_truth(const std::filesystem::path& dir);
+
+}  // namespace grca::sim

@@ -35,6 +35,20 @@
 //                  --symptom EVENT --diagnostic EVENT --join LEVEL
 //       Learn temporal margins for a rule from the archived data (§VI).
 //
+//   grca replay [--study bgp|cdn|pim|innet] [--data DIR]
+//               [--rate N[x]|max] [--ingest-threads N] [--workers N]
+//               [--tick SEC] [--source-lag SEC] [--jitter SEC] [--seed S]
+//               [--days N] [--symptoms N] [--report-out FILE]
+//               [--metrics-out FILE] [--min-rate RECORDS_PER_MIN] [--no-truth]
+//       Replay a recorded corpus (--data) or a freshly generated default
+//       scenario through the streaming RCA engine at a scaled (or maximum)
+//       rate, sharded over N ingest threads with seeded per-source arrival
+//       skew, and print the replay report: throughput, ingest latency
+//       percentiles, queue high-water, per-source feed health, the record
+//       conservation check, and (unless --no-truth) ground-truth coverage
+//       plus a streaming-vs-batch verdict diff. Exits nonzero when a check
+//       fails or the sustained rate is below --min-rate.
+//
 //   grca version
 //       Print the build version (also: grca --version).
 
@@ -50,6 +64,7 @@
 #include "apps/innet_app.h"
 #include "apps/pim_app.h"
 #include "apps/pipeline.h"
+#include "apps/replay.h"
 #include "apps/scoring.h"
 #include "core/calibration.h"
 #include "core/knowledge_library.h"
@@ -57,10 +72,8 @@
 #include "core/trending.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "simulation/archive.h"
 #include "simulation/workloads.h"
-#include "util/strings.h"
-#include "telemetry/records_io.h"
-#include "topology/config.h"
 #include "topology/topo_gen.h"
 
 namespace fs = std::filesystem;
@@ -87,6 +100,11 @@ namespace {
                [--format prometheus|json]
   grca calibrate --study bgp|cdn|pim --data DIR --symptom EVENT
                  --diagnostic EVENT --join LEVEL
+  grca replay [--study bgp|cdn|pim|innet] [--data DIR] [--rate N[x]|max]
+              [--ingest-threads N] [--workers N] [--tick SEC]
+              [--source-lag SEC] [--jitter SEC] [--seed S] [--days N]
+              [--symptoms N] [--report-out FILE] [--metrics-out FILE]
+              [--min-rate RECORDS_PER_MIN] [--no-truth]
   grca version
 )";
   std::exit(2);
@@ -134,40 +152,6 @@ struct Args {
   }
 };
 
-topology::Network load_network(const fs::path& data) {
-  std::vector<std::string> configs;
-  for (const auto& entry : fs::directory_iterator(data / "configs")) {
-    std::ifstream in(entry.path());
-    std::stringstream ss;
-    ss << in.rdbuf();
-    configs.push_back(ss.str());
-  }
-  std::ifstream inv(data / "inventory.txt");
-  std::stringstream ss;
-  ss << inv.rdbuf();
-  return topology::build_network_from_configs(configs, ss.str());
-}
-
-telemetry::RecordStream load_records(const fs::path& data) {
-  std::ifstream in(data / "records.tsv");
-  if (!in) usage("cannot open " + (data / "records.tsv").string());
-  return telemetry::read_stream(in);
-}
-
-std::vector<sim::TruthEntry> load_truth(const fs::path& data) {
-  std::vector<sim::TruthEntry> truth;
-  std::ifstream in(data / "truth.tsv");
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    auto f = util::split(line, '\t');
-    if (f.size() != 5) throw ParseError("truth.tsv: bad line");
-    truth.push_back(
-        sim::TruthEntry{f[0], f[1], f[2], std::stoll(f[3]), f[4]});
-  }
-  return truth;
-}
-
 struct StudyHooks {
   core::DiagnosisGraph (*graph)();
   void (*browser)(core::ResultBrowser&);
@@ -201,9 +185,59 @@ int cmd_dump_library() {
   return 0;
 }
 
-int cmd_simulate(const Args& args) {
-  std::string study = args.get("study");
-  fs::path out(args.get("out"));
+/// Per-study workload defaults (days, target symptom count), matching the
+/// scale of the paper's case studies.
+struct StudyDefaults {
+  int days;
+  int symptoms;
+};
+
+StudyDefaults study_defaults(const std::string& study) {
+  if (study == "bgp") return {30, 2000};
+  if (study == "cdn") return {30, 1500};
+  if (study == "pim") return {14, 2000};
+  if (study == "innet") return {30, 600};
+  usage("unknown study '" + study + "'");
+}
+
+sim::StudyOutput run_workload(const std::string& study,
+                              const topology::Network& net, int days,
+                              int symptoms, std::uint64_t seed) {
+  if (study == "bgp") {
+    sim::BgpStudyParams p;
+    p.days = days;
+    p.target_symptoms = symptoms;
+    p.seed = seed;
+    return sim::run_bgp_study(net, p);
+  }
+  if (study == "cdn") {
+    sim::CdnStudyParams p;
+    p.days = days;
+    p.target_symptoms = symptoms;
+    p.seed = seed;
+    return sim::run_cdn_study(net, p);
+  }
+  if (study == "pim") {
+    sim::PimStudyParams p;
+    p.days = days;
+    p.target_symptoms = symptoms;
+    p.seed = seed;
+    return sim::run_pim_study(net, p);
+  }
+  if (study == "innet") {
+    sim::InnetStudyParams p;
+    p.days = days;
+    p.target_symptoms = symptoms;
+    p.seed = seed;
+    return sim::run_innet_study(net, p);
+  }
+  usage("unknown study '" + study + "'");
+}
+
+/// Generates the synthetic ISP + study workload used by `simulate` and by
+/// `replay` when no --data corpus is given.
+sim::ReplayCorpus generate_corpus(const Args& args, const std::string& study,
+                                  StudyDefaults defaults) {
   topology::TopoParams tp;
   if (args.flags.count("paper-scale")) {
     tp = topology::paper_scale_params();
@@ -216,68 +250,31 @@ int cmd_simulate(const Args& args) {
   }
   tp.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
   topology::Network net = topology::generate_isp(tp);
+  sim::StudyOutput result = run_workload(
+      study, net, static_cast<int>(args.get_long("days", defaults.days)),
+      static_cast<int>(args.get_long("symptoms", defaults.symptoms)),
+      tp.seed + 1);
+  return sim::ReplayCorpus{std::move(net), std::move(result.records),
+                           std::move(result.truth)};
+}
 
-  sim::StudyOutput result;
-  if (study == "bgp") {
-    sim::BgpStudyParams p;
-    p.days = static_cast<int>(args.get_long("days", 30));
-    p.target_symptoms = static_cast<int>(args.get_long("symptoms", 2000));
-    p.seed = tp.seed + 1;
-    result = sim::run_bgp_study(net, p);
-  } else if (study == "cdn") {
-    sim::CdnStudyParams p;
-    p.days = static_cast<int>(args.get_long("days", 30));
-    p.target_symptoms = static_cast<int>(args.get_long("symptoms", 1500));
-    p.seed = tp.seed + 1;
-    result = sim::run_cdn_study(net, p);
-  } else if (study == "pim") {
-    sim::PimStudyParams p;
-    p.days = static_cast<int>(args.get_long("days", 14));
-    p.target_symptoms = static_cast<int>(args.get_long("symptoms", 2000));
-    p.seed = tp.seed + 1;
-    result = sim::run_pim_study(net, p);
-  } else if (study == "innet") {
-    sim::InnetStudyParams p;
-    p.days = static_cast<int>(args.get_long("days", 30));
-    p.target_symptoms = static_cast<int>(args.get_long("symptoms", 600));
-    p.seed = tp.seed + 1;
-    result = sim::run_innet_study(net, p);
-  } else {
-    usage("unknown study '" + study + "'");
-  }
-
-  fs::create_directories(out / "configs");
-  for (const topology::Router& r : net.routers()) {
-    std::ofstream cfg(out / "configs" / (r.name + ".cfg"));
-    cfg << topology::render_config(net, r.id);
-  }
-  {
-    std::ofstream inv(out / "inventory.txt");
-    inv << topology::render_layer1_inventory(net);
-  }
-  {
-    std::ofstream rec(out / "records.tsv");
-    telemetry::write_stream(rec, result.records);
-  }
-  {
-    std::ofstream truth(out / "truth.tsv");
-    truth << "# symptom\trouter\tdetail\ttime\tcause\n";
-    for (const sim::TruthEntry& e : result.truth) {
-      truth << e.symptom << '\t' << e.router << '\t' << e.detail << '\t'
-            << e.time << '\t' << e.cause << '\n';
-    }
-  }
-  std::cout << "wrote " << net.routers().size() << " configs, "
-            << result.records.size() << " records, " << result.truth.size()
+int cmd_simulate(const Args& args) {
+  std::string study = args.get("study");
+  fs::path out(args.get("out"));
+  sim::ReplayCorpus corpus = generate_corpus(args, study, study_defaults(study));
+  sim::write_corpus(out, corpus.network, corpus.records, corpus.truth);
+  std::cout << "wrote " << corpus.network.routers().size() << " configs, "
+            << corpus.records.size() << " records, " << corpus.truth.size()
             << " truth labels under " << out.string() << "\n";
   return 0;
 }
 
-/// The shared front half of `diagnose` and `metrics`: network + pipeline
+/// The shared front half of `diagnose` and `metrics`: corpus + pipeline
 /// from DIR, study graph (plus extra DSL files), full diagnose_all. The
-/// network is owned here because the pipeline keeps a reference to it.
+/// corpus is owned here because the pipeline keeps a reference to its
+/// network.
 struct StudyRun {
-  std::unique_ptr<topology::Network> net;
+  std::unique_ptr<sim::ReplayCorpus> corpus;
   std::unique_ptr<apps::Pipeline> pipeline;
   std::vector<core::Diagnosis> diagnoses;
   StudyHooks hooks{};
@@ -289,14 +286,15 @@ StudyRun run_study(const Args& args) {
   fs::path data(args.get("data"));
   run.hooks = hooks_for(study);
 
-  run.net = std::make_unique<topology::Network>(load_network(data));
-  telemetry::RecordStream records = load_records(data);
+  run.corpus =
+      std::make_unique<sim::ReplayCorpus>(sim::read_corpus(data));
+  const topology::Network& net = run.corpus->network;
   std::vector<topology::RouterId> observers;
-  if (study == "cdn" && !run.net->cdn_nodes().empty()) {
-    observers = run.net->cdn_nodes().front().ingress_routers;
+  if (study == "cdn" && !net.cdn_nodes().empty()) {
+    observers = net.cdn_nodes().front().ingress_routers;
   }
   run.pipeline = std::make_unique<apps::Pipeline>(
-      *run.net, records, collector::ExtractOptions{}, observers);
+      net, run.corpus->records, collector::ExtractOptions{}, observers);
 
   core::DiagnosisGraph graph = run.hooks.graph();
   if (auto it = args.values.find("dsl"); it != args.values.end()) {
@@ -348,7 +346,7 @@ int cmd_diagnose(const Args& args) {
     }
   }
   if (args.flags.count("score")) {
-    auto truth = load_truth(fs::path(args.get("data")));
+    const std::vector<sim::TruthEntry>& truth = run.corpus->truth;
     if (truth.empty()) {
       std::cout << "\nno truth.tsv found; skipping scoring\n";
     } else {
@@ -393,8 +391,8 @@ int cmd_metrics(const Args& args) {
 
 int cmd_calibrate(const Args& args) {
   fs::path data(args.get("data"));
-  topology::Network net = load_network(data);
-  apps::Pipeline pipeline(net, load_records(data));
+  sim::ReplayCorpus corpus = sim::read_corpus(data);
+  apps::Pipeline pipeline(corpus.network, corpus.records);
   auto result = core::calibrate_temporal(
       pipeline.store(), pipeline.mapper(), args.get("symptom"),
       args.get("diagnostic"), core::parse_location_type(args.get("join")));
@@ -414,6 +412,66 @@ int cmd_calibrate(const Args& args) {
             << result->rule.diagnostic.left << " "
             << result->rule.diagnostic.right << "\n";
   return 0;
+}
+
+int cmd_replay(const Args& args) {
+  std::string study = args.get("study", "bgp");
+  StudyHooks hooks = hooks_for(study);
+
+  // Source data: a recorded corpus, or a freshly generated default scenario
+  // (a two-week study at paper-like symptom density).
+  std::unique_ptr<sim::ReplayCorpus> corpus;
+  if (auto it = args.values.find("data"); it != args.values.end()) {
+    corpus = std::make_unique<sim::ReplayCorpus>(
+        sim::read_corpus(fs::path(it->second.back())));
+  } else {
+    corpus = std::make_unique<sim::ReplayCorpus>(
+        generate_corpus(args, study, StudyDefaults{14, 1000}));
+  }
+
+  apps::ReplayOptions opt;
+  std::string rate = args.get("rate", "max");
+  if (rate != "max") {
+    if (!rate.empty() && rate.back() == 'x') rate.pop_back();
+    try {
+      opt.rate = std::stod(rate);
+    } catch (const std::exception&) {
+      opt.rate = -1.0;
+    }
+    if (opt.rate <= 0) usage("--rate must be a positive factor or 'max'");
+  }
+  opt.ingest_threads =
+      static_cast<unsigned>(args.get_long("ingest-threads", 2));
+  opt.stream.workers = static_cast<unsigned>(args.get_long("workers", 1));
+  opt.tick = args.get_long("tick", 300);
+  opt.source_lag = args.get_long("source-lag", 120);
+  opt.record_jitter = args.get_long("jitter", 60);
+  opt.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+
+  apps::FeedReplayer replayer(corpus->network, opt);
+  core::DiagnosisGraph graph = hooks.graph();
+  bool with_truth = !args.flags.count("no-truth");
+  apps::ReplayReport report =
+      replayer.replay(corpus->records, graph,
+                      with_truth ? &corpus->truth : nullptr, hooks.canonical);
+
+  std::cout << apps::render_text(report);
+  if (auto it = args.values.find("report-out"); it != args.values.end()) {
+    std::ofstream out(it->second.back());
+    if (!out) usage("cannot write " + it->second.back());
+    out << apps::render_json(report);
+  }
+  if (auto it = args.values.find("metrics-out"); it != args.values.end()) {
+    write_metrics_file(fs::path(it->second.back()));
+  }
+
+  long min_rate = args.get_long("min-rate", 0);
+  if (min_rate > 0 && report.records_per_min() < static_cast<double>(min_rate)) {
+    std::cerr << "replay gate: sustained " << report.records_per_min()
+              << " records/min < required " << min_rate << "\n";
+    return 1;
+  }
+  return report.passed() ? 0 : 1;
 }
 
 }  // namespace
@@ -438,6 +496,10 @@ int main(int argc, char** argv) {
     }
     if (command == "calibrate") {
       return cmd_calibrate(Args::parse(argc, argv, 2, {}));
+    }
+    if (command == "replay") {
+      return cmd_replay(
+          Args::parse(argc, argv, 2, {"no-truth", "paper-scale"}));
     }
     usage("unknown command '" + command + "'");
   } catch (const std::exception& e) {

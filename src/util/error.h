@@ -30,4 +30,13 @@ class ConfigError : public std::runtime_error {
   explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when an operation is invoked in a state that violates its
+/// documented preconditions (e.g. a streaming clock moving backwards).
+/// These are caller bugs; the error pins the contract instead of letting
+/// the violation degrade into silent misbehavior.
+class StateError : public std::logic_error {
+ public:
+  explicit StateError(const std::string& what) : std::logic_error(what) {}
+};
+
 }  // namespace grca
