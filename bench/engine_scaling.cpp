@@ -173,15 +173,29 @@ std::string render_diagnoses(const std::vector<core::Diagnosis>& batch) {
 
 /// Full diagnose_all over the standard scenario with --threads workers.
 /// Throughput (items/s) is symptoms diagnosed per second.
+/// Shared across the diagnose_all benches so setup is paid once.
+ScaledStore& scaling_store() {
+  static ScaledStore scaled(bench_net(), 200000);  // ~2000 symptoms
+  return scaled;
+}
+
 void BM_DiagnoseAllThreads(benchmark::State& state) {
   const topology::Network& net = bench_net();
-  static ScaledStore scaled(net, 200000);  // ~2000 symptoms
+  ScaledStore& scaled = scaling_store();
   routing::OspfSim ospf(net);
   routing::BgpSim bgp(ospf);
   core::LocationMapper mapper(net, ospf, bgp);
   core::RcaEngine engine(scaling_graph(), scaled.store, mapper);
-  // Correctness gate: the parallel batch must match the serial batch
-  // byte-for-byte before we bother timing it.
+  // Correctness gates before we bother timing: the parallel batch must
+  // match the serial batch byte-for-byte, and the (default-on) join cache
+  // must reproduce the uncached mapper verdicts exactly.
+  core::RcaEngine uncached(scaling_graph(), scaled.store, mapper);
+  uncached.set_join_cache_enabled(false);
+  if (render_diagnoses(engine.diagnose_all(1)) !=
+      render_diagnoses(uncached.diagnose_all(1))) {
+    state.SkipWithError("cached diagnose_all differs from uncached");
+    return;
+  }
   if (g_threads > 1 &&
       render_diagnoses(engine.diagnose_all(g_threads)) !=
           render_diagnoses(engine.diagnose_all(1))) {
@@ -198,6 +212,27 @@ void BM_DiagnoseAllThreads(benchmark::State& state) {
   state.counters["threads"] = g_threads;
 }
 BENCHMARK(BM_DiagnoseAllThreads)->Unit(benchmark::kMillisecond);
+
+/// Same scenario with the join cache disabled: the baseline the memoized
+/// path is measured against (compare items/s with BM_DiagnoseAllThreads).
+void BM_DiagnoseAllUncached(benchmark::State& state) {
+  const topology::Network& net = bench_net();
+  ScaledStore& scaled = scaling_store();
+  routing::OspfSim ospf(net);
+  routing::BgpSim bgp(ospf);
+  core::LocationMapper mapper(net, ospf, bgp);
+  core::RcaEngine engine(scaling_graph(), scaled.store, mapper);
+  engine.set_join_cache_enabled(false);
+  std::size_t diagnosed = 0;
+  for (auto _ : state) {
+    auto batch = engine.diagnose_all(g_threads);
+    diagnosed += batch.size();
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(diagnosed));
+  state.counters["threads"] = g_threads;
+}
+BENCHMARK(BM_DiagnoseAllUncached)->Unit(benchmark::kMillisecond);
 
 void BM_SpatialProjection(benchmark::State& state) {
   const topology::Network& net = bench_net();

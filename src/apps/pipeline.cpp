@@ -49,6 +49,11 @@ Pipeline::Pipeline(const topology::Network& net,
   if (!index_.all().empty()) {
     feed_health_.observe_clock(index_.all().back().utc);
   }
+  // Sort and intern everything now, while construction is still
+  // single-threaded: diagnose_all/diagnose_apps then start from a warm
+  // store and the engines' join caches key on interned ids immediately.
+  // (Callers adding more events via store() just re-dirty the buckets.)
+  store_.warm();
 }
 
 std::vector<core::Diagnosis> Pipeline::diagnose_all(core::DiagnosisGraph graph,

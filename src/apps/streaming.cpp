@@ -106,7 +106,11 @@ void StreamingRca::freeze_until(TimeSec new_cut) {
     }
   }
   // Routing follows the freeze cut: monitor records in the frozen region are
-  // final and strictly ordered.
+  // final and strictly ordered. Because every replayed change time is >= the
+  // previous routing_cut_ — and all diagnosed symptoms are older than that
+  // cut — replay only appends routing epochs: epoch_at(t) for already-
+  // diagnosed times never renumbers, so the engine's join cache stays valid
+  // across batches without invalidation.
   auto route_first = std::lower_bound(
       buffer_.begin(), buffer_.end(), routing_cut_,
       [](const NormalizedRecord& r, TimeSec t) { return r.utc < t; });

@@ -21,14 +21,19 @@ double circular_pearson(std::span<const double> a, std::span<const double> b,
   for (double v : b) sb += v;
   double ma = sa / n, mb = sb / n;
   double cov = 0, va = 0, vb = 0;
+  // b's index is (i + off) mod n with off constant across the loop, so the
+  // lag normalization and modulo reduce to an increment-with-wrap.
+  const std::size_t off =
+      (shift + n +
+       static_cast<std::size_t>(lag % static_cast<int>(n) + n)) % n;
+  std::size_t j = off;
   for (std::size_t i = 0; i < n; ++i) {
-    std::size_t j = (i + shift + n + static_cast<std::size_t>(
-                                         (lag % static_cast<int>(n) + n))) % n;
     double da = a[i] - ma;
     double db = b[j] - mb;
     cov += da * db;
     va += da * da;
     vb += db * db;
+    if (++j == n) j = 0;
   }
   if (va <= 0.0 || vb <= 0.0) return 0.0;
   return cov / std::sqrt(va * vb);

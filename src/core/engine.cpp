@@ -31,7 +31,10 @@ bool Diagnosis::has_evidence(const std::string& event) const noexcept {
 
 RcaEngine::RcaEngine(DiagnosisGraph graph, const EventStore& store,
                      const LocationMapper& mapper)
-    : graph_(std::move(graph)), store_(store), mapper_(mapper) {
+    : graph_(std::move(graph)),
+      store_(store),
+      mapper_(mapper),
+      join_cache_(std::make_unique<JoinCache>(mapper, store.locations())) {
   graph_.validate();
   if (obs::MetricsRegistry* reg = obs::registry_ptr()) {
     diagnoses_total_ = &reg->counter("grca_engine_diagnoses_total");
@@ -42,27 +45,47 @@ RcaEngine::RcaEngine(DiagnosisGraph graph, const EventStore& store,
   }
 }
 
-std::vector<const EventInstance*> RcaEngine::join(
-    const EventInstance& anchor, const DiagnosisRule& rule) const {
+void RcaEngine::join(const EventInstance& anchor, const DiagnosisRule& rule,
+                     JoinScratch& scratch) const {
   // Conservative candidate window: an instance [a, b] can only join when it
   // overlaps the symptom's expanded window widened by the diagnostic-side
   // margins (see temporal.h for the expansion algebra).
   util::TimeInterval s = rule.temporal.symptom.expand(anchor.when);
   util::TimeSec slack = std::abs(rule.temporal.diagnostic.left) +
                         std::abs(rule.temporal.diagnostic.right);
-  auto candidates =
-      store_.query(rule.diagnostic, s.start - slack, s.end + slack);
-  std::vector<const EventInstance*> out;
-  for (const EventInstance* cand : candidates) {
+  store_.query_into(rule.diagnostic, s.start - slack, s.end + slack,
+                    scratch.candidates);
+  scratch.result.clear();
+  if (join_cache_enabled_) {
+    // Spatial verdicts are a function of (anchor location, candidate
+    // location, level, anchor start) — fixed here except the candidate
+    // location, so candidates sharing one are grouped and decided once,
+    // through the epoch-stamped JoinCache memo.
+    const LocId anchor_id = join_cache_->id_of(anchor);
+    const util::TimeSec at = anchor.when.start;
+    scratch.verdicts.clear();
+    for (const EventInstance* cand : scratch.candidates) {
+      if (cand == &anchor) continue;  // an instance never explains itself
+      if (!rule.temporal.joined(anchor.when, cand->when)) continue;
+      const LocId cand_id = join_cache_->id_of(*cand);
+      auto [it, fresh] = scratch.verdicts.try_emplace(cand_id, false);
+      if (fresh) {
+        it->second =
+            join_cache_->joins(anchor_id, cand_id, rule.join_level, at);
+      }
+      if (it->second) scratch.result.push_back(cand);
+    }
+    return;
+  }
+  for (const EventInstance* cand : scratch.candidates) {
     if (cand == &anchor) continue;  // an instance never explains itself
     if (!rule.temporal.joined(anchor.when, cand->when)) continue;
     if (!mapper_.joins(anchor.where, cand->where, rule.join_level,
                        anchor.when.start)) {
       continue;
     }
-    out.push_back(cand);
+    scratch.result.push_back(cand);
   }
-  return out;
 }
 
 Diagnosis RcaEngine::diagnose(const EventInstance& symptom) const {
@@ -71,6 +94,11 @@ Diagnosis RcaEngine::diagnose(const EventInstance& symptom) const {
     throw ConfigError("diagnose: symptom '" + symptom.name +
                       "' does not match graph root '" + graph_.root() + "'");
   }
+  // The cached join path keys on interned where_ids, which warm() fills in;
+  // on an already-warm store this is a read-only flag sweep, so concurrent
+  // diagnose() calls (whose stores are warmed up front) stay race-free.
+  if (join_cache_enabled_) store_.warm();
+  JoinScratch scratch;
   Diagnosis result;
   result.symptom = symptom;
 
@@ -108,7 +136,8 @@ Diagnosis RcaEngine::diagnose(const EventInstance& symptom) const {
       std::vector<const EventInstance*> matched;
       std::unordered_set<const EventInstance*> matched_set;
       for (const EventInstance* anchor : parent_instances) {
-        for (const EventInstance* inst : join(*anchor, rule)) {
+        join(*anchor, rule, scratch);
+        for (const EventInstance* inst : scratch.result) {
           if (matched_set.insert(inst).second) matched.push_back(inst);
         }
       }

@@ -9,12 +9,15 @@
 #pragma once
 
 #include <chrono>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "core/diagnosis_graph.h"
 #include "core/event_store.h"
+#include "core/join_cache.h"
 #include "core/location.h"
 #include "obs/metrics.h"
 
@@ -78,14 +81,39 @@ class RcaEngine {
 
   const DiagnosisGraph& graph() const noexcept { return graph_; }
 
+  /// Enables/disables the memoized spatial-join layer (enabled by default).
+  /// The uncached path is the reference implementation the cache must match
+  /// byte for byte; benches and the cache-correctness tests flip this.
+  /// Not thread-safe against concurrent diagnose() calls.
+  void set_join_cache_enabled(bool enabled) noexcept {
+    join_cache_enabled_ = enabled;
+  }
+  bool join_cache_enabled() const noexcept { return join_cache_enabled_; }
+
+  /// The engine's spatial-join memo (hit/miss/entry stats for benches).
+  const JoinCache& join_cache() const noexcept { return *join_cache_; }
+
  private:
-  /// Instances of `rule.diagnostic` joined with `anchor` under the rule.
-  std::vector<const EventInstance*> join(const EventInstance& anchor,
-                                         const DiagnosisRule& rule) const;
+  /// Reused per diagnose() call so the hot join loop performs no
+  /// allocations in steady state: candidate pointers from query_into, the
+  /// join result, and the per-anchor verdict-by-location memo (candidates
+  /// sharing a location are decided once per anchor).
+  struct JoinScratch {
+    std::vector<const EventInstance*> candidates;
+    std::vector<const EventInstance*> result;
+    std::unordered_map<LocId, bool> verdicts;
+  };
+
+  /// Fills scratch.result with the instances of `rule.diagnostic` joined
+  /// with `anchor` under the rule.
+  void join(const EventInstance& anchor, const DiagnosisRule& rule,
+            JoinScratch& scratch) const;
 
   const DiagnosisGraph graph_;
   const EventStore& store_;
   const LocationMapper& mapper_;
+  std::unique_ptr<JoinCache> join_cache_;
+  bool join_cache_enabled_ = true;
 
   // Engine instrumentation, resolved from the installed registry at
   // construction (all-or-nothing: checking one pointer covers the set).

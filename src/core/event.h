@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/location.h"
+#include "core/location_table.h"
 #include "util/time.h"
 
 namespace grca::core {
@@ -33,8 +34,16 @@ struct EventInstance {
   util::TimeInterval when;
   Location where;
   std::map<std::string, std::string> attrs;
+  /// Dense id of `where` in the owning EventStore's LocationTable, filled in
+  /// when the store is warmed; kInvalidLocId before that. Cache bookkeeping,
+  /// not part of the event's value — equality ignores it (an interned
+  /// instance still equals its un-interned twin).
+  LocId where_id = kInvalidLocId;
 
-  friend bool operator==(const EventInstance&, const EventInstance&) = default;
+  friend bool operator==(const EventInstance& x, const EventInstance& y) {
+    return x.name == y.name && x.when == y.when && x.where == y.where &&
+           x.attrs == y.attrs;
+  }
 };
 
 }  // namespace grca::core

@@ -15,6 +15,10 @@ void EventStore::add(EventInstance instance) {
   if (!instance.when.valid()) {
     throw ConfigError("EventStore: invalid interval for " + instance.name);
   }
+  // An incoming instance may carry an id issued by another store's table
+  // (e.g. the streaming engine extracts into a scratch store, then copies
+  // here); ids never transfer across tables.
+  instance.where_id = kInvalidLocId;
   Bucket& b = buckets_[instance.name];
   if (metrics_ && !b.counter) {
     b.counter =
@@ -39,7 +43,18 @@ void EventStore::ensure_sorted(const Bucket& bucket) const {
 }
 
 void EventStore::warm() const {
-  for (const auto& [name, bucket] : buckets_) ensure_sorted(bucket);
+  for (const auto& [name, bucket] : buckets_) {
+    ensure_sorted(bucket);
+    if (bucket.interned == bucket.items.size()) continue;
+    // Intern locations added since the last warm(). Sorting interleaves new
+    // instances anywhere in the bucket, so scan the whole vector — already
+    // interned ones cost one integer compare.
+    Bucket& b = const_cast<Bucket&>(bucket);
+    for (EventInstance& e : b.items) {
+      if (e.where_id == kInvalidLocId) e.where_id = locations_->intern(e.where);
+    }
+    b.interned = b.items.size();
+  }
 }
 
 void EventStore::finalize() {
@@ -50,7 +65,33 @@ void EventStore::finalize() {
 std::vector<const EventInstance*> EventStore::query(const std::string& name,
                                                     util::TimeSec from,
                                                     util::TimeSec to) const {
-  return query(name, from, to, [](const EventInstance&) { return true; });
+  std::vector<const EventInstance*> out;
+  query_into(name, from, to, out);
+  return out;
+}
+
+std::size_t EventStore::query_into(
+    const std::string& name, util::TimeSec from, util::TimeSec to,
+    std::vector<const EventInstance*>& out) const {
+  out.clear();
+  auto it = buckets_.find(name);
+  if (it == buckets_.end()) return 0;
+  const Bucket& b = it->second;
+  ensure_sorted(b);
+  util::TimeSec lo = from - b.max_duration;
+  auto first = std::lower_bound(
+      b.items.begin(), b.items.end(), lo,
+      [](const EventInstance& e, util::TimeSec v) { return e.when.start < v; });
+  auto last = std::upper_bound(
+      first, b.items.end(), to,
+      [](util::TimeSec v, const EventInstance& e) { return v < e.when.start; });
+  // [first, last) is the candidate range; the end-time filter below only
+  // shrinks it, so its size is the natural reserve bound.
+  out.reserve(static_cast<std::size_t>(last - first));
+  for (auto i = first; i != last; ++i) {
+    if (i->when.end >= from) out.push_back(&*i);
+  }
+  return out.size();
 }
 
 std::vector<const EventInstance*> EventStore::query(

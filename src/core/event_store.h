@@ -16,12 +16,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/event.h"
+#include "core/location_table.h"
 #include "obs/metrics.h"
 
 namespace grca::core {
@@ -33,8 +35,9 @@ class EventStore {
   /// after finalize().
   void add(EventInstance instance);
 
-  /// Sorts every dirty bucket now. After this returns — and until the next
-  /// add() — queries are read-only and safe from concurrent threads.
+  /// Sorts every dirty bucket now and interns every instance location into
+  /// locations(). After this returns — and until the next add() — queries
+  /// are read-only and safe from concurrent threads.
   void warm() const;
 
   /// warm() plus a permanent write lock: any later add() throws ConfigError.
@@ -65,6 +68,20 @@ class EventStore {
       const std::string& name, util::TimeSec from, util::TimeSec to,
       const std::function<bool(const EventInstance&)>& pred) const;
 
+  /// Allocation-free window query: clears `out` (capacity kept) and appends
+  /// the same pointers query() would return. Batch callers reuse one scratch
+  /// vector across thousands of queries so the hot path stops allocating;
+  /// returns the number of instances appended.
+  std::size_t query_into(const std::string& name, util::TimeSec from,
+                         util::TimeSec to,
+                         std::vector<const EventInstance*>& out) const;
+
+  /// The interning table covering every stored instance's location once the
+  /// store has been warmed (instances added later are interned by the next
+  /// warm()). The table itself is internally synchronized — the JoinCache
+  /// also interns projection results into it during concurrent diagnosis.
+  LocationTable& locations() const noexcept { return *locations_; }
+
   /// All instances of `name` in start-time order (empty span if none).
   std::span<const EventInstance> all(const std::string& name) const;
 
@@ -78,6 +95,7 @@ class EventStore {
     std::vector<EventInstance> items;   // sorted by when.start once clean
     util::TimeSec max_duration = 0;
     bool dirty = false;
+    std::size_t interned = 0;           // items interned so far (see warm())
     obs::Counter* counter = nullptr;    // resolved once per signature class
   };
   void ensure_sorted(const Bucket& bucket) const;
@@ -86,6 +104,8 @@ class EventStore {
   std::size_t total_ = 0;
   bool finalized_ = false;
   obs::MetricsRegistry* metrics_ = nullptr;
+  // unique_ptr so the store stays movable (the table pins a shared_mutex).
+  std::unique_ptr<LocationTable> locations_ = std::make_unique<LocationTable>();
 };
 
 }  // namespace grca::core

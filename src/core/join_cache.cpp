@@ -1,0 +1,178 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "core/join_cache.h"
+
+#include <algorithm>
+
+namespace grca::core {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  // splitmix64 finalizer: cheap and well distributed for shard selection
+  // and bucket indexing alike.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t stamp_bits(const EpochStamp& s) noexcept {
+  return (static_cast<std::uint64_t>(s.ospf_before) << 32 | s.ospf_at) ^
+         mix64(static_cast<std::uint64_t>(s.bgp_at) << 32 | s.generation);
+}
+
+/// Sorted distinct id vectors: any element in common?
+bool intersects(const std::vector<LocId>& a,
+                const std::vector<LocId>& b) noexcept {
+  auto i = a.begin();
+  auto j = b.begin();
+  while (i != a.end() && j != b.end()) {
+    if (*i < *j) {
+      ++i;
+    } else if (*j < *i) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t JoinCache::KeyHash::operator()(const ProjKey& k) const noexcept {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(k.loc) << 8 |
+                          static_cast<std::uint64_t>(k.level));
+  return static_cast<std::size_t>(h ^ mix64(stamp_bits(k.stamp)));
+}
+
+std::size_t JoinCache::KeyHash::operator()(const VerdictKey& k) const noexcept {
+  std::uint64_t pair = static_cast<std::uint64_t>(k.symptom) << 32 |
+                       static_cast<std::uint64_t>(k.diagnostic);
+  std::uint64_t h = mix64(pair) ^
+                    mix64(stamp_bits(k.stamp) + static_cast<std::uint64_t>(
+                                                    k.level));
+  return static_cast<std::size_t>(h);
+}
+
+JoinCache::JoinCache(const LocationMapper& mapper, LocationTable& table)
+    : mapper_(mapper),
+      table_(table),
+      metrics_(obs::CacheMetrics::resolve("grca_join_cache")) {}
+
+EpochStamp JoinCache::stamp_at(util::TimeSec t) const noexcept {
+  const routing::OspfSim& ospf = mapper_.ospf();
+  const routing::BgpSim& bgp = mapper_.bgp();
+  EpochStamp s;
+  s.ospf_before = static_cast<std::uint32_t>(
+      ospf.epoch_at(t - LocationMapper::kPathLookback));
+  s.ospf_at = static_cast<std::uint32_t>(ospf.epoch_at(t));
+  s.bgp_at = static_cast<std::uint32_t>(bgp.epoch_at(t));
+  s.generation = static_cast<std::uint32_t>(ospf.epoch_generation() +
+                                            bgp.epoch_generation());
+  return s;
+}
+
+void JoinCache::count_hit() const {
+  hit_count_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.hits) metrics_.hits->inc();
+}
+
+void JoinCache::count_miss() const {
+  miss_count_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.misses) metrics_.misses->inc();
+}
+
+void JoinCache::count_entries(std::int64_t delta) const {
+  std::int64_t now =
+      entry_count_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  if (metrics_.entries) metrics_.entries->set(static_cast<double>(now));
+}
+
+std::shared_ptr<const std::vector<LocId>> JoinCache::project(
+    LocId loc, LocationType level, util::TimeSec t) const {
+  const EpochStamp stamp = LocationMapper::path_dependent(table_.type_of(loc))
+                               ? stamp_at(t)
+                               : EpochStamp{};
+  return project_stamped(loc, level, t, stamp);
+}
+
+std::shared_ptr<const std::vector<LocId>> JoinCache::project_stamped(
+    LocId loc, LocationType level, util::TimeSec t,
+    const EpochStamp& stamp) const {
+  ProjKey key{loc, level, stamp};
+  Shard& shard = shards_[mix64(KeyHash{}(key)) % kShardCount];
+  {
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.projections.find(key);
+    if (it != shard.projections.end()) {
+      count_hit();
+      return it->second;
+    }
+  }
+  count_miss();
+  // Compute outside the lock; a concurrent miss on the same key duplicates
+  // work but both compute identical values (pure function of the key).
+  std::vector<Location> raw = mapper_.project(table_.at(loc), level, t);
+  auto ids = std::make_shared<std::vector<LocId>>();
+  ids->reserve(raw.size());
+  for (const Location& l : raw) ids->push_back(table_.intern(l));
+  std::sort(ids->begin(), ids->end());
+  std::lock_guard lock(shard.mutex);
+  if (shard.projections.size() >= kMaxEntriesPerShard) {
+    count_entries(-static_cast<std::int64_t>(shard.projections.size()));
+    shard.projections.clear();
+  }
+  auto [it, inserted] = shard.projections.emplace(key, std::move(ids));
+  if (inserted) count_entries(1);
+  return it->second;
+}
+
+bool JoinCache::joins(LocId symptom, LocId diagnostic, LocationType level,
+                      util::TimeSec t) const {
+  const bool s_dep = LocationMapper::path_dependent(table_.type_of(symptom));
+  const bool d_dep = LocationMapper::path_dependent(table_.type_of(diagnostic));
+  // The verdict depends on routing state only through the path-dependent
+  // side(s); with both sides static the zero stamp lets the verdict survive
+  // every routing change.
+  const EpochStamp stamp = (s_dep || d_dep) ? stamp_at(t) : EpochStamp{};
+  VerdictKey key{symptom, diagnostic, level, stamp};
+  Shard& shard = shards_[mix64(KeyHash{}(key)) % kShardCount];
+  {
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.verdicts.find(key);
+    if (it != shard.verdicts.end()) {
+      count_hit();
+      return it->second;
+    }
+  }
+  count_miss();
+  // Matches LocationMapper::joins exactly: empty symptom projection never
+  // joins; otherwise any common projected location at `level` does.
+  auto s = project_stamped(symptom, level, t, s_dep ? stamp : EpochStamp{});
+  bool verdict = false;
+  if (!s->empty()) {
+    auto d = project_stamped(diagnostic, level, t, d_dep ? stamp : EpochStamp{});
+    verdict = intersects(*s, *d);
+  }
+  std::lock_guard lock(shard.mutex);
+  if (shard.verdicts.size() >= kMaxEntriesPerShard) {
+    count_entries(-static_cast<std::int64_t>(shard.verdicts.size()));
+    shard.verdicts.clear();
+  }
+  if (shard.verdicts.emplace(key, verdict).second) count_entries(1);
+  return verdict;
+}
+
+JoinCache::Stats JoinCache::stats() const noexcept {
+  Stats s;
+  s.hits = hit_count_.load(std::memory_order_relaxed);
+  s.misses = miss_count_.load(std::memory_order_relaxed);
+  std::int64_t entries = entry_count_.load(std::memory_order_relaxed);
+  s.entries = entries > 0 ? static_cast<std::uint64_t>(entries) : 0;
+  return s;
+}
+
+}  // namespace grca::core

@@ -1,0 +1,146 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Memoization layer over the spatial model. LocationMapper::project() and
+// ::joins() are pure functions of (location, join level, routing state over
+// [t - kPathLookback, t]) — the routing simulators expose that state as
+// monotone epoch counters (OspfSim::epoch_at / BgpSim::epoch_at), so the
+// projection of an interned location is memoizable under an EpochStamp key.
+// Results are exact, not approximate: a cache hit returns the value the
+// mapper would compute, byte for byte, because the stamp pins every input
+// the mapper reads. Diagnosis workloads evaluate the same (symptom location
+// x candidate location) pairs thousands of times around one incident; this
+// layer turns each repeat into a sharded hash probe on integers.
+//
+// Threading: fully concurrent. Shards are striped-lock hash maps; the
+// underlying mapper call runs outside any lock (duplicate misses are
+// tolerated, last insert wins — same discipline as the SPF memo). The
+// routing simulators must not be mutated concurrently (their standing
+// replay-then-diagnose contract); the generation counters make stamps from
+// before an out-of-order replay unmatchable rather than wrong.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/event.h"
+#include "core/location.h"
+#include "core/location_table.h"
+#include "obs/metrics.h"
+
+namespace grca::core {
+
+/// The routing state a projection at time t can depend on: the OSPF epochs
+/// at t and t - kPathLookback (path projections union both instants) and
+/// the BGP epoch at t (egress resolution; BGP's IGP tie-break also reads
+/// OSPF at t, which ospf_at already pins). Locations whose projections are
+/// time-independent (everything but the pair/endpoint types — see
+/// LocationMapper::path_dependent) use the zero stamp, so their entries
+/// survive routing changes.
+struct EpochStamp {
+  std::uint32_t ospf_before = 0;
+  std::uint32_t ospf_at = 0;
+  std::uint32_t bgp_at = 0;
+  /// Sum of the simulators' epoch generations; renumbered epochs (out-of-
+  /// order replay) change it, orphaning every stamped entry at once.
+  std::uint32_t generation = 0;
+
+  friend bool operator==(const EpochStamp&, const EpochStamp&) = default;
+};
+
+class JoinCache {
+ public:
+  /// The cache reads (never mutates) `mapper` and interns projection
+  /// results into `table` — normally the owning EventStore's table, so
+  /// instance locations are already interned after warm(). Both must
+  /// outlive the cache.
+  JoinCache(const LocationMapper& mapper, LocationTable& table);
+
+  /// The interned id for an instance's location: its where_id when the
+  /// owning store has been warmed, otherwise a table lookup/insert.
+  LocId id_of(const EventInstance& instance) const {
+    if (instance.where_id != kInvalidLocId) return instance.where_id;
+    return table_.intern(instance.where);
+  }
+
+  /// Memoized LocationMapper::joins. Exact: equals the uncached call for
+  /// every input.
+  bool joins(LocId symptom, LocId diagnostic, LocationType level,
+             util::TimeSec t) const;
+
+  /// Memoized LocationMapper::project, as sorted distinct interned ids.
+  /// The returned vector is immutable and safe to hold across further cache
+  /// operations (shared ownership survives eviction).
+  std::shared_ptr<const std::vector<LocId>> project(LocId loc,
+                                                    LocationType level,
+                                                    util::TimeSec t) const;
+
+  /// The stamp joins()/project() would key `t` with (for tests).
+  EpochStamp stamp_at(util::TimeSec t) const noexcept;
+
+  const LocationTable& locations() const noexcept { return table_; }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t entries = 0;
+  };
+  Stats stats() const noexcept;
+
+ private:
+  struct ProjKey {
+    LocId loc = kInvalidLocId;
+    LocationType level = LocationType::kRouter;
+    EpochStamp stamp;
+    friend bool operator==(const ProjKey&, const ProjKey&) = default;
+  };
+  struct VerdictKey {
+    LocId symptom = kInvalidLocId;
+    LocId diagnostic = kInvalidLocId;
+    LocationType level = LocationType::kRouter;
+    EpochStamp stamp;
+    friend bool operator==(const VerdictKey&, const VerdictKey&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const ProjKey& k) const noexcept;
+    std::size_t operator()(const VerdictKey& k) const noexcept;
+  };
+  struct alignas(64) Shard {
+    std::mutex mutex;
+    std::unordered_map<ProjKey, std::shared_ptr<const std::vector<LocId>>,
+                       KeyHash>
+        projections;
+    std::unordered_map<VerdictKey, bool, KeyHash> verdicts;
+  };
+  static constexpr std::size_t kShardCount = 16;
+  /// Per-shard, per-map bound; a map that reaches it is cleared (projection
+  /// vectors stay alive through their shared_ptrs). Generous: diagnosis
+  /// working sets are far smaller, so eviction only guards pathological
+  /// epoch churn.
+  static constexpr std::size_t kMaxEntriesPerShard = 1 << 15;
+
+  std::shared_ptr<const std::vector<LocId>> project_stamped(
+      LocId loc, LocationType level, util::TimeSec t,
+      const EpochStamp& stamp) const;
+
+  void count_hit() const;
+  void count_miss() const;
+  void count_entries(std::int64_t delta) const;
+
+  const LocationMapper& mapper_;
+  LocationTable& table_;
+  mutable std::array<Shard, kShardCount> shards_;
+  // Always-on relaxed tallies (stats() works without a registry) mirrored
+  // into the grca_join_cache_{hits,misses,entries} metrics when installed.
+  mutable std::atomic<std::uint64_t> hit_count_{0};
+  mutable std::atomic<std::uint64_t> miss_count_{0};
+  mutable std::atomic<std::int64_t> entry_count_{0};
+  obs::CacheMetrics metrics_;
+};
+
+}  // namespace grca::core

@@ -40,7 +40,10 @@ LocationType parse_location_type(std::string_view text) {
 }
 
 std::string Location::key() const {
-  std::string out(to_string(type));
+  std::string_view name = to_string(type);
+  std::string out;
+  out.reserve(name.size() + a.size() + b.size() + c.size() + 3);
+  out += name;
   out += '|';
   out += a;
   if (!b.empty() || !c.empty()) {

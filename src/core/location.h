@@ -7,6 +7,9 @@
 // logical/physical association, and dynamic-routing mappings).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -100,6 +103,24 @@ class LocationMapper {
   bool joins(const Location& symptom, const Location& diagnostic,
              LocationType level, util::TimeSec t) const;
 
+  /// True when projections of this location type can depend on the routing
+  /// state at the query time (they resolve endpoints and walk shortest
+  /// paths). Every other type projects purely through static topology, so
+  /// its projections are the same at every `t` — the JoinCache keys those
+  /// with a zero epoch stamp and reuses them across routing changes.
+  static bool path_dependent(LocationType type) noexcept {
+    switch (type) {
+      case LocationType::kRouterPair:
+      case LocationType::kPopPair:
+      case LocationType::kIngressDestination:
+      case LocationType::kCdnClient:
+      case LocationType::kVpnNeighbor:
+        return true;
+      default:
+        return false;
+    }
+  }
+
   /// Resolves a router name; nullopt for unknown names.
   std::optional<topology::RouterId> router(const std::string& name) const {
     return net_.find_router(name);
@@ -138,3 +159,25 @@ class LocationMapper {
 };
 
 }  // namespace grca::core
+
+/// Hashes the components directly (FNV-1a over type + a/b/c with unit
+/// separators), so hashed containers and the interning LocationTable never
+/// materialize the key() string.
+template <>
+struct std::hash<grca::core::Location> {
+  std::size_t operator()(const grca::core::Location& loc) const noexcept {
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](unsigned char c) noexcept {
+      h ^= c;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<unsigned char>(loc.type));
+    // 0x1f keeps ("ab","c") and ("a","bc") distinct across boundaries.
+    for (char c : loc.a) mix(static_cast<unsigned char>(c));
+    mix(0x1f);
+    for (char c : loc.b) mix(static_cast<unsigned char>(c));
+    mix(0x1f);
+    for (char c : loc.c) mix(static_cast<unsigned char>(c));
+    return static_cast<std::size_t>(h);
+  }
+};

@@ -1,0 +1,43 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "core/location_table.h"
+
+namespace grca::core {
+
+LocId LocationTable::intern(const Location& loc) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = ids_.find(loc);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto it = ids_.find(loc);  // re-check: another thread may have won the race
+  if (it != ids_.end()) return it->second;
+  LocId id = static_cast<LocId>(by_id_.size());
+  by_id_.push_back(loc);
+  ids_.emplace(by_id_.back(), id);
+  return id;
+}
+
+std::optional<LocId> LocationTable::find(const Location& loc) const {
+  std::shared_lock lock(mutex_);
+  auto it = ids_.find(loc);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Location& LocationTable::at(LocId id) const {
+  // The lock covers the deque's bookkeeping (a concurrent intern() may be
+  // growing it); the element reference itself is stable and safe to use
+  // after release.
+  std::shared_lock lock(mutex_);
+  return by_id_.at(id);
+}
+
+std::size_t LocationTable::size() const {
+  std::shared_lock lock(mutex_);
+  return by_id_.size();
+}
+
+}  // namespace grca::core

@@ -35,6 +35,19 @@ void BgpSim::announce(const BgpRoute& route, TimeSec time) {
   }
   eps.push_back(Episode{time, kTimeMax, route});
   log_.push_back(BgpUpdate{time, true, route});
+  record_epoch(time);
+}
+
+void BgpSim::record_epoch(TimeSec time) {
+  auto pos = std::lower_bound(epoch_times_.begin(), epoch_times_.end(), time);
+  if (pos == epoch_times_.end()) {
+    epoch_times_.push_back(time);
+  } else {
+    // Out-of-order (or repeated-instant) update: epoch numbers handed out
+    // for later times renumber, so stale cache stamps must not alias.
+    ++epoch_generation_;
+    if (*pos != time) epoch_times_.insert(pos, time);
+  }
 }
 
 void BgpSim::withdraw(Ipv4Prefix prefix, RouterId egress, TimeSec time) {
@@ -50,6 +63,7 @@ void BgpSim::withdraw(Ipv4Prefix prefix, RouterId egress, TimeSec time) {
   u.announce = false;
   u.route = eps.back().route;
   log_.push_back(u);
+  record_epoch(time);
 }
 
 std::optional<BgpRoute> BgpSim::best_route(RouterId ingress, Ipv4Addr dst,

@@ -12,6 +12,8 @@
 //   local-pref > AS-path length > MED > IGP distance > router id.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -66,6 +68,21 @@ class BgpSim {
   /// Every announce/withdraw ever applied, in call order (the monitor feed).
   const std::vector<BgpUpdate>& update_log() const noexcept { return log_; }
 
+  /// Routing epoch at `time`: the number of distinct *effective* update
+  /// instants at or before it (no-op withdraws do not count). Same contract
+  /// as OspfSim::epoch_at — best_route(ingress, dst, t) is a pure function
+  /// of (ingress, dst, BGP epoch, OSPF epoch at t) — and the same threading
+  /// rule: announce/withdraw must not race with queries.
+  std::size_t epoch_at(util::TimeSec time) const noexcept {
+    return static_cast<std::size_t>(
+        std::upper_bound(epoch_times_.begin(), epoch_times_.end(), time) -
+        epoch_times_.begin());
+  }
+
+  /// Bumped when an update arrives at or before an already recorded instant
+  /// (see OspfSim::epoch_generation for the aliasing rationale).
+  std::uint64_t epoch_generation() const noexcept { return epoch_generation_; }
+
   const OspfSim& ospf() const noexcept { return ospf_; }
 
  private:
@@ -84,9 +101,14 @@ class BgpSim {
   static constexpr util::TimeSec kTimeMax =
       std::numeric_limits<util::TimeSec>::max();
 
+  /// Records `time` in the sorted distinct update instants (see epoch_at).
+  void record_epoch(util::TimeSec time);
+
   PrefixTrie<Candidates> rib_;
   const OspfSim& ospf_;
   std::vector<BgpUpdate> log_;
+  std::vector<util::TimeSec> epoch_times_;  // sorted, distinct
+  std::uint64_t epoch_generation_ = 0;
 };
 
 /// Seeds the RIB with every customer site's announced prefix at its

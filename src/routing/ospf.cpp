@@ -31,34 +31,28 @@ void OspfSim::set_weight(LogicalLinkId link, util::TimeSec time,
   int old = hist.back().second;
   hist.emplace_back(time, new_weight);
   log_.push_back(WeightChange{time, link, old, new_weight});
-  std::lock_guard lock(cache_mutex_);
-  epochs_dirty_ = true;
-  spf_cache_.clear();
-}
-
-std::size_t OspfSim::epoch_of(util::TimeSec time) const {
-  // Caller holds cache_mutex_.
-  if (epochs_dirty_) {
-    epoch_times_.clear();
-    epoch_times_.reserve(log_.size());
-    for (const WeightChange& c : log_) epoch_times_.push_back(c.time);
-    std::sort(epoch_times_.begin(), epoch_times_.end());
-    epoch_times_.erase(std::unique(epoch_times_.begin(), epoch_times_.end()),
-                       epoch_times_.end());
-    epochs_dirty_ = false;
+  // Maintain the sorted distinct change instants eagerly. The common case
+  // (times arrive globally non-decreasing) appends; a change at or before an
+  // already recorded instant renumbers later epochs, so the generation bumps
+  // to invalidate every epoch number handed out so far.
+  auto pos = std::lower_bound(epoch_times_.begin(), epoch_times_.end(), time);
+  if (pos == epoch_times_.end()) {
+    epoch_times_.push_back(time);
+  } else {
+    ++epoch_generation_;
+    if (*pos != time) epoch_times_.insert(pos, time);
   }
-  return static_cast<std::size_t>(
-      std::upper_bound(epoch_times_.begin(), epoch_times_.end(), time) -
-      epoch_times_.begin());
+  std::lock_guard lock(cache_mutex_);
+  spf_cache_.clear();
 }
 
 std::shared_ptr<const OspfSim::SpfResult> OspfSim::run_spf(
     RouterId src, util::TimeSec time) const {
-  std::uint64_t key = 0;
+  std::uint64_t key =
+      (static_cast<std::uint64_t>(src.value()) << 32) | epoch_at(time);
   {
     std::lock_guard lock(cache_mutex_);
     if (cache_enabled_) {
-      key = (static_cast<std::uint64_t>(src.value()) << 32) | epoch_of(time);
       auto it = spf_cache_.find(key);
       if (it != spf_cache_.end()) return it->second;
     }

@@ -12,6 +12,8 @@
 // events.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -97,6 +99,25 @@ class OspfSim {
   /// Complete change history (ordered per link, globally unsorted).
   const std::vector<WeightChange>& change_log() const noexcept { return log_; }
 
+  /// Routing epoch at `time`: the number of distinct weight-change instants
+  /// at or before it. The counter is constant between changes and advances
+  /// exactly when routing state can differ, so anything derived purely from
+  /// paths-as-of-t (SPF results, spatial projections) is a function of its
+  /// epoch — the memo key of the SPF cache and the JoinCache. Lock-free
+  /// read of state mutated only by set_weight(), which must not race with
+  /// queries (the class's standing replay-then-diagnose contract).
+  std::size_t epoch_at(util::TimeSec time) const noexcept {
+    return static_cast<std::size_t>(
+        std::upper_bound(epoch_times_.begin(), epoch_times_.end(), time) -
+        epoch_times_.begin());
+  }
+
+  /// Bumped whenever set_weight() records a change at or before an already
+  /// recorded instant: epochs at later times renumber (or a boundary changes
+  /// meaning), so previously computed epoch numbers go stale. Cache keys
+  /// pair the epoch with this generation so stale numbers never alias.
+  std::uint64_t epoch_generation() const noexcept { return epoch_generation_; }
+
   /// Disables/enables SPF memoization (enabled by default). The ablation
   /// benches use this to measure the raw route-reconstruction cost that
   /// dominated the paper's CDN diagnosis times.
@@ -117,26 +138,26 @@ class OspfSim {
   };
   static constexpr int kUnreachable = std::numeric_limits<int>::max();
 
-  /// Memoized SPF: results are keyed by (src, weight-epoch). An epoch is the
-  /// span between consecutive weight-change instants, during which the whole
-  /// topology is static — the dominant query pattern (spatial projections
-  /// repeatedly reconstruct paths around the same incidents) hits the cache.
-  /// The cache is cleared on every set_weight.
+  /// Memoized SPF: results are keyed by (src, weight-epoch) — see
+  /// epoch_at(). The dominant query pattern (spatial projections repeatedly
+  /// reconstructing paths around the same incidents) hits the cache. The
+  /// cache is cleared on every set_weight.
   std::shared_ptr<const SpfResult> run_spf(topology::RouterId src,
                                            util::TimeSec time) const;
   SpfResult compute_spf(topology::RouterId src, util::TimeSec time) const;
-  std::size_t epoch_of(util::TimeSec time) const;
 
   const topology::Network& net_;
   /// Per-link ordered history of (time, weight); first entry is the initial
   /// weight at time -inf.
   std::vector<std::vector<std::pair<util::TimeSec, int>>> history_;
   std::vector<WeightChange> log_;
+  /// Sorted distinct change instants, maintained eagerly by set_weight() so
+  /// epoch_at() reads without locking.
+  std::vector<util::TimeSec> epoch_times_;
+  std::uint64_t epoch_generation_ = 0;
   /// Guards the memoization state below; compute_spf itself runs outside
   /// the lock (concurrent misses may duplicate work, which is harmless).
   mutable std::mutex cache_mutex_;
-  mutable std::vector<util::TimeSec> epoch_times_;  // sorted, lazily rebuilt
-  mutable bool epochs_dirty_ = false;
   mutable bool cache_enabled_ = true;
   mutable std::unordered_map<std::uint64_t,
                              std::shared_ptr<const SpfResult>>
