@@ -56,10 +56,28 @@ Pipeline::Pipeline(const topology::Network& net,
   store_.warm();
 }
 
+Pipeline::Pipeline(const topology::Network& net,
+                   const telemetry::RecordStream& raw,
+                   std::shared_ptr<const core::EventStoreView> events)
+    : net_(net),
+      index_(build_index(net, raw, feed_health_)),
+      routing_(net),
+      external_(std::move(events)),
+      mapper_(net, routing_.ospf(), routing_.bgp()) {
+  {
+    obs::ScopedSpan span("routing-replay");
+    routing_.replay(index_.all());
+  }
+  if (!index_.all().empty()) {
+    feed_health_.observe_clock(index_.all().back().utc);
+  }
+  external_->warm();
+}
+
 std::vector<core::Diagnosis> Pipeline::diagnose_all(core::DiagnosisGraph graph,
                                                     unsigned threads) const {
   obs::ScopedSpan span("diagnose");
-  core::RcaEngine engine(std::move(graph), store_, mapper_);
+  core::RcaEngine engine(std::move(graph), events(), mapper_);
   return engine.diagnose_all(threads);
 }
 
@@ -76,11 +94,11 @@ std::vector<std::vector<core::Diagnosis>> Pipeline::diagnose_apps(
   // Warm once from this thread; the applications then share read-only
   // store/mapper state. Each application runs serially within its task —
   // the fan-out here is across applications.
-  store_.warm();
+  events().warm();
   util::ThreadPool pool(
       static_cast<unsigned>(std::min<std::size_t>(threads, graphs.size())));
   pool.parallel_for(0, graphs.size(), [&](std::size_t i) {
-    core::RcaEngine engine(std::move(graphs[i]), store_, mapper_);
+    core::RcaEngine engine(std::move(graphs[i]), events(), mapper_);
     out[i] = engine.diagnose_all();
   });
   return out;

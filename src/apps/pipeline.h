@@ -8,6 +8,7 @@
 // runs on top of one Pipeline instance.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "collector/extract.h"
@@ -30,11 +31,27 @@ class Pipeline {
            collector::ExtractOptions options = {},
            std::vector<topology::RouterId> egress_observers = {});
 
+  /// External-store mode: events come from `events` (e.g. a
+  /// storage::PersistentEventStore opened from disk) instead of being
+  /// re-extracted from the raw stream. The raw stream is still replayed to
+  /// rebuild the routing view the LocationMapper joins against — that is
+  /// collector state, not event state — but the extraction stage (the
+  /// expensive part of ingest) is skipped entirely. Diagnosis over the
+  /// external view is byte-identical to a fresh-extraction run over the
+  /// same corpus.
+  Pipeline(const topology::Network& net, const telemetry::RecordStream& raw,
+           std::shared_ptr<const core::EventStoreView> events);
+
   const topology::Network& network() const noexcept { return net_; }
   const collector::RecordIndex& index() const noexcept { return index_; }
   const collector::RebuiltRouting& routing() const noexcept { return routing_; }
   core::EventStore& store() noexcept { return store_; }
   const core::EventStore& store() const noexcept { return store_; }
+  /// The event view diagnosis runs against: the external store when one
+  /// was supplied, the pipeline's own in-memory store otherwise.
+  const core::EventStoreView& events() const noexcept {
+    return external_ ? *external_ : store_;
+  }
   const core::LocationMapper& mapper() const noexcept { return mapper_; }
 
   /// Per-source ingest health, accumulated while the archive was replayed
@@ -67,6 +84,7 @@ class Pipeline {
   collector::RecordIndex index_;
   collector::RebuiltRouting routing_;
   core::EventStore store_;
+  std::shared_ptr<const core::EventStoreView> external_;  // may be null
   core::LocationMapper mapper_;
 };
 

@@ -7,6 +7,7 @@
 #include <chrono>
 
 #include "obs/span.h"
+#include "storage/event_log.h"
 
 namespace grca::apps {
 
@@ -27,6 +28,24 @@ StreamingRca::StreamingRca(const topology::Network& net,
         "StreamingRca: freeze_horizon must exceed the flap pairing window "
         "(+2 min slack), or flaps spanning the horizon would be lost");
   }
+  // Resume before metrics enable so reloaded events are not double-counted
+  // as fresh extractions, and before the engine exists so the store is
+  // settled when diagnosis state initializes.
+  if (!options_.persist_dir.empty()) {
+    storage::SealedLoad sealed =
+        storage::load_sealed_events(options_.persist_dir);
+    // The crash-torn WAL is discarded: everything past the last seal is
+    // re-derived from the re-fed stream (extract_floor_ gates duplicates).
+    persist_ = std::make_unique<storage::EventLogWriter>(
+        options_.persist_dir, /*discard_wal=*/true);
+    if (sealed.watermark) {
+      for (core::EventInstance& e : sealed.events) store_.add(std::move(e));
+      store_.warm();
+      extract_floor_ = *sealed.watermark;
+      last_seal_cut_ = *sealed.watermark;
+      resumed_from_ = sealed.watermark;
+    }
+  }
   store_.enable_metrics(obs::registry_ptr());
   if (obs::MetricsRegistry* reg = obs::registry_ptr()) {
     freeze_lag_gauge_ = &reg->gauge("grca_streaming_freeze_lag_seconds");
@@ -38,6 +57,18 @@ StreamingRca::StreamingRca(const topology::Network& net,
   }
   engine_ = std::make_unique<core::RcaEngine>(std::move(graph), store_,
                                               mapper_);
+  if (resumed_from_) {
+    // Position the diagnosis cursor exactly where the killed incarnation
+    // left off: at seal time (watermark W) every symptom starting before
+    // W - settle had been diagnosed — the seal runs after diagnose_ready
+    // within the same advance().
+    auto symptoms = store_.all(engine_->graph().root());
+    TimeSec ready = *resumed_from_ - options_.settle;
+    while (diagnose_cursor_ < symptoms.size() &&
+           symptoms[diagnose_cursor_].when.start < ready) {
+      ++diagnose_cursor_;
+    }
+  }
   if (options_.workers > 1) {
     jobs_ = std::make_unique<util::BoundedQueue<DiagnosisJob>>(
         std::size_t{4} * options_.workers);
@@ -97,11 +128,16 @@ void StreamingRca::freeze_until(TimeSec new_cut) {
             &*first, static_cast<std::size_t>(buffer_.end() - first)),
         scratch);
   }
-  TimeSec effective_from = std::max(frozen_cut_, context_from);
+  // extract_floor_ additionally masks the region a resumed engine already
+  // reloaded from sealed segments — re-extracted twins of persisted events
+  // must not re-enter the store (or the log).
+  TimeSec effective_from =
+      std::max({frozen_cut_, context_from, extract_floor_});
   for (const std::string& name : scratch.event_names()) {
     for (const core::EventInstance& e : scratch.all(name)) {
       if (e.when.start >= effective_from && e.when.start < new_cut) {
         store_.add(e);
+        if (persist_) persist_->append(e);
       }
     }
   }
@@ -220,8 +256,16 @@ std::vector<core::Diagnosis> StreamingRca::advance(TimeSec now) {
   }
   update_freeze_lag();
   feed_health_.observe_clock(now);
-  obs::ScopedSpan span("stream-diagnose");
-  return diagnose_ready(frozen_cut_ - options_.settle);
+  std::vector<core::Diagnosis> out;
+  {
+    obs::ScopedSpan span("stream-diagnose");
+    out = diagnose_ready(frozen_cut_ - options_.settle);
+  }
+  // Seal only after the diagnosis pass: the resume logic depends on every
+  // symptom older than watermark - settle having been diagnosed by the
+  // time the watermark hits disk.
+  maybe_seal(/*force=*/false);
+  return out;
 }
 
 std::vector<core::Diagnosis> StreamingRca::drain() {
@@ -231,8 +275,32 @@ std::vector<core::Diagnosis> StreamingRca::drain() {
     freeze_until(high_water_ + 1);
   }
   update_freeze_lag();
-  obs::ScopedSpan span("stream-diagnose");
-  return diagnose_ready(std::numeric_limits<TimeSec>::max());
+  std::vector<core::Diagnosis> out;
+  {
+    obs::ScopedSpan span("stream-diagnose");
+    out = diagnose_ready(std::numeric_limits<TimeSec>::max());
+  }
+  maybe_seal(/*force=*/true);
+  return out;
+}
+
+void StreamingRca::maybe_seal(bool force) {
+  constexpr TimeSec kNever = std::numeric_limits<TimeSec>::min();
+  if (!persist_ || frozen_cut_ == kNever) return;
+  if (!force) {
+    // Establish the cadence baseline on the first freeze instead of
+    // writing an empty segment at stream start.
+    if (last_seal_cut_ == kNever) {
+      last_seal_cut_ = frozen_cut_;
+      return;
+    }
+    if (frozen_cut_ - last_seal_cut_ < options_.persist_seal_every) return;
+  }
+  // Nothing new and no watermark progress: a seal would only add an empty
+  // segment carrying information already on disk (keeps drain idempotent).
+  if (persist_->pending() == 0 && last_seal_cut_ == frozen_cut_) return;
+  persist_->seal(frozen_cut_);
+  last_seal_cut_ = frozen_cut_;
 }
 
 void StreamingRca::update_freeze_lag() {

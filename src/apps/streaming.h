@@ -17,7 +17,9 @@
 // interval.
 #pragma once
 
+#include <filesystem>
 #include <memory>
+#include <optional>
 #include <set>
 #include <thread>
 
@@ -27,6 +29,10 @@
 #include "core/engine.h"
 #include "obs/feed_health.h"
 #include "util/thread_pool.h"
+
+namespace grca::storage {
+class EventLogWriter;
+}  // namespace grca::storage
 
 namespace grca::apps {
 
@@ -45,6 +51,19 @@ struct StreamingOptions {
   /// same order as the serial run regardless of worker count.
   unsigned workers = 1;
   collector::ExtractOptions extract;
+  /// Write-ahead persistence (empty = off): every frozen event is appended
+  /// to the segmented event log at this directory the moment it enters the
+  /// store, and the log is sealed into an indexed segment every
+  /// `persist_seal_every` stream-seconds of freeze progress (and on
+  /// drain()). If the directory already holds sealed segments, the engine
+  /// *resumes*: sealed events reload into the store, extraction of the
+  /// already-persisted region is suppressed, and the diagnosis cursor
+  /// skips symptoms the previous incarnation already reported — re-feeding
+  /// the same raw stream then yields exactly the diagnoses the killed run
+  /// never got to emit. A leftover WAL (torn by the crash) is discarded:
+  /// its events are re-derived from the stream.
+  std::filesystem::path persist_dir;
+  util::TimeSec persist_seal_every = util::kHour;
 };
 
 class StreamingRca {
@@ -87,6 +106,12 @@ class StreamingRca {
     return feed_health_;
   }
 
+  /// The sealed watermark this engine resumed from, when persistence found
+  /// an existing log (nullopt on a fresh start or without persistence).
+  std::optional<util::TimeSec> resumed_from() const noexcept {
+    return resumed_from_;
+  }
+
  private:
   /// Extracts events from the buffered records and freezes those starting
   /// in [frozen_cut_, new_cut).
@@ -98,6 +123,9 @@ class StreamingRca {
   std::vector<core::Diagnosis> diagnose_ready(util::TimeSec ready_cut);
   /// Publishes high_water - frozen_cut to the freeze-lag gauge.
   void update_freeze_lag();
+  /// Seals the persistence log at the current freeze cut when the seal
+  /// cadence has elapsed (`force` ignores the cadence — drain()).
+  void maybe_seal(bool force);
 
   /// Join state for one in-flight diagnosis batch (defined in streaming.cpp).
   struct Batch;
@@ -118,6 +146,15 @@ class StreamingRca {
   core::LocationMapper mapper_;
   core::EventStore store_;
   std::unique_ptr<core::RcaEngine> engine_;
+
+  /// Write-ahead persistence (see StreamingOptions::persist_dir); null
+  /// when persistence is off. Complete type only in streaming.cpp.
+  std::unique_ptr<storage::EventLogWriter> persist_;
+  /// Events starting before this are already sealed on disk (resume):
+  /// extraction re-derives but does not re-add or re-append them.
+  util::TimeSec extract_floor_ = std::numeric_limits<util::TimeSec>::min();
+  util::TimeSec last_seal_cut_ = std::numeric_limits<util::TimeSec>::min();
+  std::optional<util::TimeSec> resumed_from_;
 
   /// Worker stage between event ingestion and diagnosis: ingestion (the
   /// caller's thread) produces frozen symptom batches into the bounded

@@ -9,7 +9,7 @@
 namespace grca::core {
 
 std::optional<CalibrationResult> calibrate_temporal(
-    const EventStore& store, const LocationMapper& mapper,
+    const EventStoreView& store, const LocationMapper& mapper,
     const std::string& symptom, const std::string& diagnostic,
     LocationType join_level, const CalibrationOptions& options) {
   // Lag of the nearest spatially-joined diagnostic per symptom instance.

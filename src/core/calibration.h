@@ -49,7 +49,7 @@ struct CalibrationResult {
 /// when fewer than min_samples co-occurrences exist — calibration then has
 /// no basis and the operator's timer-derived margins should stand.
 std::optional<CalibrationResult> calibrate_temporal(
-    const EventStore& store, const LocationMapper& mapper,
+    const EventStoreView& store, const LocationMapper& mapper,
     const std::string& symptom, const std::string& diagnostic,
     LocationType join_level, const CalibrationOptions& options = {});
 

@@ -29,7 +29,7 @@ bool Diagnosis::has_evidence(const std::string& event) const noexcept {
   return false;
 }
 
-RcaEngine::RcaEngine(DiagnosisGraph graph, const EventStore& store,
+RcaEngine::RcaEngine(DiagnosisGraph graph, const EventStoreView& store,
                      const LocationMapper& mapper)
     : graph_(std::move(graph)),
       store_(store),

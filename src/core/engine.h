@@ -59,11 +59,13 @@ struct Diagnosis {
 
 class RcaEngine {
  public:
-  /// The engine reads events from `store` and resolves spatial joins through
-  /// `mapper`; both must outlive the engine. The diagnosis graph is copied
-  /// (it is small configuration data; owning it removes a lifetime trap for
-  /// callers that build graphs inline).
-  RcaEngine(DiagnosisGraph graph, const EventStore& store,
+  /// The engine reads events from `store` — any EventStoreView backend: the
+  /// in-memory store or the mmap-backed persistent store, with identical
+  /// results — and resolves spatial joins through `mapper`; both must
+  /// outlive the engine. The diagnosis graph is copied (it is small
+  /// configuration data; owning it removes a lifetime trap for callers that
+  /// build graphs inline).
+  RcaEngine(DiagnosisGraph graph, const EventStoreView& store,
             const LocationMapper& mapper);
 
   /// Diagnoses a single symptom instance (its name must equal graph root).
@@ -110,7 +112,7 @@ class RcaEngine {
             JoinScratch& scratch) const;
 
   const DiagnosisGraph graph_;
-  const EventStore& store_;
+  const EventStoreView& store_;
   const LocationMapper& mapper_;
   std::unique_ptr<JoinCache> join_cache_;
   bool join_cache_enabled_ = true;

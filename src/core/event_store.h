@@ -28,7 +28,53 @@
 
 namespace grca::core {
 
-class EventStore {
+/// The read-side contract every event-store backend satisfies: the
+/// in-memory EventStore below and the mmap-backed
+/// storage::PersistentEventStore. The RCA engine, calibration and the
+/// applications program against this view, so a diagnosis run is
+/// backend-agnostic — and byte-identical across backends, because every
+/// implementation returns instances in the same (start, insertion) order.
+///
+/// Implementations inherit the freeze-then-query threading contract:
+/// after warm() returns (and until the backend mutates), every method here
+/// is safe to call from any number of threads concurrently.
+class EventStoreView {
+ public:
+  virtual ~EventStoreView() = default;
+
+  /// Brings the view to its frozen, concurrently-queryable state.
+  virtual void warm() const = 0;
+
+  /// Allocation-free window query: clears `out` (capacity kept) and appends
+  /// pointers to all instances of `name` overlapping [from, to] — i.e.
+  /// start <= to and end >= from — in start-time order; returns how many.
+  virtual std::size_t query_into(
+      const std::string& name, util::TimeSec from, util::TimeSec to,
+      std::vector<const EventInstance*>& out) const = 0;
+
+  /// Convenience wrapper over query_into.
+  std::vector<const EventInstance*> query(const std::string& name,
+                                          util::TimeSec from,
+                                          util::TimeSec to) const {
+    std::vector<const EventInstance*> out;
+    query_into(name, from, to, out);
+    return out;
+  }
+
+  /// The interning table covering every instance's location; internally
+  /// synchronized (the JoinCache interns projection results concurrently).
+  virtual LocationTable& locations() const noexcept = 0;
+
+  /// All instances of `name` in start-time order (empty span if none).
+  virtual std::span<const EventInstance> all(const std::string& name) const = 0;
+
+  /// Every distinct event name present, sorted.
+  virtual std::vector<std::string> event_names() const = 0;
+
+  virtual std::size_t total_instances() const noexcept = 0;
+};
+
+class EventStore : public EventStoreView {
  public:
   /// Adds one instance. Instances may arrive in any order; the index is
   /// (re)sorted lazily on first query after a mutation. Throws ConfigError
@@ -38,7 +84,7 @@ class EventStore {
   /// Sorts every dirty bucket now and interns every instance location into
   /// locations(). After this returns — and until the next add() — queries
   /// are read-only and safe from concurrent threads.
-  void warm() const;
+  void warm() const override;
 
   /// warm() plus a permanent write lock: any later add() throws ConfigError.
   /// Call once ingestion is complete and before sharing the store across
@@ -74,21 +120,21 @@ class EventStore {
   /// returns the number of instances appended.
   std::size_t query_into(const std::string& name, util::TimeSec from,
                          util::TimeSec to,
-                         std::vector<const EventInstance*>& out) const;
+                         std::vector<const EventInstance*>& out) const override;
 
   /// The interning table covering every stored instance's location once the
   /// store has been warmed (instances added later are interned by the next
   /// warm()). The table itself is internally synchronized — the JoinCache
   /// also interns projection results into it during concurrent diagnosis.
-  LocationTable& locations() const noexcept { return *locations_; }
+  LocationTable& locations() const noexcept override { return *locations_; }
 
   /// All instances of `name` in start-time order (empty span if none).
-  std::span<const EventInstance> all(const std::string& name) const;
+  std::span<const EventInstance> all(const std::string& name) const override;
 
   /// Every distinct event name present.
-  std::vector<std::string> event_names() const;
+  std::vector<std::string> event_names() const override;
 
-  std::size_t total_instances() const noexcept { return total_; }
+  std::size_t total_instances() const noexcept override { return total_; }
 
  private:
   struct Bucket {

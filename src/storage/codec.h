@@ -1,0 +1,92 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The binary codec for EventInstance and the CRC32C frame that wraps every
+// record on disk (docs/STORAGE.md has the byte-level diagram).
+//
+// Payload layout (all integers little-endian, strings length-prefixed):
+//
+//   u32 name_len, name bytes
+//   i64 when.start, i64 when.end
+//   u8  location type
+//   u32 a_len, a | u32 b_len, b | u32 c_len, c
+//   u32 attr_count, then per attr (map order = sorted keys, so encoding is
+//   deterministic): u32 key_len, key | u32 value_len, value
+//
+// `where_id` is cache bookkeeping and is deliberately NOT serialized —
+// decoded instances come back with kInvalidLocId, exactly like an instance
+// the in-memory store has not interned yet.
+//
+// Frame layout: u32 payload_len | u32 crc32c(payload) | payload. A frame is
+// accepted only when the length is sane, the bytes are present and the
+// checksum matches; anything else is a torn or corrupt tail.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/event.h"
+
+namespace grca::storage {
+
+/// Hard upper bound on one frame's payload (defense against interpreting
+/// corrupt length fields as multi-gigabyte allocations).
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 28;  // 256 MiB
+
+/// Bytes of frame overhead ahead of the payload (length + checksum).
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Appends the payload encoding of `e` to `out` (no frame).
+void encode_event(const core::EventInstance& e, std::vector<std::uint8_t>& out);
+
+/// Decodes one payload produced by encode_event. Throws StorageError when
+/// the bytes are malformed (truncated field, unknown location type,
+/// trailing garbage).
+core::EventInstance decode_event(std::span<const std::uint8_t> payload);
+
+/// Appends a full frame (header + payload encoding of `e`) to `out`.
+void encode_frame(const core::EventInstance& e, std::vector<std::uint8_t>& out);
+
+/// The result of probing one frame in a byte stream.
+struct FrameView {
+  std::span<const std::uint8_t> payload;  // checksum-verified payload bytes
+  std::size_t frame_bytes = 0;            // total bytes consumed (hdr+payload)
+};
+
+/// Probes `bytes` for a valid frame at offset 0. Returns nullopt when the
+/// bytes do not start with a complete, checksum-valid frame — the torn-tail
+/// signal recovery keys off; never throws.
+std::optional<FrameView> probe_frame(std::span<const std::uint8_t> bytes) noexcept;
+
+// ---- primitive little-endian writers/readers shared with the segment
+// footer codec ----
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v);
+void put_string(std::vector<std::uint8_t>& out, std::string_view s);
+
+/// Bounds-checked little-endian reader over a byte span; every getter
+/// throws StorageError past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  std::string string();
+
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+  std::size_t position() const noexcept { return pos_; }
+
+ private:
+  void need(std::size_t n) const;
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace grca::storage

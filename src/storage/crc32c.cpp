@@ -1,0 +1,69 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "storage/crc32c.h"
+
+#include <array>
+
+namespace grca::storage {
+
+namespace {
+
+/// 8 x 256 lookup tables for slice-by-eight, generated once at startup.
+/// Table 0 is the classic byte-at-a-time table; table k folds a byte that
+/// sits k positions ahead in the stream.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+
+  Tables() noexcept {
+    constexpr std::uint32_t kPoly = 0x82f63b78u;  // 0x1EDC6F41 reflected
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (c >> 1) ^ kPoly : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        c = t[0][c & 0xff] ^ (c >> 8);
+        t[k][i] = c;
+      }
+    }
+  }
+};
+
+const Tables& tables() noexcept {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::uint32_t crc, const void* data,
+                     std::size_t n) noexcept {
+  const Tables& tb = tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~crc;
+  while (n >= 8) {
+    // Little-endian-independent load: assemble the two words byte-wise so
+    // the checksum is identical on any host.
+    std::uint32_t lo = static_cast<std::uint32_t>(p[0]) |
+                       static_cast<std::uint32_t>(p[1]) << 8 |
+                       static_cast<std::uint32_t>(p[2]) << 16 |
+                       static_cast<std::uint32_t>(p[3]) << 24;
+    c ^= lo;
+    c = tb.t[7][c & 0xff] ^ tb.t[6][(c >> 8) & 0xff] ^
+        tb.t[5][(c >> 16) & 0xff] ^ tb.t[4][c >> 24] ^ tb.t[3][p[4]] ^
+        tb.t[2][p[5]] ^ tb.t[1][p[6]] ^ tb.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) {
+    c = tb.t[0][(c ^ *p++) & 0xff] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace grca::storage

@@ -1,0 +1,383 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "storage/event_log.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/span.h"
+#include "storage/codec.h"
+#include "util/error.h"
+
+namespace grca::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+fs::path segment_path(const fs::path& dir, std::uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof name, "seg-%06llu%s",
+                static_cast<unsigned long long>(seq), kSegmentExtension);
+  return dir / name;
+}
+
+/// Parses "seg-<seq>.grseg"; nullopt for anything else (tmp files, wal).
+std::optional<std::uint64_t> parse_seq(const fs::path& path) {
+  std::string name = path.filename().string();
+  const std::string prefix = "seg-";
+  const std::string ext = kSegmentExtension;
+  if (name.size() <= prefix.size() + ext.size()) return std::nullopt;
+  if (name.rfind(prefix, 0) != 0) return std::nullopt;
+  if (name.compare(name.size() - ext.size(), ext.size(), ext) != 0) {
+    return std::nullopt;
+  }
+  std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - ext.size());
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  return std::stoull(digits);
+}
+
+/// Writes `bytes` as `path` via a temp file + rename, so readers never see
+/// a half-written segment.
+void write_atomically(const fs::path& path,
+                      std::span<const std::uint8_t> bytes) {
+  fs::path tmp = path;
+  tmp += ".tmp";
+  write_file(tmp, bytes);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    throw StorageError("storage: rename " + tmp.string() + " -> " +
+                       path.string() + ": " + ec.message());
+  }
+}
+
+/// Groups pointers to `events` by name (names sorted) with each group in
+/// (start, input-order) order — the exact bucket order the in-memory
+/// store's stable sort produces, which is what keeps diagnosis verdicts
+/// byte-identical across backends.
+std::vector<std::pair<std::string, std::vector<const core::EventInstance*>>>
+group_for_seal(const std::vector<core::EventInstance>& events) {
+  std::vector<const core::EventInstance*> ptrs;
+  ptrs.reserve(events.size());
+  for (const core::EventInstance& e : events) ptrs.push_back(&e);
+  std::stable_sort(ptrs.begin(), ptrs.end(),
+                   [](const core::EventInstance* x,
+                      const core::EventInstance* y) {
+                     if (x->name != y->name) return x->name < y->name;
+                     return x->when.start < y->when.start;
+                   });
+  std::vector<std::pair<std::string, std::vector<const core::EventInstance*>>>
+      groups;
+  for (const core::EventInstance* e : ptrs) {
+    if (groups.empty() || groups.back().first != e->name) {
+      groups.emplace_back(e->name,
+                          std::vector<const core::EventInstance*>{});
+    }
+    groups.back().second.push_back(e);
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::vector<fs::path> list_segments(const fs::path& dir) {
+  std::vector<std::pair<std::uint64_t, fs::path>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (std::optional<std::uint64_t> seq = parse_seq(entry.path())) {
+      found.emplace_back(*seq, entry.path());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<fs::path> out;
+  out.reserve(found.size());
+  for (auto& [seq, path] : found) out.push_back(std::move(path));
+  return out;
+}
+
+EventLogWriter::EventLogWriter(const fs::path& dir, bool discard_wal)
+    : dir_(dir) {
+  fs::create_directories(dir_);
+  if (obs::MetricsRegistry* reg = obs::registry_ptr()) {
+    bytes_written_ = &reg->counter("grca_storage_bytes_written_total");
+    recovered_bytes_ = &reg->counter("grca_storage_recovered_bytes");
+    seals_ = &reg->counter("grca_storage_seals_total");
+  }
+  for (const fs::path& seg : list_segments(dir_)) {
+    next_seq_ = std::max(next_seq_, *parse_seq(seg) + 1);
+  }
+  // Recover (or discard) an existing WAL, then rewrite it normalized: the
+  // header plus exactly the re-adopted frames. Rewriting instead of
+  // truncating keeps the recovery logic in one place.
+  fs::path wal_path = dir_ / kWalName;
+  std::uint64_t dropped = 0;
+  if (fs::exists(wal_path)) {
+    std::uint64_t file_size = fs::file_size(wal_path);
+    try {
+      SegmentReader wal = SegmentReader::open(wal_path);
+      SegmentReader::Scan scan = wal.scan_frames();
+      dropped = scan.dropped_bytes;
+      if (discard_wal) {
+        dropped = file_size - kSegmentHeaderBytes;
+      } else {
+        pending_ = std::move(scan.events);
+        if (recovered_bytes_ && scan.valid_bytes > kSegmentHeaderBytes) {
+          recovered_bytes_->inc(scan.valid_bytes - kSegmentHeaderBytes);
+        }
+      }
+    } catch (const StorageError&) {
+      // Even the header is damaged (crash while creating the file): the
+      // whole thing is a torn tail.
+      dropped = file_size;
+    }
+  }
+  if (obs::MetricsRegistry* reg = obs::registry_ptr(); reg && dropped > 0) {
+    reg->counter("grca_storage_truncated_bytes").inc(dropped);
+  }
+  // Rewrite the WAL from scratch: header + re-adopted frames.
+  std::vector<std::uint8_t> image =
+      encode_segment_header(next_seq_, SegmentKind::kLive);
+  for (const core::EventInstance& e : pending_) encode_frame(e, image);
+  write_file(wal_path, image);
+  open_wal_for_append(image.size());
+}
+
+void EventLogWriter::open_wal_for_append(std::uint64_t at) {
+  wal_.close();
+  wal_.clear();
+  wal_.open(dir_ / kWalName, std::ios::binary | std::ios::in | std::ios::out);
+  if (!wal_) {
+    throw StorageError("storage: cannot open WAL for append in " +
+                       dir_.string());
+  }
+  wal_.seekp(static_cast<std::streamoff>(at));
+}
+
+void EventLogWriter::append(const core::EventInstance& e) {
+  scratch_.clear();
+  encode_frame(e, scratch_);
+  wal_.write(reinterpret_cast<const char*>(scratch_.data()),
+             static_cast<std::streamsize>(scratch_.size()));
+  wal_.flush();
+  if (!wal_) {
+    throw StorageError("storage: WAL append failed in " + dir_.string());
+  }
+  bytes_appended_ += scratch_.size();
+  if (bytes_written_) bytes_written_->inc(scratch_.size());
+  pending_.push_back(e);
+}
+
+std::optional<std::uint64_t> EventLogWriter::seal(util::TimeSec watermark) {
+  obs::ScopedSpan span("store-seal");
+  auto groups = group_for_seal(pending_);
+  std::vector<std::uint8_t> image =
+      encode_sealed_segment(next_seq_, watermark, groups);
+  write_atomically(segment_path(dir_, next_seq_), image);
+  if (bytes_written_) bytes_written_->inc(image.size());
+  if (seals_) seals_->inc();
+  std::uint64_t seq = next_seq_++;
+  pending_.clear();
+  // Reset the WAL for the next batch (new header carries the new seq).
+  std::vector<std::uint8_t> header =
+      encode_segment_header(next_seq_, SegmentKind::kLive);
+  write_file(dir_ / kWalName, header);
+  open_wal_for_append(header.size());
+  return seq;
+}
+
+void write_sealed_store(const fs::path& dir, const core::EventStore& store,
+                        util::TimeSec watermark) {
+  obs::ScopedSpan span("store-seal");
+  fs::create_directories(dir);
+  // Replace semantics: a store-out directory holds exactly this corpus.
+  for (const fs::path& old : list_segments(dir)) fs::remove(old);
+  fs::remove(dir / kWalName);
+  store.warm();  // buckets sorted before we stream them out
+  std::vector<std::pair<std::string, std::vector<const core::EventInstance*>>>
+      groups;
+  for (const std::string& name : store.event_names()) {
+    std::span<const core::EventInstance> bucket = store.all(name);
+    std::vector<const core::EventInstance*> ptrs;
+    ptrs.reserve(bucket.size());
+    for (const core::EventInstance& e : bucket) ptrs.push_back(&e);
+    groups.emplace_back(name, std::move(ptrs));
+  }
+  std::vector<std::uint8_t> image =
+      encode_sealed_segment(1, watermark, groups);
+  write_atomically(segment_path(dir, 1), image);
+  if (obs::MetricsRegistry* reg = obs::registry_ptr()) {
+    reg->counter("grca_storage_bytes_written_total").inc(image.size());
+    reg->counter("grca_storage_seals_total").inc();
+  }
+}
+
+SealedLoad load_sealed_events(const fs::path& dir) {
+  SealedLoad load;
+  for (const fs::path& path : list_segments(dir)) {
+    SegmentReader seg = SegmentReader::open(path);
+    if (!seg.sealed()) continue;
+    SegmentReader::Scan scan = seg.scan_frames();
+    if (scan.dropped_bytes != 0) {
+      throw StorageError("storage: sealed segment " + path.string() +
+                         " has a corrupt frame region");
+    }
+    load.events.insert(load.events.end(),
+                       std::make_move_iterator(scan.events.begin()),
+                       std::make_move_iterator(scan.events.end()));
+    if (!load.watermark || seg.footer().watermark > *load.watermark) {
+      load.watermark = seg.footer().watermark;
+    }
+    ++load.segments;
+  }
+  return load;
+}
+
+VerifyReport verify_store(const fs::path& dir) {
+  VerifyReport report;
+  if (!fs::is_directory(dir)) {
+    report.errors.push_back(dir.string() + " is not a directory");
+    return report;
+  }
+  std::vector<fs::path> paths = list_segments(dir);
+  if (fs::exists(dir / kWalName)) paths.push_back(dir / kWalName);
+  for (const fs::path& path : paths) {
+    ++report.segments;
+    SegmentReader seg;
+    try {
+      seg = SegmentReader::open(path);
+    } catch (const StorageError& e) {
+      report.errors.push_back(e.what());
+      continue;
+    }
+    report.bytes += seg.size();
+    SegmentReader::Scan scan = seg.scan_frames();
+    report.frames += scan.events.size();
+    if (!seg.sealed()) {
+      report.torn_wal_bytes += scan.dropped_bytes;
+      continue;
+    }
+    if (scan.dropped_bytes != 0) {
+      report.errors.push_back(path.string() + ": corrupt frame at offset " +
+                              std::to_string(scan.valid_bytes));
+      continue;
+    }
+    const SegmentFooter& footer = seg.footer();
+    if (scan.events.size() != footer.event_count) {
+      report.errors.push_back(
+          path.string() + ": footer claims " +
+          std::to_string(footer.event_count) + " events, found " +
+          std::to_string(scan.events.size()));
+    }
+    // Footer/frame agreement: runs must tile the frame region in name
+    // order, each sorted by start with consistent index checkpoints.
+    std::uint64_t cursor = kSegmentHeaderBytes;
+    std::size_t event_at = 0;
+    for (std::size_t r = 0; r < footer.runs.size(); ++r) {
+      const NameRun& run = footer.runs[r];
+      std::string where = path.string() + " run '" + run.name + "'";
+      if (r > 0 && !(footer.runs[r - 1].name < run.name)) {
+        report.errors.push_back(where + ": names out of order");
+      }
+      if (run.first_offset != cursor) {
+        report.errors.push_back(where + ": offset " +
+                                std::to_string(run.first_offset) +
+                                " does not tile (expected " +
+                                std::to_string(cursor) + ")");
+        break;
+      }
+      cursor += run.byte_len;
+      util::TimeSec max_duration = 0;
+      util::TimeSec prev_start =
+          std::numeric_limits<util::TimeSec>::min();
+      for (std::uint64_t i = 0; i < run.count; ++i) {
+        if (event_at >= scan.events.size()) break;
+        const core::EventInstance& e = scan.events[event_at++];
+        if (e.name != run.name) {
+          report.errors.push_back(where + ": frame " + std::to_string(i) +
+                                  " belongs to '" + e.name + "'");
+          break;
+        }
+        if (e.when.start < prev_start) {
+          report.errors.push_back(where + ": frames out of start order");
+          break;
+        }
+        prev_start = e.when.start;
+        max_duration = std::max(max_duration, e.when.duration());
+        if (i % run.block_frames == 0) {
+          const BlockEntry& block = run.blocks[i / run.block_frames];
+          if (block.first_start != e.when.start) {
+            report.errors.push_back(where + ": index block " +
+                                    std::to_string(i / run.block_frames) +
+                                    " start mismatch");
+            break;
+          }
+        }
+      }
+      if (max_duration != run.max_duration) {
+        report.errors.push_back(where + ": footer max_duration " +
+                                std::to_string(run.max_duration) +
+                                " != observed " +
+                                std::to_string(max_duration));
+      }
+    }
+    if (cursor != seg.frames_end()) {
+      report.errors.push_back(path.string() +
+                              ": runs do not cover the frame region");
+    }
+  }
+  return report;
+}
+
+std::optional<std::uint64_t> compact_store(const fs::path& dir) {
+  // Collect every event: sealed segments in sequence order, then the WAL's
+  // valid prefix. The stable per-(name,start) sort in group_for_seal keeps
+  // ties in this collection order, so merged buckets read back in exactly
+  // the order the separate segments produced.
+  std::vector<fs::path> inputs = list_segments(dir);
+  std::vector<core::EventInstance> events;
+  util::TimeSec watermark = 0;
+  for (const fs::path& path : inputs) {
+    SegmentReader seg = SegmentReader::open(path);
+    SegmentReader::Scan scan = seg.scan_frames();
+    if (seg.sealed()) {
+      if (scan.dropped_bytes != 0) {
+        throw StorageError("storage: refusing to compact corrupt segment " +
+                           path.string());
+      }
+      watermark = std::max(watermark, seg.footer().watermark);
+    }
+    events.insert(events.end(),
+                  std::make_move_iterator(scan.events.begin()),
+                  std::make_move_iterator(scan.events.end()));
+  }
+  std::uint64_t next_seq = 1;
+  fs::path wal_path = dir / kWalName;
+  if (fs::exists(wal_path)) {
+    SegmentReader wal = SegmentReader::open(wal_path);
+    SegmentReader::Scan scan = wal.scan_frames();
+    events.insert(events.end(),
+                  std::make_move_iterator(scan.events.begin()),
+                  std::make_move_iterator(scan.events.end()));
+  }
+  for (const fs::path& path : inputs) {
+    next_seq = std::max(next_seq, *parse_seq(path) + 1);
+  }
+  if (events.empty()) return std::nullopt;
+  obs::ScopedSpan span("store-compact");
+  auto groups = group_for_seal(events);
+  std::vector<std::uint8_t> image =
+      encode_sealed_segment(next_seq, watermark, groups);
+  write_atomically(segment_path(dir, next_seq), image);
+  for (const fs::path& path : inputs) fs::remove(path);
+  fs::remove(wal_path);
+  return next_seq;
+}
+
+}  // namespace grca::storage

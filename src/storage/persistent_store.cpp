@@ -1,0 +1,278 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "storage/persistent_store.h"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "storage/codec.h"
+#include "storage/event_log.h"
+#include "util/error.h"
+
+namespace grca::storage {
+
+namespace {
+
+/// Decodes exactly `count` frames starting at absolute file offset `at`,
+/// passing each to `sink`. Sealed segments are CRC-complete by
+/// construction, so an invalid frame here is corruption.
+template <typename Sink>
+void decode_run_frames(const SegmentReader& seg, std::uint64_t at,
+                       std::uint64_t count, Sink&& sink) {
+  std::span<const std::uint8_t> bytes = seg.bytes();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::optional<FrameView> frame =
+        probe_frame(bytes.subspan(at, seg.frames_end() - at));
+    if (!frame) {
+      throw StorageError("storage: corrupt frame in sealed segment " +
+                         seg.path().string() + " at offset " +
+                         std::to_string(at));
+    }
+    sink(decode_event(frame->payload));
+    at += frame->frame_bytes;
+  }
+}
+
+}  // namespace
+
+PersistentEventStore PersistentEventStore::open(
+    const std::filesystem::path& dir) {
+  obs::ScopedSpan span("store-open");
+  PersistentEventStore store;
+  store.dir_ = dir;
+
+  // Map every sealed segment; a seg-*.grseg without a valid footer lost
+  // its seal to corruption, which open() refuses (verify/compact are the
+  // repair tools).
+  for (const std::filesystem::path& path : list_segments(dir)) {
+    auto seg = std::make_unique<SegmentReader>(SegmentReader::open(path));
+    if (!seg->sealed()) {
+      throw StorageError("storage: segment " + path.string() +
+                         " has no valid footer (damaged seal)");
+    }
+    store.stats_.mapped_bytes += seg->size();
+    store.watermark_ = std::max(store.watermark_, seg->footer().watermark);
+    store.segments_.push_back(std::move(seg));
+  }
+  store.stats_.sealed_segments = store.segments_.size();
+
+  // Recover the WAL read-only: adopt the valid frame prefix, skip (and
+  // count) the torn tail. Damage before the first frame means nothing is
+  // recoverable.
+  std::vector<core::EventInstance> wal_events;
+  std::filesystem::path wal_path = dir / kWalName;
+  if (std::filesystem::exists(wal_path)) {
+    store.stats_.wal_present = true;
+    try {
+      SegmentReader wal = SegmentReader::open(wal_path);
+      SegmentReader::Scan scan = wal.scan_frames();
+      wal_events = std::move(scan.events);
+      store.stats_.recovered_bytes =
+          scan.valid_bytes > kSegmentHeaderBytes
+              ? scan.valid_bytes - kSegmentHeaderBytes
+              : 0;
+      store.stats_.truncated_bytes = scan.dropped_bytes;
+    } catch (const StorageError&) {
+      store.stats_.truncated_bytes = std::filesystem::file_size(wal_path);
+    }
+    store.stats_.wal_events = wal_events.size();
+  }
+  if (store.segments_.empty() && !store.stats_.wal_present) {
+    throw StorageError("storage: no event log at " + dir.string() +
+                       " (no segments, no WAL)");
+  }
+
+  // Per-name contributions, in segment-sequence order. std::map keeps
+  // names_ sorted for free.
+  struct Contribution {
+    std::vector<std::pair<const SegmentReader*, const NameRun*>> runs;
+    std::vector<core::EventInstance> wal_tail;
+  };
+  std::map<std::string, Contribution> by_name;
+  for (const auto& seg : store.segments_) {
+    for (const NameRun& run : seg->footer().runs) {
+      by_name[run.name].runs.emplace_back(seg.get(), &run);
+    }
+  }
+  for (core::EventInstance& e : wal_events) {
+    by_name[e.name].wal_tail.push_back(std::move(e));
+  }
+
+  for (auto& [name, contrib] : by_name) {
+    Bucket bucket;
+    for (const auto& [seg, run] : contrib.runs) {
+      bucket.max_duration = std::max(bucket.max_duration, run->max_duration);
+      store.total_ += run->count;
+    }
+    store.total_ += contrib.wal_tail.size();
+    if (contrib.runs.size() == 1 && contrib.wal_tail.empty()) {
+      // Single sealed run: serve it lazily straight off the mapping.
+      auto lazy = std::make_unique<LazyRun>();
+      lazy->seg = contrib.runs[0].first;
+      lazy->run = contrib.runs[0].second;
+      lazy->block_count = lazy->run->blocks.size();
+      lazy->slots =
+          std::make_unique<core::EventInstance[]>(lazy->slot_count());
+      lazy->block_ready =
+          std::make_unique<std::atomic<bool>[]>(lazy->block_count);
+      for (std::size_t b = 0; b < lazy->block_count; ++b) {
+        lazy->block_ready[b].store(false, std::memory_order_relaxed);
+      }
+      bucket.lazy = lazy.get();
+      store.lazy_runs_.push_back(std::move(lazy));
+    } else {
+      // Merged bucket: decode everything now, concatenated in sequence
+      // order with the WAL tail last, then stable-sort by start — the
+      // in-memory store's exact bucket order (ties keep append order).
+      for (const auto& [seg, run] : contrib.runs) {
+        decode_run_frames(*seg, run->first_offset, run->count,
+                          [&](core::EventInstance e) {
+                            bucket.merged.push_back(std::move(e));
+                          });
+      }
+      for (core::EventInstance& e : contrib.wal_tail) {
+        bucket.max_duration =
+            std::max(bucket.max_duration, e.when.duration());
+        bucket.merged.push_back(std::move(e));
+      }
+      std::stable_sort(bucket.merged.begin(), bucket.merged.end(),
+                       [](const core::EventInstance& x,
+                          const core::EventInstance& y) {
+                         return x.when.start < y.when.start;
+                       });
+      for (core::EventInstance& e : bucket.merged) {
+        e.where_id = store.locations_->intern(e.where);
+      }
+    }
+    store.names_.push_back(name);
+    store.buckets_.emplace(name, std::move(bucket));
+  }
+  store.stats_.event_count = store.total_;
+
+  if (obs::MetricsRegistry* reg = obs::registry_ptr()) {
+    reg->counter("grca_storage_opens_total").inc();
+    reg->gauge("grca_storage_segments")
+        .set(static_cast<double>(store.stats_.sealed_segments));
+    reg->gauge("grca_storage_mapped_bytes")
+        .set(static_cast<double>(store.stats_.mapped_bytes));
+    if (store.stats_.recovered_bytes > 0) {
+      reg->counter("grca_storage_recovered_bytes")
+          .inc(store.stats_.recovered_bytes);
+    }
+    if (store.stats_.truncated_bytes > 0) {
+      reg->counter("grca_storage_truncated_bytes")
+          .inc(store.stats_.truncated_bytes);
+    }
+  }
+  return store;
+}
+
+void PersistentEventStore::ensure_blocks(const LazyRun& lazy,
+                                         std::size_t first_block,
+                                         std::size_t last_block) const {
+  // Fast path: every touched block already materialized (acquire pairs
+  // with the release below, so the slots it guards are visible).
+  bool all_ready = true;
+  for (std::size_t b = first_block; b < last_block; ++b) {
+    if (!lazy.block_ready[b].load(std::memory_order_acquire)) {
+      all_ready = false;
+      break;
+    }
+  }
+  if (all_ready) return;
+
+  LazyRun& mut = const_cast<LazyRun&>(lazy);
+  std::lock_guard<std::mutex> lock(mut.decode_mutex);
+  for (std::size_t b = first_block; b < last_block; ++b) {
+    if (lazy.block_ready[b].load(std::memory_order_relaxed)) continue;
+    std::size_t slot = b * lazy.run->block_frames;
+    std::uint64_t frames =
+        std::min<std::uint64_t>(lazy.run->block_frames,
+                                lazy.run->count - slot);
+    decode_run_frames(*lazy.seg, lazy.run->blocks[b].offset, frames,
+                      [&](core::EventInstance e) {
+                        e.where_id = locations_->intern(e.where);
+                        mut.slots[slot++] = std::move(e);
+                      });
+    mut.block_ready[b].store(true, std::memory_order_release);
+  }
+}
+
+std::pair<std::size_t, std::size_t> PersistentEventStore::candidate_slots(
+    const LazyRun& lazy, util::TimeSec lo, util::TimeSec to) const {
+  const std::vector<BlockEntry>& blocks = lazy.run->blocks;
+  auto start_less = [](const BlockEntry& b, util::TimeSec v) {
+    return b.first_start < v;
+  };
+  auto start_greater = [](util::TimeSec v, const BlockEntry& b) {
+    return v < b.first_start;
+  };
+  // The block holding the first start >= lo may begin before lo, so step
+  // one block back from the partition point.
+  std::size_t b0 = static_cast<std::size_t>(
+      std::lower_bound(blocks.begin(), blocks.end(), lo, start_less) -
+      blocks.begin());
+  if (b0 > 0) --b0;
+  // Blocks whose first start already exceeds `to` cannot contribute.
+  std::size_t b1 = static_cast<std::size_t>(
+      std::upper_bound(blocks.begin(), blocks.end(), to, start_greater) -
+      blocks.begin());
+  if (b1 <= b0) return {0, 0};
+  ensure_blocks(lazy, b0, b1);
+  std::size_t first = b0 * lazy.run->block_frames;
+  std::size_t last = std::min<std::size_t>(lazy.slot_count(),
+                                           b1 * lazy.run->block_frames);
+  return {first, last};
+}
+
+std::size_t PersistentEventStore::query_into(
+    const std::string& name, util::TimeSec from, util::TimeSec to,
+    std::vector<const core::EventInstance*>& out) const {
+  out.clear();
+  auto it = buckets_.find(name);
+  if (it == buckets_.end()) return 0;
+  const Bucket& bucket = it->second;
+  // Overlap requires start <= to and end >= from; end <= start +
+  // max_duration bounds the backward scan exactly as in EventStore.
+  util::TimeSec lo = from - bucket.max_duration;
+  const core::EventInstance* base = nullptr;
+  std::size_t first = 0;
+  std::size_t last = 0;
+  if (bucket.lazy) {
+    std::tie(first, last) = candidate_slots(*bucket.lazy, lo, to);
+    base = bucket.lazy->slots.get();
+  } else {
+    base = bucket.merged.data();
+    last = bucket.merged.size();
+  }
+  auto begin = base + first;
+  auto end = base + last;
+  auto lo_it = std::lower_bound(
+      begin, end, lo, [](const core::EventInstance& e, util::TimeSec v) {
+        return e.when.start < v;
+      });
+  auto hi_it = std::upper_bound(
+      lo_it, end, to, [](util::TimeSec v, const core::EventInstance& e) {
+        return v < e.when.start;
+      });
+  out.reserve(static_cast<std::size_t>(hi_it - lo_it));
+  for (auto i = lo_it; i != hi_it; ++i) {
+    if (i->when.end >= from) out.push_back(i);
+  }
+  return out.size();
+}
+
+std::span<const core::EventInstance> PersistentEventStore::all(
+    const std::string& name) const {
+  auto it = buckets_.find(name);
+  if (it == buckets_.end()) return {};
+  const Bucket& bucket = it->second;
+  if (!bucket.lazy) return bucket.merged;
+  ensure_blocks(*bucket.lazy, 0, bucket.lazy->block_count);
+  return {bucket.lazy->slots.get(), bucket.lazy->slot_count()};
+}
+
+}  // namespace grca::storage

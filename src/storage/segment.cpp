@@ -1,0 +1,218 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "storage/segment.h"
+
+#include <algorithm>
+
+#include "storage/codec.h"
+#include "storage/crc32c.h"
+#include "util/error.h"
+
+namespace grca::storage {
+
+std::vector<std::uint8_t> encode_segment_header(std::uint64_t seq,
+                                                SegmentKind kind) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kSegmentHeaderBytes);
+  put_u32(out, kSegmentMagic);
+  put_u32(out, static_cast<std::uint32_t>(kFormatVersion) |
+                   static_cast<std::uint32_t>(kind) << 16);
+  put_u64(out, seq);
+  put_u32(out, 0);  // reserved
+  put_u32(out, crc32c(out.data(), out.size()));
+  return out;
+}
+
+namespace {
+
+/// Serializes the footer payload (everything the trailer checksums).
+std::vector<std::uint8_t> encode_footer(const SegmentFooter& footer) {
+  std::vector<std::uint8_t> out;
+  put_i64(out, footer.watermark);
+  put_u64(out, footer.event_count);
+  put_u32(out, static_cast<std::uint32_t>(footer.runs.size()));
+  for (const NameRun& run : footer.runs) {
+    put_string(out, run.name);
+    put_u64(out, run.first_offset);
+    put_u64(out, run.byte_len);
+    put_u64(out, run.count);
+    put_i64(out, run.max_duration);
+    put_u32(out, run.block_frames);
+    put_u32(out, static_cast<std::uint32_t>(run.blocks.size()));
+    for (const BlockEntry& b : run.blocks) {
+      put_i64(out, b.first_start);
+      put_u64(out, b.offset);
+    }
+  }
+  return out;
+}
+
+SegmentFooter decode_footer(std::span<const std::uint8_t> payload) {
+  ByteReader in(payload);
+  SegmentFooter footer;
+  footer.watermark = in.i64();
+  footer.event_count = in.u64();
+  std::uint32_t names = in.u32();
+  footer.runs.reserve(names);
+  for (std::uint32_t i = 0; i < names; ++i) {
+    NameRun run;
+    run.name = in.string();
+    run.first_offset = in.u64();
+    run.byte_len = in.u64();
+    run.count = in.u64();
+    run.max_duration = in.i64();
+    run.block_frames = in.u32();
+    if (run.block_frames == 0) {
+      throw StorageError("storage: footer run '" + run.name +
+                         "' has zero block size");
+    }
+    std::uint32_t blocks = in.u32();
+    run.blocks.reserve(blocks);
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      BlockEntry e;
+      e.first_start = in.i64();
+      e.offset = in.u64();
+      run.blocks.push_back(e);
+    }
+    std::uint64_t expect_blocks =
+        (run.count + run.block_frames - 1) / run.block_frames;
+    if (blocks != expect_blocks) {
+      throw StorageError("storage: footer run '" + run.name + "' has " +
+                         std::to_string(blocks) + " index blocks, expected " +
+                         std::to_string(expect_blocks));
+    }
+    footer.runs.push_back(std::move(run));
+  }
+  if (in.remaining() != 0) {
+    throw StorageError("storage: trailing bytes after segment footer");
+  }
+  return footer;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_sealed_segment(
+    std::uint64_t seq, util::TimeSec watermark,
+    const std::vector<
+        std::pair<std::string, std::vector<const core::EventInstance*>>>&
+        groups) {
+  std::vector<std::uint8_t> out = encode_segment_header(seq,
+                                                        SegmentKind::kSealed);
+  SegmentFooter footer;
+  footer.watermark = watermark;
+  for (const auto& [name, events] : groups) {
+    if (events.empty()) continue;
+    NameRun run;
+    run.name = name;
+    run.first_offset = out.size();
+    run.count = events.size();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const core::EventInstance& e = *events[i];
+      if (i % kIndexBlockFrames == 0) {
+        run.blocks.push_back(BlockEntry{e.when.start, out.size()});
+      }
+      run.max_duration = std::max(run.max_duration, e.when.duration());
+      encode_frame(e, out);
+    }
+    run.byte_len = out.size() - run.first_offset;
+    footer.event_count += run.count;
+    footer.runs.push_back(std::move(run));
+  }
+  std::vector<std::uint8_t> payload = encode_footer(footer);
+  std::uint32_t crc = crc32c(payload.data(), payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u64(out, payload.size());
+  put_u32(out, crc);
+  put_u32(out, kFooterMagic);
+  return out;
+}
+
+SegmentReader SegmentReader::open(const std::filesystem::path& path) {
+  SegmentReader seg;
+  seg.path_ = path;
+  seg.file_ = MappedFile::open(path);
+  std::span<const std::uint8_t> bytes = seg.file_.bytes();
+  if (bytes.size() < kSegmentHeaderBytes) {
+    throw StorageError("storage: " + path.string() +
+                       " is too short for a segment header");
+  }
+  if (crc32c(bytes.data(), kSegmentHeaderBytes - 4) !=
+      ByteReader(bytes.subspan(kSegmentHeaderBytes - 4, 4)).u32()) {
+    throw StorageError("storage: " + path.string() +
+                       " segment header checksum mismatch");
+  }
+  ByteReader in(bytes.first(kSegmentHeaderBytes));
+  if (in.u32() != kSegmentMagic) {
+    throw StorageError("storage: " + path.string() +
+                       " is not a grca segment (bad magic)");
+  }
+  std::uint32_t ver_kind = in.u32();
+  std::uint16_t version = static_cast<std::uint16_t>(ver_kind);
+  if (version != kFormatVersion) {
+    throw StorageError("storage: " + path.string() + " is format v" +
+                       std::to_string(version) + "; this build reads v" +
+                       std::to_string(kFormatVersion));
+  }
+  seg.kind_ = static_cast<SegmentKind>(ver_kind >> 16);
+  seg.seq_ = in.u64();
+  seg.frames_end_ = bytes.size();
+
+  // Sealed detection: a valid trailer at EOF whose footer checksums clean.
+  if (bytes.size() >= kSegmentHeaderBytes + kFooterTrailerBytes) {
+    std::span<const std::uint8_t> trailer =
+        bytes.last(kFooterTrailerBytes);
+    ByteReader tr(trailer);
+    std::uint64_t footer_len = tr.u64();
+    std::uint32_t footer_crc = tr.u32();
+    std::uint32_t magic = tr.u32();
+    if (magic == kFooterMagic &&
+        footer_len <= bytes.size() - kSegmentHeaderBytes -
+                          kFooterTrailerBytes) {
+      std::size_t footer_at =
+          bytes.size() - kFooterTrailerBytes - footer_len;
+      std::span<const std::uint8_t> payload =
+          bytes.subspan(footer_at, footer_len);
+      if (crc32c(payload.data(), payload.size()) == footer_crc) {
+        seg.footer_ = decode_footer(payload);
+        seg.sealed_ = true;
+        seg.frames_end_ = footer_at;
+      }
+    }
+  }
+  return seg;
+}
+
+const SegmentFooter& SegmentReader::footer() const {
+  if (!sealed_) {
+    throw StorageError("storage: " + path_.string() +
+                       " is not sealed (no footer)");
+  }
+  return footer_;
+}
+
+SegmentReader::Scan SegmentReader::scan_frames() const {
+  Scan scan;
+  std::span<const std::uint8_t> bytes = file_.bytes();
+  std::uint64_t at = kSegmentHeaderBytes;
+  while (at < frames_end_) {
+    std::optional<FrameView> frame =
+        probe_frame(bytes.subspan(at, frames_end_ - at));
+    if (!frame) break;
+    core::EventInstance e;
+    try {
+      e = decode_event(frame->payload);
+    } catch (const StorageError&) {
+      // Checksum-valid but semantically malformed (e.g. hand-edited file):
+      // treat like a torn tail rather than crashing recovery.
+      break;
+    }
+    scan.events.push_back(std::move(e));
+    at += frame->frame_bytes;
+  }
+  scan.valid_bytes = at;
+  scan.dropped_bytes = frames_end_ - at;
+  return scan;
+}
+
+}  // namespace grca::storage

@@ -8,13 +8,18 @@
 //
 //   grca simulate --study bgp|cdn|pim|innet --out DIR
 //                 [--days N] [--symptoms N] [--seed S] [--paper-scale]
+//                 [--store-out DIR]
 //       Generate a synthetic ISP + study workload; write the router config
 //       snapshots, the layer-1 inventory, the raw telemetry archive and the
-//       ground-truth labels under DIR.
+//       ground-truth labels under DIR. --store-out additionally runs the
+//       collector once and persists the extracted event store as a sealed
+//       segmented event log (see docs/STORAGE.md), which `diagnose --store`
+//       can reopen without re-extracting.
 //
 //   grca diagnose --study bgp|cdn|pim|innet --data DIR
 //                 [--dsl FILE]... [--threads N] [--trend] [--score]
-//                 [--drill CAUSE] [--metrics-out FILE]
+//                 [--drill CAUSE] [--metrics-out FILE] [--store DIR]
+//                 [--span-log FILE]
 //       Rebuild the network from DIR's configs, replay the telemetry
 //       archive, run the study's RCA application (plus any extra DSL
 //       files), and print the root-cause breakdown. --threads fans
@@ -23,7 +28,10 @@
 //       compares against DIR/truth.tsv; --drill prints one drill-down for
 //       the given diagnosed cause ("unknown" works). --metrics-out dumps
 //       the metrics registry after the run (FILE ending in .json selects
-//       JSON, anything else Prometheus text).
+//       JSON, anything else Prometheus text). --store serves events from a
+//       persisted event log (mmap-backed) instead of re-extracting them —
+//       verdicts are byte-identical either way. --span-log records stage
+//       spans as JSONL (convert with `grca spans`).
 //
 //   grca metrics --study bgp|cdn|pim|innet --data DIR [--threads N]
 //                [--format prometheus|json]
@@ -49,6 +57,19 @@
 //       plus a streaming-vs-batch verdict diff. Exits nonzero when a check
 //       fails or the sustained rate is below --min-rate.
 //
+//   grca store inspect|verify|compact --dir DIR
+//       Operate on a persisted event log. `inspect` prints per-segment
+//       summaries (sequence, events, names, watermark, bytes). `verify`
+//       runs the full integrity sweep — header/footer/frame CRCs plus
+//       footer/frame agreement — and exits nonzero on any corruption.
+//       `compact` folds every sealed segment plus the WAL's valid prefix
+//       into one segment (query results unchanged).
+//
+//   grca spans --in FILE [--out FILE]
+//       Convert a span JSONL log (from --span-log) into a Chrome trace
+//       file: load the output into chrome://tracing or https://ui.perfetto.dev
+//       for a flame-style view of the run's stages.
+//
 //   grca version
 //       Print the build version (also: grca --version).
 
@@ -72,7 +93,10 @@
 #include "core/trending.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "simulation/archive.h"
+#include "storage/event_log.h"
+#include "storage/persistent_store.h"
 #include "simulation/workloads.h"
 #include "topology/topo_gen.h"
 
@@ -92,19 +116,22 @@ namespace {
       R"(usage:
   grca dump-library
   grca simulate --study bgp|cdn|pim|innet --out DIR [--days N] [--symptoms N]
-                [--seed S] [--paper-scale]
+                [--seed S] [--paper-scale] [--store-out DIR]
   grca diagnose --study bgp|cdn|pim|innet --data DIR [--dsl FILE]...
                 [--threads N] [--trend] [--score] [--drill CAUSE]
-                [--metrics-out FILE]
+                [--metrics-out FILE] [--store DIR] [--span-log FILE]
   grca metrics --study bgp|cdn|pim|innet --data DIR [--threads N]
-               [--format prometheus|json]
+               [--format prometheus|json] [--store DIR]
   grca calibrate --study bgp|cdn|pim --data DIR --symptom EVENT
                  --diagnostic EVENT --join LEVEL
   grca replay [--study bgp|cdn|pim|innet] [--data DIR] [--rate N[x]|max]
               [--ingest-threads N] [--workers N] [--tick SEC]
               [--source-lag SEC] [--jitter SEC] [--seed S] [--days N]
               [--symptoms N] [--report-out FILE] [--metrics-out FILE]
-              [--min-rate RECORDS_PER_MIN] [--no-truth]
+              [--min-rate RECORDS_PER_MIN] [--no-truth] [--persist DIR]
+              [--persist-seal-every SEC]
+  grca store inspect|verify|compact --dir DIR
+  grca spans --in FILE [--out FILE]
   grca version
 )";
   std::exit(2);
@@ -258,6 +285,16 @@ sim::ReplayCorpus generate_corpus(const Args& args, const std::string& study,
                            std::move(result.truth)};
 }
 
+/// Routers at which BGP egress changes are evaluated for a study (the CDN
+/// study watches its ingress routers; other studies need none).
+std::vector<topology::RouterId> observers_for(const std::string& study,
+                                              const topology::Network& net) {
+  if (study == "cdn" && !net.cdn_nodes().empty()) {
+    return net.cdn_nodes().front().ingress_routers;
+  }
+  return {};
+}
+
 int cmd_simulate(const Args& args) {
   std::string study = args.get("study");
   fs::path out(args.get("out"));
@@ -266,6 +303,25 @@ int cmd_simulate(const Args& args) {
   std::cout << "wrote " << corpus.network.routers().size() << " configs, "
             << corpus.records.size() << " records, " << corpus.truth.size()
             << " truth labels under " << out.string() << "\n";
+  if (auto it = args.values.find("store-out"); it != args.values.end()) {
+    fs::path store_dir(it->second.back());
+    apps::Pipeline pipeline(corpus.network, corpus.records,
+                            collector::ExtractOptions{},
+                            observers_for(study, corpus.network));
+    const core::EventStore& store = pipeline.store();
+    // Batch extraction is complete, so the watermark is one past the last
+    // event start: everything on disk is final.
+    util::TimeSec watermark = 0;
+    for (const std::string& name : store.event_names()) {
+      for (const core::EventInstance& e : store.all(name)) {
+        watermark = std::max(watermark, e.when.start + 1);
+      }
+    }
+    storage::write_sealed_store(store_dir, store, watermark);
+    std::cout << "persisted " << store.total_instances() << " events ("
+              << store.event_names().size() << " names) to "
+              << store_dir.string() << "\n";
+  }
   return 0;
 }
 
@@ -286,15 +342,27 @@ StudyRun run_study(const Args& args) {
   fs::path data(args.get("data"));
   run.hooks = hooks_for(study);
 
+  if (auto it = args.values.find("span-log"); it != args.values.end()) {
+    if (!obs::set_span_log(it->second.back())) {
+      usage("cannot write span log " + it->second.back());
+    }
+  }
+
   run.corpus =
       std::make_unique<sim::ReplayCorpus>(sim::read_corpus(data));
   const topology::Network& net = run.corpus->network;
-  std::vector<topology::RouterId> observers;
-  if (study == "cdn" && !net.cdn_nodes().empty()) {
-    observers = net.cdn_nodes().front().ingress_routers;
+  if (auto it = args.values.find("store"); it != args.values.end()) {
+    // Serve events from the persisted log (mmap-backed) instead of
+    // re-extracting; the pipeline still replays routing state.
+    auto pstore = std::make_shared<storage::PersistentEventStore>(
+        storage::PersistentEventStore::open(fs::path(it->second.back())));
+    run.pipeline = std::make_unique<apps::Pipeline>(net, run.corpus->records,
+                                                    std::move(pstore));
+  } else {
+    run.pipeline = std::make_unique<apps::Pipeline>(
+        net, run.corpus->records, collector::ExtractOptions{},
+        observers_for(study, net));
   }
-  run.pipeline = std::make_unique<apps::Pipeline>(
-      net, run.corpus->records, collector::ExtractOptions{}, observers);
 
   core::DiagnosisGraph graph = run.hooks.graph();
   if (auto it = args.values.find("dsl"); it != args.values.end()) {
@@ -447,6 +515,11 @@ int cmd_replay(const Args& args) {
   opt.source_lag = args.get_long("source-lag", 120);
   opt.record_jitter = args.get_long("jitter", 60);
   opt.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  if (auto it = args.values.find("persist"); it != args.values.end()) {
+    opt.stream.persist_dir = fs::path(it->second.back());
+    opt.stream.persist_seal_every =
+        args.get_long("persist-seal-every", util::kHour);
+  }
 
   apps::FeedReplayer replayer(corpus->network, opt);
   core::DiagnosisGraph graph = hooks.graph();
@@ -472,6 +545,126 @@ int cmd_replay(const Args& args) {
     return 1;
   }
   return report.passed() ? 0 : 1;
+}
+
+int cmd_store(const std::string& action, const Args& args) {
+  fs::path dir(args.get("dir"));
+  if (action == "verify") {
+    storage::VerifyReport report = storage::verify_store(dir);
+    std::cout << "verified " << report.segments << " segment file(s), "
+              << report.frames << " frame(s), " << report.bytes
+              << " byte(s)\n";
+    if (report.torn_wal_bytes > 0) {
+      std::cout << "torn WAL tail: " << report.torn_wal_bytes
+                << " byte(s) (recoverable — not an error)\n";
+    }
+    for (const std::string& error : report.errors) {
+      std::cerr << "corruption: " << error << "\n";
+    }
+    if (!report.ok()) {
+      std::cerr << report.errors.size() << " integrity error(s)\n";
+      return 1;
+    }
+    std::cout << "integrity OK\n";
+    return 0;
+  }
+  if (action == "compact") {
+    std::optional<std::uint64_t> seq = storage::compact_store(dir);
+    if (!seq) {
+      std::cout << "nothing to compact in " << dir.string() << "\n";
+      return 0;
+    }
+    std::cout << "compacted " << dir.string() << " into segment " << *seq
+              << "\n";
+    return 0;
+  }
+  if (action == "inspect") {
+    std::vector<fs::path> segments = storage::list_segments(dir);
+    bool wal = fs::exists(dir / storage::kWalName);
+    if (segments.empty() && !wal) {
+      std::cerr << "no event log at " << dir.string() << "\n";
+      return 1;
+    }
+    if (wal) segments.push_back(dir / storage::kWalName);
+    std::uint64_t total_events = 0;
+    for (const fs::path& path : segments) {
+      storage::SegmentReader seg = storage::SegmentReader::open(path);
+      std::cout << path.filename().string() << ": seq " << seg.seq() << ", "
+                << seg.size() << " bytes, "
+                << (seg.mapped() ? "mapped" : "heap") << ", ";
+      if (seg.sealed()) {
+        const storage::SegmentFooter& footer = seg.footer();
+        total_events += footer.event_count;
+        std::cout << "sealed: " << footer.event_count << " events across "
+                  << footer.runs.size() << " names, watermark "
+                  << footer.watermark << "\n";
+      } else {
+        storage::SegmentReader::Scan scan = seg.scan_frames();
+        total_events += scan.events.size();
+        std::cout << "live WAL: " << scan.events.size()
+                  << " valid frames";
+        if (scan.dropped_bytes > 0) {
+          std::cout << ", torn tail " << scan.dropped_bytes << " bytes";
+        }
+        std::cout << "\n";
+      }
+    }
+    std::cout << "total: " << total_events << " events in "
+              << segments.size() << " file(s)\n";
+    return 0;
+  }
+  usage("unknown store action '" + action + "'");
+}
+
+/// Extracts the integer after `"key":` in a span JSONL line (the format is
+/// fixed — written by obs/span.cpp — so a targeted scan beats a JSON
+/// parser dependency).
+bool span_field(const std::string& line, const std::string& key,
+                long long& out) {
+  std::size_t at = line.find("\"" + key + "\":");
+  if (at == std::string::npos) return false;
+  try {
+    out = std::stoll(line.substr(at + key.size() + 3));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+int cmd_spans(const Args& args) {
+  fs::path in_path(args.get("in"));
+  fs::path out_path(args.get("out", in_path.string() + ".trace.json"));
+  std::ifstream in(in_path);
+  if (!in) usage("cannot open span log " + in_path.string());
+  std::ofstream out(out_path);
+  if (!out) usage("cannot write " + out_path.string());
+  // Chrome trace format: complete ("X") events on one process/thread
+  // timeline, timestamps in microseconds since the log's epoch.
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line)) {
+    std::size_t name_at = line.find("\"span\":\"");
+    if (name_at == std::string::npos) continue;
+    name_at += 8;
+    std::size_t name_end = line.find('"', name_at);
+    long long start_us = 0;
+    long long dur_us = 0;
+    if (name_end == std::string::npos ||
+        !span_field(line, "start_us", start_us) ||
+        !span_field(line, "dur_us", dur_us)) {
+      continue;
+    }
+    if (count > 0) out << ",";
+    out << "\n{\"name\":\"" << line.substr(name_at, name_end - name_at)
+        << "\",\"ph\":\"X\",\"ts\":" << start_us << ",\"dur\":" << dur_us
+        << ",\"pid\":1,\"tid\":1}";
+    ++count;
+  }
+  out << "\n]}\n";
+  std::cout << "converted " << count << " span(s) to " << out_path.string()
+            << "\n";
+  return 0;
 }
 
 }  // namespace
@@ -500,6 +693,13 @@ int main(int argc, char** argv) {
     if (command == "replay") {
       return cmd_replay(
           Args::parse(argc, argv, 2, {"no-truth", "paper-scale"}));
+    }
+    if (command == "store") {
+      if (argc < 3) usage("store needs an action: inspect|verify|compact");
+      return cmd_store(argv[2], Args::parse(argc, argv, 3, {}));
+    }
+    if (command == "spans") {
+      return cmd_spans(Args::parse(argc, argv, 2, {}));
     }
     usage("unknown command '" + command + "'");
   } catch (const std::exception& e) {

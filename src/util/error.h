@@ -30,6 +30,15 @@ class ConfigError : public std::runtime_error {
   explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when the persistent event store encounters an on-disk problem
+/// that is not recoverable by design (I/O failure, corrupt sealed segment,
+/// format-version mismatch). Torn tails of *live* segments are NOT errors —
+/// open() truncates and continues; this covers everything else.
+class StorageError : public std::runtime_error {
+ public:
+  explicit StorageError(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Thrown when an operation is invoked in a state that violates its
 /// documented preconditions (e.g. a streaming clock moving backwards).
 /// These are caller bugs; the error pins the contract instead of letting
