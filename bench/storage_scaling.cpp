@@ -2,12 +2,17 @@
 // SPDX-License-Identifier: MIT
 //
 // Persistent event store gate: measures write-ahead append throughput,
-// sealing, and the mmap-backed cold-open query path against the in-memory
-// store on the same corpus, and fails unless (a) every windowed query
-// answers byte-identically to the in-memory reference and (b) cold open +
-// querying is faster than rebuilding the in-memory store from scratch —
-// the point of persisting at all. Reports JSON (default BENCH_storage.json)
-// for the CI artifact trail.
+// sealing (v1 row format and v2 columnar), and the mmap-backed cold-open
+// query path against the in-memory store on the same corpus. Fails unless
+//  (a) every windowed query answers byte-identically to the in-memory
+//      reference on BOTH formats,
+//  (b) cold open + querying beats rebuilding the in-memory store from
+//      scratch — the point of persisting at all, and
+//  (c) the v2 columnar reader answers the windowed-scan phase at least
+//      kRequiredMultiplier times faster than v1 on the same query list —
+//      the zone-map-skipping gate for the columnar format.
+// Reports JSON (default BENCH_storage.json) for the CI artifact trail,
+// including the zone-map skip ratio.
 
 #include <algorithm>
 #include <chrono>
@@ -28,6 +33,8 @@ namespace {
 using namespace grca;
 using util::TimeSec;
 
+constexpr double kRequiredMultiplier = 5.0;
+
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
@@ -44,6 +51,50 @@ core::EventInstance synth_event(util::Rng& rng, TimeSec base, TimeSec span) {
     e.attrs["reason"] = "code-" + std::to_string(rng.below(32));
   }
   return e;
+}
+
+struct WindowQuery {
+  std::string name;
+  TimeSec from, to;
+};
+
+/// Runs the windowed-scan phase against one store; returns wall seconds.
+double run_windowed(const core::EventStoreView& store,
+                    const std::vector<WindowQuery>& queries,
+                    std::size_t& hits) {
+  std::vector<const core::EventInstance*> got;
+  hits = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (const WindowQuery& q : queries) {
+    store.query_into(q.name, q.from, q.to, got);
+    hits += got.size();
+  }
+  return seconds_since(t0);
+}
+
+/// Re-runs the query list comparing `store` against the in-memory
+/// reference field by field (untimed).
+bool check_identical(const core::EventStoreView& store,
+                     const core::EventStore& mem,
+                     const std::vector<WindowQuery>& queries) {
+  std::vector<const core::EventInstance*> got, want;
+  for (const WindowQuery& q : queries) {
+    store.query_into(q.name, q.from, q.to, got);
+    mem.query_into(q.name, q.from, q.to, want);
+    if (got.size() != want.size()) return false;
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      if (!(*got[k] == *want[k])) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t dir_bytes(const std::filesystem::path& dir) {
+  std::uint64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
 }
 
 }  // namespace
@@ -67,86 +118,137 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < count; ++i) {
     corpus.push_back(synth_event(rng, base, span));
   }
+  const TimeSec watermark = base + span + 1;
 
-  std::filesystem::path dir =
-      std::filesystem::temp_directory_path() / "grca-bench-storage";
-  std::filesystem::remove_all(dir);
+  std::filesystem::path dir_v2 =
+      std::filesystem::temp_directory_path() / "grca-bench-storage-v2";
+  std::filesystem::path dir_v1 =
+      std::filesystem::temp_directory_path() / "grca-bench-storage-v1";
+  std::filesystem::remove_all(dir_v2);
+  std::filesystem::remove_all(dir_v1);
 
-  // Write-ahead append throughput, then seal into the indexed segment.
+  // Write-ahead append throughput, then seal into the columnar segment.
   double append_s, seal_s;
   std::uint64_t bytes_appended;
   {
-    storage::EventLogWriter writer(dir);
+    storage::EventLogWriter writer(dir_v2);  // default format: v2
     auto t0 = std::chrono::steady_clock::now();
     for (const core::EventInstance& e : corpus) writer.append(e);
     append_s = seconds_since(t0);
     bytes_appended = writer.bytes_appended();
     t0 = std::chrono::steady_clock::now();
-    writer.seal(base + span + 1);
+    writer.seal(watermark);
     seal_s = seconds_since(t0);
   }
 
   // In-memory reference: the cost a diagnosis run pays today to get a
-  // queryable store from already-extracted events.
+  // queryable store from already-extracted events. Also the source for the
+  // v1 comparison log (same bucket order as the sealed writer produces).
   auto t0 = std::chrono::steady_clock::now();
   core::EventStore mem;
   for (const core::EventInstance& e : corpus) mem.add(e);
   mem.warm();
   double build_s = seconds_since(t0);
 
-  // Cold open + windowed queries straight off the mapped segment.
   t0 = std::chrono::steady_clock::now();
-  storage::PersistentEventStore disk = storage::PersistentEventStore::open(dir);
-  double open_s = seconds_since(t0);
+  storage::write_sealed_store(dir_v1, mem, watermark,
+                              storage::SealFormat::kV1);
+  double seal_v1_s = seconds_since(t0);
 
-  constexpr int kQueries = 200;
+  // The shared windowed-scan query list: narrow windows (the diagnosis
+  // engine's shape — rule windows are minutes, not days) spread over the
+  // whole span.
+  constexpr int kWindowedQueries = 400;
   util::Rng qrng(0xC0FFEE);
-  bool identical = true;
-  std::size_t hits = 0;
-  t0 = std::chrono::steady_clock::now();
-  std::vector<const core::EventInstance*> got, want;
-  for (int q = 0; q < kQueries; ++q) {
-    std::string name = "event-" + std::to_string(qrng.below(40));
-    TimeSec from = base + qrng.range(0, span);
-    TimeSec to = from + qrng.range(300, 4 * 3600);
-    disk.query_into(name, from, to, got);
-    hits += got.size();
-    mem.query_into(name, from, to, want);
-    identical &= got.size() == want.size();
-    for (std::size_t k = 0; identical && k < got.size(); ++k) {
-      identical &= *got[k] == *want[k];
-    }
+  std::vector<WindowQuery> queries;
+  queries.reserve(kWindowedQueries);
+  for (int q = 0; q < kWindowedQueries; ++q) {
+    WindowQuery w;
+    w.name = "event-" + std::to_string(qrng.below(40));
+    w.from = base + qrng.range(0, span);
+    w.to = w.from + qrng.range(120, 900);
+    queries.push_back(w);
   }
-  double query_s = seconds_since(t0);
 
-  // Full decode (every name, every frame) — the amortized read ceiling.
+  // Cold open + windowed scans, v1 first (fresh process-state for each:
+  // every store instance starts with nothing materialized).
+  t0 = std::chrono::steady_clock::now();
+  storage::PersistentEventStore disk_v1 =
+      storage::PersistentEventStore::open(dir_v1);
+  double open_v1_s = seconds_since(t0);
+  std::size_t hits_v1 = 0;
+  double windowed_v1_s = run_windowed(disk_v1, queries, hits_v1);
+
+  t0 = std::chrono::steady_clock::now();
+  storage::PersistentEventStore disk_v2 =
+      storage::PersistentEventStore::open(dir_v2);
+  double open_v2_s = seconds_since(t0);
+  std::size_t hits_v2 = 0;
+  double windowed_v2_s = run_windowed(disk_v2, queries, hits_v2);
+
+  const auto& zone = disk_v2.query_stats();
+  std::uint64_t zone_considered =
+      zone.zone_blocks_considered.load(std::memory_order_relaxed);
+  std::uint64_t zone_skipped =
+      zone.zone_blocks_skipped.load(std::memory_order_relaxed);
+  double zone_skip_ratio =
+      zone_considered > 0
+          ? static_cast<double>(zone_skipped) / zone_considered
+          : 0.0;
+
+  // Correctness: both formats must answer every query byte-identically to
+  // the in-memory reference (fresh opens, so the timed scans above ran on
+  // exactly the state being checked here plus the cached decodes).
+  bool identical = hits_v1 == hits_v2;
+  identical &= check_identical(disk_v1, mem, queries);
+  identical &= check_identical(disk_v2, mem, queries);
+
+  // Full decode (every name, every row) — the amortized read ceiling.
   t0 = std::chrono::steady_clock::now();
   std::size_t decoded = 0;
-  for (const std::string& name : disk.event_names()) {
-    decoded += disk.all(name).size();
+  for (const std::string& name : disk_v2.event_names()) {
+    decoded += disk_v2.all(name).size();
   }
   double decode_s = seconds_since(t0);
   identical &= decoded == mem.total_instances();
 
-  double cold_total_s = open_s + query_s;
+  double multiplier =
+      windowed_v2_s > 0 ? windowed_v1_s / windowed_v2_s : 0.0;
+  double cold_total_s = open_v2_s + windowed_v2_s;
   const bool faster = cold_total_s < build_s;
+  const bool fast_enough = multiplier >= kRequiredMultiplier;
+  std::uint64_t v1_bytes = dir_bytes(dir_v1);
+  std::uint64_t v2_bytes = dir_bytes(dir_v2);
 
   util::TextTable table({"Stage", "Wall (s)", "Rate"});
   table.add_row({"WAL append", util::format_double(append_s, 4),
                  util::format_double(count / append_s, 0) + " ev/s"});
-  table.add_row({"seal", util::format_double(seal_s, 4), "-"});
+  table.add_row({"seal v2 (columnar)", util::format_double(seal_s, 4), "-"});
+  table.add_row({"seal v1 (rows)", util::format_double(seal_v1_s, 4), "-"});
   table.add_row({"in-memory build+warm", util::format_double(build_s, 4), "-"});
-  table.add_row({"cold open (mmap)", util::format_double(open_s, 4), "-"});
-  table.add_row({"200 window queries", util::format_double(query_s, 4),
-                 util::format_double(kQueries / query_s, 0) + " q/s"});
-  table.add_row({"full decode", util::format_double(decode_s, 4),
+  table.add_row({"cold open v1", util::format_double(open_v1_s, 4), "-"});
+  table.add_row({"cold open v2", util::format_double(open_v2_s, 4), "-"});
+  table.add_row({"windowed scans v1", util::format_double(windowed_v1_s, 4),
+                 util::format_double(kWindowedQueries / windowed_v1_s, 0) +
+                     " q/s"});
+  table.add_row({"windowed scans v2", util::format_double(windowed_v2_s, 4),
+                 util::format_double(kWindowedQueries / windowed_v2_s, 0) +
+                     " q/s"});
+  table.add_row({"full decode v2", util::format_double(decode_s, 4),
                  util::format_double(decoded / decode_s, 0) + " ev/s"});
   std::fputs(
       table.render("persistent store scaling (" + std::to_string(count) +
                    " events)").c_str(),
       stdout);
   std::printf("query results vs in-memory: %s (%zu instances returned)\n",
-              identical ? "byte-identical" : "DIVERGED", hits);
+              identical ? "byte-identical" : "DIVERGED", hits_v2);
+  std::printf(
+      "v2 vs v1 windowed multiplier: %.2fx (gate: >= %.1fx), zone maps "
+      "skipped %llu/%llu blocks (%.1f%%)\n",
+      multiplier, kRequiredMultiplier,
+      static_cast<unsigned long long>(zone_skipped),
+      static_cast<unsigned long long>(zone_considered),
+      100.0 * zone_skip_ratio);
 
   {
     std::ofstream out(out_file);
@@ -156,10 +258,21 @@ int main(int argc, char** argv) {
         << "  \"append_seconds\": " << append_s << ",\n"
         << "  \"append_events_per_s\": " << count / append_s << ",\n"
         << "  \"seal_seconds\": " << seal_s << ",\n"
+        << "  \"v1_seal_seconds\": " << seal_v1_s << ",\n"
+        << "  \"v1_bytes\": " << v1_bytes << ",\n"
+        << "  \"v2_bytes\": " << v2_bytes << ",\n"
         << "  \"mem_build_seconds\": " << build_s << ",\n"
-        << "  \"cold_open_seconds\": " << open_s << ",\n"
-        << "  \"query_seconds\": " << query_s << ",\n"
-        << "  \"queries\": " << kQueries << ",\n"
+        << "  \"cold_open_seconds\": " << open_v2_s << ",\n"
+        << "  \"v1_cold_open_seconds\": " << open_v1_s << ",\n"
+        << "  \"windowed_queries\": " << kWindowedQueries << ",\n"
+        << "  \"v1_windowed_seconds\": " << windowed_v1_s << ",\n"
+        << "  \"v2_windowed_seconds\": " << windowed_v2_s << ",\n"
+        << "  \"v2_windowed_queries_per_s\": "
+        << kWindowedQueries / windowed_v2_s << ",\n"
+        << "  \"v2_vs_v1_query_multiplier\": " << multiplier << ",\n"
+        << "  \"zone_blocks_considered\": " << zone_considered << ",\n"
+        << "  \"zone_blocks_skipped\": " << zone_skipped << ",\n"
+        << "  \"zone_skip_ratio\": " << zone_skip_ratio << ",\n"
         << "  \"full_decode_seconds\": " << decode_s << ",\n"
         << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
         << "  \"cold_open_faster_than_rebuild\": "
@@ -167,7 +280,8 @@ int main(int argc, char** argv) {
         << "}\n";
     std::printf("report written to %s\n", out_file.c_str());
   }
-  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(dir_v2);
+  std::filesystem::remove_all(dir_v1);
   bench::write_metrics_if_requested(argc, argv);
   if (!identical) std::fprintf(stderr, "FAIL: persistent queries diverged\n");
   if (!faster) {
@@ -176,5 +290,11 @@ int main(int argc, char** argv) {
                  "rebuild (%.4fs)\n",
                  cold_total_s, build_s);
   }
-  return (identical && faster) ? 0 : 1;
+  if (!fast_enough) {
+    std::fprintf(stderr,
+                 "FAIL: v2 windowed scans only %.2fx faster than v1 "
+                 "(gate: %.1fx)\n",
+                 multiplier, kRequiredMultiplier);
+  }
+  return (identical && faster && fast_enough) ? 0 : 1;
 }

@@ -28,6 +28,7 @@
 #include "collector/routing_rebuild.h"
 #include "core/engine.h"
 #include "obs/feed_health.h"
+#include "storage/segment.h"
 #include "util/thread_pool.h"
 
 namespace grca::storage {
@@ -64,6 +65,8 @@ struct StreamingOptions {
   /// its events are re-derived from the stream.
   std::filesystem::path persist_dir;
   util::TimeSec persist_seal_every = util::kHour;
+  /// On-disk format for sealed segments (the WAL is always v1 frames).
+  storage::SealFormat persist_format = storage::SealFormat::kV2;
 };
 
 class StreamingRca {

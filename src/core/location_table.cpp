@@ -40,4 +40,9 @@ std::size_t LocationTable::size() const {
   return by_id_.size();
 }
 
+std::vector<Location> LocationTable::snapshot() const {
+  std::shared_lock lock(mutex_);
+  return std::vector<Location>(by_id_.begin(), by_id_.end());
+}
+
 }  // namespace grca::core

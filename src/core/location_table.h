@@ -14,6 +14,7 @@
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "core/location.h"
 
@@ -56,6 +57,12 @@ class LocationTable {
   LocationType type_of(LocId id) const { return at(id).type; }
 
   std::size_t size() const;
+
+  /// A copy of every interned location in id order (element i is the
+  /// location behind id i) — the export surface for the v2 columnar
+  /// segment's location dictionary, which serializes a LocationTable
+  /// verbatim so readers can rebuild LocId references by index.
+  std::vector<Location> snapshot() const;
 
  private:
   mutable std::shared_mutex mutex_;

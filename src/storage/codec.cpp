@@ -35,6 +35,37 @@ void put_string(std::vector<std::uint8_t>& out, std::string_view s) {
   out.insert(out.end(), s.begin(), s.end());
 }
 
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_varint_signed(std::vector<std::uint8_t>& out, std::int64_t v) {
+  // Zigzag: sign bit to the bottom so small magnitudes stay short.
+  put_varint(out, (static_cast<std::uint64_t>(v) << 1) ^
+                      static_cast<std::uint64_t>(v >> 63));
+}
+
+std::uint64_t ByteReader::varint() {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    need(1);
+    std::uint8_t byte = bytes_[pos_++];
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) return v;
+  }
+  throw StorageError("storage: varint longer than 10 bytes at offset " +
+                     std::to_string(pos_));
+}
+
+std::int64_t ByteReader::varint_signed() {
+  std::uint64_t z = varint();
+  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
 void ByteReader::need(std::size_t n) const {
   if (bytes_.size() - pos_ < n) {
     throw StorageError("storage: truncated record (need " + std::to_string(n) +

@@ -68,6 +68,13 @@ void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
 void put_i64(std::vector<std::uint8_t>& out, std::int64_t v);
 void put_string(std::vector<std::uint8_t>& out, std::string_view s);
 
+/// LEB128 (7 bits per byte, little-endian groups) — the v2 columnar delta
+/// and dictionary-reference encoding. At most 10 bytes per value.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+/// Zigzag + LEB128 for signed values (durations may be negative: the codec
+/// never assumes end >= start).
+void put_varint_signed(std::vector<std::uint8_t>& out, std::int64_t v);
+
 /// Bounds-checked little-endian reader over a byte span; every getter
 /// throws StorageError past the end.
 class ByteReader {
@@ -79,6 +86,8 @@ class ByteReader {
   std::uint64_t u64();
   std::int64_t i64();
   std::string string();
+  std::uint64_t varint();
+  std::int64_t varint_signed();
 
   std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
   std::size_t position() const noexcept { return pos_; }

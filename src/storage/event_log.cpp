@@ -5,9 +5,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 
 #include "obs/span.h"
 #include "storage/codec.h"
+#include "storage/crc32c.h"
 #include "util/error.h"
 
 namespace grca::storage {
@@ -84,6 +86,19 @@ group_for_seal(const std::vector<core::EventInstance>& events) {
   return groups;
 }
 
+/// Format dispatch for the three seal sites (writer, batch export,
+/// compaction).
+std::vector<std::uint8_t> encode_sealed(
+    std::uint64_t seq, util::TimeSec watermark,
+    const std::vector<
+        std::pair<std::string, std::vector<const core::EventInstance*>>>&
+        groups,
+    SealFormat format) {
+  return format == SealFormat::kV2
+             ? encode_sealed_segment_v2(seq, watermark, groups)
+             : encode_sealed_segment(seq, watermark, groups);
+}
+
 }  // namespace
 
 std::vector<fs::path> list_segments(const fs::path& dir) {
@@ -102,8 +117,9 @@ std::vector<fs::path> list_segments(const fs::path& dir) {
   return out;
 }
 
-EventLogWriter::EventLogWriter(const fs::path& dir, bool discard_wal)
-    : dir_(dir) {
+EventLogWriter::EventLogWriter(const fs::path& dir, bool discard_wal,
+                               SealFormat seal_format)
+    : dir_(dir), seal_format_(seal_format) {
   fs::create_directories(dir_);
   if (obs::MetricsRegistry* reg = obs::registry_ptr()) {
     bytes_written_ = &reg->counter("grca_storage_bytes_written_total");
@@ -178,7 +194,7 @@ std::optional<std::uint64_t> EventLogWriter::seal(util::TimeSec watermark) {
   obs::ScopedSpan span("store-seal");
   auto groups = group_for_seal(pending_);
   std::vector<std::uint8_t> image =
-      encode_sealed_segment(next_seq_, watermark, groups);
+      encode_sealed(next_seq_, watermark, groups, seal_format_);
   write_atomically(segment_path(dir_, next_seq_), image);
   if (bytes_written_) bytes_written_->inc(image.size());
   if (seals_) seals_->inc();
@@ -193,7 +209,7 @@ std::optional<std::uint64_t> EventLogWriter::seal(util::TimeSec watermark) {
 }
 
 void write_sealed_store(const fs::path& dir, const core::EventStore& store,
-                        util::TimeSec watermark) {
+                        util::TimeSec watermark, SealFormat format) {
   obs::ScopedSpan span("store-seal");
   fs::create_directories(dir);
   // Replace semantics: a store-out directory holds exactly this corpus.
@@ -209,8 +225,7 @@ void write_sealed_store(const fs::path& dir, const core::EventStore& store,
     for (const core::EventInstance& e : bucket) ptrs.push_back(&e);
     groups.emplace_back(name, std::move(ptrs));
   }
-  std::vector<std::uint8_t> image =
-      encode_sealed_segment(1, watermark, groups);
+  std::vector<std::uint8_t> image = encode_sealed(1, watermark, groups, format);
   write_atomically(segment_path(dir, 1), image);
   if (obs::MetricsRegistry* reg = obs::registry_ptr()) {
     reg->counter("grca_storage_bytes_written_total").inc(image.size());
@@ -223,30 +238,187 @@ SealedLoad load_sealed_events(const fs::path& dir) {
   for (const fs::path& path : list_segments(dir)) {
     SegmentReader seg = SegmentReader::open(path);
     if (!seg.sealed()) continue;
-    SegmentReader::Scan scan = seg.scan_frames();
-    if (scan.dropped_bytes != 0) {
-      throw StorageError("storage: sealed segment " + path.string() +
-                         " has a corrupt frame region");
-    }
+    std::vector<core::EventInstance> events = seg.read_all_events();
     load.events.insert(load.events.end(),
-                       std::make_move_iterator(scan.events.begin()),
-                       std::make_move_iterator(scan.events.end()));
-    if (!load.watermark || seg.footer().watermark > *load.watermark) {
-      load.watermark = seg.footer().watermark;
+                       std::make_move_iterator(events.begin()),
+                       std::make_move_iterator(events.end()));
+    util::TimeSec watermark = seg.sealed_watermark();
+    if (!load.watermark || watermark > *load.watermark) {
+      load.watermark = watermark;
     }
     ++load.segments;
   }
   return load;
 }
 
-VerifyReport verify_store(const fs::path& dir) {
+namespace {
+
+/// v1 sealed-segment check: every frame decodes, footer/frame agreement
+/// (counts, tiling, ordering, index checkpoints, max durations). v1 frames
+/// are self-describing, so this *is* the full rescan — deep mode adds
+/// nothing for v1.
+void check_sealed_v1(const SegmentReader& seg, VerifyReport& report) {
+  const fs::path& path = seg.path();
+  SegmentReader::Scan scan = seg.scan_frames();
+  report.frames += scan.events.size();
+  if (scan.dropped_bytes != 0) {
+    report.errors.push_back(path.string() + ": corrupt frame at offset " +
+                            std::to_string(scan.valid_bytes));
+    return;
+  }
+  const SegmentFooter& footer = seg.footer();
+  if (scan.events.size() != footer.event_count) {
+    report.errors.push_back(
+        path.string() + ": footer claims " +
+        std::to_string(footer.event_count) + " events, found " +
+        std::to_string(scan.events.size()));
+  }
+  // Footer/frame agreement: runs must tile the frame region in name
+  // order, each sorted by start with consistent index checkpoints.
+  std::uint64_t cursor = kSegmentHeaderBytes;
+  std::size_t event_at = 0;
+  for (std::size_t r = 0; r < footer.runs.size(); ++r) {
+    const NameRun& run = footer.runs[r];
+    std::string where = path.string() + " run '" + run.name + "'";
+    if (r > 0 && !(footer.runs[r - 1].name < run.name)) {
+      report.errors.push_back(where + ": names out of order");
+    }
+    if (run.first_offset != cursor) {
+      report.errors.push_back(where + ": offset " +
+                              std::to_string(run.first_offset) +
+                              " does not tile (expected " +
+                              std::to_string(cursor) + ")");
+      break;
+    }
+    cursor += run.byte_len;
+    util::TimeSec max_duration = 0;
+    util::TimeSec prev_start = std::numeric_limits<util::TimeSec>::min();
+    for (std::uint64_t i = 0; i < run.count; ++i) {
+      if (event_at >= scan.events.size()) break;
+      const core::EventInstance& e = scan.events[event_at++];
+      if (e.name != run.name) {
+        report.errors.push_back(where + ": frame " + std::to_string(i) +
+                                " belongs to '" + e.name + "'");
+        break;
+      }
+      if (e.when.start < prev_start) {
+        report.errors.push_back(where + ": frames out of start order");
+        break;
+      }
+      prev_start = e.when.start;
+      max_duration = std::max(max_duration, e.when.duration());
+      if (i % run.block_frames == 0) {
+        const BlockEntry& block = run.blocks[i / run.block_frames];
+        if (block.first_start != e.when.start) {
+          report.errors.push_back(where + ": index block " +
+                                  std::to_string(i / run.block_frames) +
+                                  " start mismatch");
+          break;
+        }
+      }
+    }
+    if (max_duration != run.max_duration) {
+      report.errors.push_back(where + ": footer max_duration " +
+                              std::to_string(run.max_duration) +
+                              " != observed " +
+                              std::to_string(max_duration));
+    }
+  }
+  if (cursor != seg.frames_end()) {
+    report.errors.push_back(path.string() +
+                            ": runs do not cover the frame region");
+  }
+}
+
+/// v2 sealed-segment check. Normal mode: per-run region CRCs plus a full
+/// structural decode (every varint bounds-checked, every dictionary id
+/// resolved). Deep mode additionally recomputes the footer statistics —
+/// max durations and every zone map — from the decoded rows.
+void check_sealed_v2(const SegmentReader& seg, VerifyReport& report,
+                     bool deep) {
+  const fs::path& path = seg.path();
+  const V2Footer& footer = seg.v2_footer();
+  std::span<const std::uint8_t> bytes = seg.bytes();
+  for (const V2Run& run : footer.runs) {
+    std::string where =
+        path.string() + " run '" + footer.names[run.name_id] + "'";
+    if (crc32c(bytes.data() + run.region_off, run.region_len()) !=
+        run.region_crc) {
+      report.errors.push_back(where + ": column region checksum mismatch");
+      continue;
+    }
+    std::vector<core::EventInstance> rows;
+    std::vector<core::LocId> row_locs;  // dictionary ids, row order
+    if (deep) {
+      rows.reserve(run.count);
+      row_locs.reserve(run.count);
+    }
+    try {
+      decode_v2_rows(bytes, footer, run, 0, run.count,
+                     [&](std::uint64_t, core::EventInstance e,
+                         core::LocId loc) {
+                       if (deep) {
+                         rows.push_back(std::move(e));
+                         row_locs.push_back(loc);
+                       }
+                     });
+    } catch (const StorageError& e) {
+      report.errors.push_back(where + ": " + e.what());
+      continue;
+    }
+    report.frames += run.count;
+    if (!deep) continue;
+    util::TimeSec max_duration = 0;
+    for (std::size_t b = 0; b < run.blocks.size(); ++b) {
+      const V2Block& zone = run.blocks[b];
+      std::size_t lo = b * run.block_rows;
+      std::size_t hi = std::min<std::size_t>(lo + run.block_rows,
+                                             rows.size());
+      util::TimeSec min_start = rows[lo].when.start;
+      util::TimeSec max_start = rows[lo].when.start;
+      core::LocId loc_min = std::numeric_limits<core::LocId>::max();
+      core::LocId loc_max = 0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        min_start = std::min(min_start, rows[i].when.start);
+        max_start = std::max(max_start, rows[i].when.start);
+        max_duration = std::max(max_duration, rows[i].when.duration());
+        loc_min = std::min(loc_min, row_locs[i]);
+        loc_max = std::max(loc_max, row_locs[i]);
+      }
+      if (zone.min_start != min_start || zone.max_start != max_start) {
+        report.errors.push_back(where + ": zone map " + std::to_string(b) +
+                                " start range mismatch");
+      }
+      if (zone.loc_min != loc_min || zone.loc_max != loc_max) {
+        report.errors.push_back(where + ": zone map " + std::to_string(b) +
+                                " location range mismatch");
+      }
+      if (zone.name_bitmap != (1ull << (run.name_id % 64))) {
+        report.errors.push_back(where + ": zone map " + std::to_string(b) +
+                                " name bitmap mismatch");
+      }
+    }
+    if (max_duration != run.max_duration) {
+      report.errors.push_back(where + ": footer max_duration " +
+                              std::to_string(run.max_duration) +
+                              " != observed " +
+                              std::to_string(max_duration));
+    }
+  }
+}
+
+}  // namespace
+
+VerifyReport verify_store(const fs::path& dir, bool deep) {
   VerifyReport report;
+  report.deep = deep;
   if (!fs::is_directory(dir)) {
     report.errors.push_back(dir.string() + " is not a directory");
     return report;
   }
   std::vector<fs::path> paths = list_segments(dir);
-  if (fs::exists(dir / kWalName)) paths.push_back(dir / kWalName);
+  fs::path wal_path = dir / kWalName;
+  if (fs::exists(wal_path)) paths.push_back(wal_path);
   for (const fs::path& path : paths) {
     ++report.segments;
     SegmentReader seg;
@@ -257,85 +429,31 @@ VerifyReport verify_store(const fs::path& dir) {
       continue;
     }
     report.bytes += seg.size();
-    SegmentReader::Scan scan = seg.scan_frames();
-    report.frames += scan.events.size();
     if (!seg.sealed()) {
-      report.torn_wal_bytes += scan.dropped_bytes;
+      // Only the (always-v1) WAL may be live; a seg-* file without a valid
+      // seal lost its footer to corruption.
+      SegmentReader::Scan scan = seg.scan_frames();
+      report.frames += scan.events.size();
+      if (path == wal_path) {
+        report.torn_wal_bytes += scan.dropped_bytes;
+      } else {
+        report.errors.push_back(path.string() +
+                                ": sealed segment lost its seal");
+      }
       continue;
     }
-    if (scan.dropped_bytes != 0) {
-      report.errors.push_back(path.string() + ": corrupt frame at offset " +
-                              std::to_string(scan.valid_bytes));
-      continue;
-    }
-    const SegmentFooter& footer = seg.footer();
-    if (scan.events.size() != footer.event_count) {
-      report.errors.push_back(
-          path.string() + ": footer claims " +
-          std::to_string(footer.event_count) + " events, found " +
-          std::to_string(scan.events.size()));
-    }
-    // Footer/frame agreement: runs must tile the frame region in name
-    // order, each sorted by start with consistent index checkpoints.
-    std::uint64_t cursor = kSegmentHeaderBytes;
-    std::size_t event_at = 0;
-    for (std::size_t r = 0; r < footer.runs.size(); ++r) {
-      const NameRun& run = footer.runs[r];
-      std::string where = path.string() + " run '" + run.name + "'";
-      if (r > 0 && !(footer.runs[r - 1].name < run.name)) {
-        report.errors.push_back(where + ": names out of order");
-      }
-      if (run.first_offset != cursor) {
-        report.errors.push_back(where + ": offset " +
-                                std::to_string(run.first_offset) +
-                                " does not tile (expected " +
-                                std::to_string(cursor) + ")");
-        break;
-      }
-      cursor += run.byte_len;
-      util::TimeSec max_duration = 0;
-      util::TimeSec prev_start =
-          std::numeric_limits<util::TimeSec>::min();
-      for (std::uint64_t i = 0; i < run.count; ++i) {
-        if (event_at >= scan.events.size()) break;
-        const core::EventInstance& e = scan.events[event_at++];
-        if (e.name != run.name) {
-          report.errors.push_back(where + ": frame " + std::to_string(i) +
-                                  " belongs to '" + e.name + "'");
-          break;
-        }
-        if (e.when.start < prev_start) {
-          report.errors.push_back(where + ": frames out of start order");
-          break;
-        }
-        prev_start = e.when.start;
-        max_duration = std::max(max_duration, e.when.duration());
-        if (i % run.block_frames == 0) {
-          const BlockEntry& block = run.blocks[i / run.block_frames];
-          if (block.first_start != e.when.start) {
-            report.errors.push_back(where + ": index block " +
-                                    std::to_string(i / run.block_frames) +
-                                    " start mismatch");
-            break;
-          }
-        }
-      }
-      if (max_duration != run.max_duration) {
-        report.errors.push_back(where + ": footer max_duration " +
-                                std::to_string(run.max_duration) +
-                                " != observed " +
-                                std::to_string(max_duration));
-      }
-    }
-    if (cursor != seg.frames_end()) {
-      report.errors.push_back(path.string() +
-                              ": runs do not cover the frame region");
+    if (seg.format_version() == kFormatV2) {
+      ++report.v2_segments;
+      check_sealed_v2(seg, report, deep);
+    } else {
+      check_sealed_v1(seg, report);
     }
   }
   return report;
 }
 
-std::optional<std::uint64_t> compact_store(const fs::path& dir) {
+std::optional<std::uint64_t> compact_store(const fs::path& dir,
+                                           SealFormat format) {
   // Collect every event: sealed segments in sequence order, then the WAL's
   // valid prefix. The stable per-(name,start) sort in group_for_seal keeps
   // ties in this collection order, so merged buckets read back in exactly
@@ -345,17 +463,21 @@ std::optional<std::uint64_t> compact_store(const fs::path& dir) {
   util::TimeSec watermark = 0;
   for (const fs::path& path : inputs) {
     SegmentReader seg = SegmentReader::open(path);
-    SegmentReader::Scan scan = seg.scan_frames();
-    if (seg.sealed()) {
-      if (scan.dropped_bytes != 0) {
-        throw StorageError("storage: refusing to compact corrupt segment " +
-                           path.string());
-      }
-      watermark = std::max(watermark, seg.footer().watermark);
+    if (!seg.sealed()) {
+      throw StorageError("storage: refusing to compact unsealed segment " +
+                         path.string());
     }
+    std::vector<core::EventInstance> from_seg;
+    try {
+      from_seg = seg.read_all_events();
+    } catch (const StorageError& e) {
+      throw StorageError("storage: refusing to compact corrupt segment " +
+                         path.string() + ": " + e.what());
+    }
+    watermark = std::max(watermark, seg.sealed_watermark());
     events.insert(events.end(),
-                  std::make_move_iterator(scan.events.begin()),
-                  std::make_move_iterator(scan.events.end()));
+                  std::make_move_iterator(from_seg.begin()),
+                  std::make_move_iterator(from_seg.end()));
   }
   std::uint64_t next_seq = 1;
   fs::path wal_path = dir / kWalName;
@@ -373,8 +495,39 @@ std::optional<std::uint64_t> compact_store(const fs::path& dir) {
   obs::ScopedSpan span("store-compact");
   auto groups = group_for_seal(events);
   std::vector<std::uint8_t> image =
-      encode_sealed_segment(next_seq, watermark, groups);
-  write_atomically(segment_path(dir, next_seq), image);
+      encode_sealed(next_seq, watermark, groups, format);
+  fs::path out_path = segment_path(dir, next_seq);
+  write_atomically(out_path, image);
+  // Post-compact invariant check *before* any input is removed: re-open
+  // the output and deep-verify it — footer statistics must equal a full
+  // rescan and the row count must match what went in. On failure the
+  // output is deleted and the inputs survive untouched.
+  {
+    VerifyReport check;
+    check.deep = true;
+    SegmentReader out;
+    try {
+      out = SegmentReader::open(out_path);
+      if (out.format_version() == kFormatV2) {
+        check_sealed_v2(out, check, /*deep=*/true);
+      } else {
+        check_sealed_v1(out, check);
+      }
+      if (out.sealed_event_count() != events.size()) {
+        check.errors.push_back(out_path.string() + ": compacted " +
+                               std::to_string(events.size()) +
+                               " events but footer claims " +
+                               std::to_string(out.sealed_event_count()));
+      }
+    } catch (const StorageError& e) {
+      check.errors.push_back(e.what());
+    }
+    if (!check.ok()) {
+      fs::remove(out_path);
+      throw StorageError("storage: compaction output failed validation: " +
+                         check.errors.front());
+    }
+  }
   for (const fs::path& path : inputs) fs::remove(path);
   fs::remove(wal_path);
   return next_seq;

@@ -49,9 +49,12 @@ class EventLogWriter {
   /// append) or dropped (discard_wal = true — the streaming engine, which
   /// resumes strictly from the last *sealed* segment and re-derives the
   /// tail from its feed). Torn bytes are counted into the
-  /// `grca_storage_recovered_bytes` metric either way.
+  /// `grca_storage_recovered_bytes` metric either way. `seal_format`
+  /// selects the on-disk format seal() writes; the WAL itself is always v1
+  /// live frames.
   explicit EventLogWriter(const std::filesystem::path& dir,
-                          bool discard_wal = false);
+                          bool discard_wal = false,
+                          SealFormat seal_format = SealFormat::kV2);
 
   /// Write-ahead append: the frame is on the stream (and flushed) before
   /// this returns.
@@ -68,11 +71,13 @@ class EventLogWriter {
   std::size_t pending() const noexcept { return pending_.size(); }
   std::uint64_t bytes_appended() const noexcept { return bytes_appended_; }
   const std::filesystem::path& dir() const noexcept { return dir_; }
+  SealFormat seal_format() const noexcept { return seal_format_; }
 
  private:
   void open_wal_for_append(std::uint64_t at);
 
   std::filesystem::path dir_;
+  SealFormat seal_format_ = SealFormat::kV2;
   std::ofstream wal_;
   std::uint64_t next_seq_ = 1;
   std::vector<core::EventInstance> pending_;
@@ -89,7 +94,8 @@ class EventLogWriter {
 /// grouped and sorted, so the segment is a single ordered pass.
 void write_sealed_store(const std::filesystem::path& dir,
                         const core::EventStore& store,
-                        util::TimeSec watermark);
+                        util::TimeSec watermark,
+                        SealFormat format = SealFormat::kV2);
 
 /// Everything recoverable from the log's *sealed* segments, in (segment
 /// sequence, file) order — the streaming engine's resume source. The WAL is
@@ -101,26 +107,42 @@ struct SealedLoad {
 };
 SealedLoad load_sealed_events(const std::filesystem::path& dir);
 
-/// Full-sweep integrity check: header CRCs, footer CRCs, every frame CRC,
-/// footer/frame agreement (counts, offsets, ordering, max durations). A
-/// torn WAL tail is reported but is not an error; everything else is.
+/// Full-sweep integrity check. Normal mode checks every checksum and every
+/// byte's decodability: header CRCs, footer CRCs, every v1 frame CRC, v2
+/// region CRCs, a full structural decode, and footer/data agreement on
+/// counts and tiling (plus ordering and max durations for v1, whose frames
+/// carry no region CRC). A segment file that has lost its seal is an error;
+/// only the WAL may legitimately carry a torn tail (reported, not an
+/// error). Deep mode additionally rescans every sealed segment and
+/// recomputes the footer statistics — per-run max_duration and, for v2,
+/// every zone map (min/max start, location range, name bitmap) — against
+/// the decoded rows, catching stats-only damage that checksums can't (a
+/// bug in a writer, not a bit flip).
 struct VerifyReport {
   std::size_t segments = 0;
-  std::uint64_t frames = 0;
+  std::size_t v2_segments = 0;
+  std::uint64_t frames = 0;  // decoded rows (v1 frames or v2 rows)
   std::uint64_t bytes = 0;
   std::uint64_t torn_wal_bytes = 0;
+  bool deep = false;
   std::vector<std::string> errors;
 
   bool ok() const noexcept { return errors.empty(); }
 };
-VerifyReport verify_store(const std::filesystem::path& dir);
+VerifyReport verify_store(const std::filesystem::path& dir,
+                          bool deep = false);
 
-/// Rewrites the log as a single sealed segment containing every event from
-/// every sealed segment plus the WAL's valid prefix, then removes the
-/// inputs. Query results are unchanged (same events, same order — ties
-/// keep segment order); the newest input watermark is carried over.
-/// Returns the new segment's sequence number, or nullopt when the log is
-/// empty.
-std::optional<std::uint64_t> compact_store(const std::filesystem::path& dir);
+/// Rewrites the log as a single sealed segment (in `format`) containing
+/// every event from every sealed segment plus the WAL's valid prefix, then
+/// removes the inputs. Query results are unchanged (same events, same
+/// order — ties keep segment order); the newest input watermark is carried
+/// over. Before any input is removed, the freshly written segment is
+/// re-opened and deep-checked (footer statistics recomputed from a full
+/// rescan); a mismatch deletes the output and throws, leaving the inputs
+/// untouched. With the default format this doubles as the v1 -> v2
+/// upgrade path. Returns the new segment's sequence number, or nullopt
+/// when the log is empty.
+std::optional<std::uint64_t> compact_store(
+    const std::filesystem::path& dir, SealFormat format = SealFormat::kV2);
 
 }  // namespace grca::storage

@@ -11,12 +11,23 @@
 
 namespace grca::storage {
 
+SealFormat parse_seal_format(std::string_view text) {
+  if (text == "v1" || text == "1") return SealFormat::kV1;
+  if (text == "v2" || text == "2") return SealFormat::kV2;
+  throw StorageError("storage: unknown seal format '" + std::string(text) +
+                     "' (expected v1 or v2)");
+}
+
 std::vector<std::uint8_t> encode_segment_header(std::uint64_t seq,
-                                                SegmentKind kind) {
+                                                SegmentKind kind,
+                                                std::uint16_t format_version) {
+  if (format_version == kFormatV2 && kind != SegmentKind::kSealed) {
+    throw StorageError("storage: v2 segments are sealed-only");
+  }
   std::vector<std::uint8_t> out;
   out.reserve(kSegmentHeaderBytes);
   put_u32(out, kSegmentMagic);
-  put_u32(out, static_cast<std::uint32_t>(kFormatVersion) |
+  put_u32(out, static_cast<std::uint32_t>(format_version) |
                    static_cast<std::uint32_t>(kind) << 16);
   put_u64(out, seq);
   put_u32(out, 0);  // reserved
@@ -149,12 +160,17 @@ SegmentReader SegmentReader::open(const std::filesystem::path& path) {
   }
   std::uint32_t ver_kind = in.u32();
   std::uint16_t version = static_cast<std::uint16_t>(ver_kind);
-  if (version != kFormatVersion) {
+  if (version != kFormatV1 && version != kFormatV2) {
     throw StorageError("storage: " + path.string() + " is format v" +
-                       std::to_string(version) + "; this build reads v" +
-                       std::to_string(kFormatVersion));
+                       std::to_string(version) +
+                       "; this build reads v1 and v2");
   }
+  seg.version_ = version;
   seg.kind_ = static_cast<SegmentKind>(ver_kind >> 16);
+  if (version == kFormatV2 && seg.kind_ != SegmentKind::kSealed) {
+    throw StorageError("storage: " + path.string() +
+                       " claims a v2 live segment; v2 is sealed-only");
+  }
   seg.seq_ = in.u64();
   seg.frames_end_ = bytes.size();
 
@@ -174,24 +190,96 @@ SegmentReader SegmentReader::open(const std::filesystem::path& path) {
       std::span<const std::uint8_t> payload =
           bytes.subspan(footer_at, footer_len);
       if (crc32c(payload.data(), payload.size()) == footer_crc) {
-        seg.footer_ = decode_footer(payload);
+        if (version == kFormatV2) {
+          seg.v2_footer_ = decode_v2_footer(payload);
+          // The run regions must tile the file exactly between the header
+          // and the footer — together with the per-region CRCs this leaves
+          // no unchecksummed byte in the file.
+          std::uint64_t at = kSegmentHeaderBytes;
+          for (const V2Run& run : seg.v2_footer_.runs) {
+            if (run.region_off != at) {
+              throw StorageError("storage: " + path.string() +
+                                 " v2 run regions do not tile the segment");
+            }
+            at += run.region_len();
+          }
+          if (at != footer_at) {
+            throw StorageError("storage: " + path.string() +
+                               " v2 run regions do not tile the segment");
+          }
+        } else {
+          seg.footer_ = decode_footer(payload);
+        }
         seg.sealed_ = true;
         seg.frames_end_ = footer_at;
       }
     }
   }
+  if (version == kFormatV2 && !seg.sealed_) {
+    // A v2 file without a validating footer is unreadable: the column
+    // regions are not self-describing the way v1 frames are.
+    throw StorageError("storage: " + path.string() +
+                       " v2 segment footer is damaged or missing");
+  }
   return seg;
 }
 
 const SegmentFooter& SegmentReader::footer() const {
-  if (!sealed_) {
+  if (!sealed_ || version_ != kFormatV1) {
     throw StorageError("storage: " + path_.string() +
-                       " is not sealed (no footer)");
+                       " has no v1 footer");
   }
   return footer_;
 }
 
+const V2Footer& SegmentReader::v2_footer() const {
+  if (!sealed_ || version_ != kFormatV2) {
+    throw StorageError("storage: " + path_.string() +
+                       " has no v2 footer");
+  }
+  return v2_footer_;
+}
+
+util::TimeSec SegmentReader::sealed_watermark() const {
+  return version_ == kFormatV2 ? v2_footer().watermark : footer().watermark;
+}
+
+std::uint64_t SegmentReader::sealed_event_count() const {
+  return version_ == kFormatV2 ? v2_footer().event_count
+                               : footer().event_count;
+}
+
+std::vector<core::EventInstance> SegmentReader::read_all_events() const {
+  if (!sealed_) {
+    throw StorageError("storage: " + path_.string() +
+                       " is not sealed; cannot bulk-read");
+  }
+  std::vector<core::EventInstance> events;
+  if (version_ == kFormatV2) {
+    events.reserve(v2_footer_.event_count);
+    for (const V2Run& run : v2_footer_.runs) {
+      decode_v2_rows(file_.bytes(), v2_footer_, run, 0, run.count,
+                     [&events](std::uint64_t, core::EventInstance e,
+                               core::LocId) {
+                       events.push_back(std::move(e));
+                     });
+    }
+    return events;
+  }
+  Scan scan = scan_frames();
+  if (scan.dropped_bytes != 0) {
+    throw StorageError("storage: " + path_.string() + " has " +
+                       std::to_string(scan.dropped_bytes) +
+                       " undecodable bytes inside its sealed frame region");
+  }
+  return std::move(scan.events);
+}
+
 SegmentReader::Scan SegmentReader::scan_frames() const {
+  if (version_ != kFormatV1) {
+    throw StorageError("storage: " + path_.string() +
+                       " is columnar; it has no frames to scan");
+  }
   Scan scan;
   std::span<const std::uint8_t> bytes = file_.bytes();
   std::uint64_t at = kSegmentHeaderBytes;

@@ -28,16 +28,19 @@
 #include <filesystem>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/event.h"
+#include "storage/columnar.h"
 #include "storage/io.h"
 
 namespace grca::storage {
 
 inline constexpr std::uint32_t kSegmentMagic = 0x53435247;   // "GRCS"
 inline constexpr std::uint32_t kFooterMagic = 0x46435247;    // "GRCF"
-inline constexpr std::uint16_t kFormatVersion = 1;
+inline constexpr std::uint16_t kFormatV1 = 1;
+inline constexpr std::uint16_t kFormatV2 = 2;
 inline constexpr std::size_t kSegmentHeaderBytes = 24;
 inline constexpr std::size_t kFooterTrailerBytes = 16;
 /// Frames per sparse-index checkpoint. 64 keeps the index ~1.5% of frame
@@ -45,6 +48,15 @@ inline constexpr std::size_t kFooterTrailerBytes = 16;
 inline constexpr std::uint32_t kIndexBlockFrames = 64;
 
 enum class SegmentKind : std::uint16_t { kLive = 0, kSealed = 1 };
+
+/// The on-disk format a seal writes. The WAL is always v1 live frames
+/// (row-oriented append is the right shape for a write-ahead log); only
+/// sealed segments are columnar. v2 is the default everywhere; v1 remains
+/// writable for mixed-version tests and downgrade escapes.
+enum class SealFormat : std::uint16_t { kV1 = kFormatV1, kV2 = kFormatV2 };
+
+/// Parses "v1"/"v2" (CLI knobs); throws StorageError otherwise.
+SealFormat parse_seal_format(std::string_view text);
 
 /// One sparse-index checkpoint: the start time of the block's first
 /// instance and the absolute file offset of its first frame.
@@ -70,9 +82,12 @@ struct SegmentFooter {
   std::vector<NameRun> runs;       // sorted by name
 };
 
-/// Serialized fixed header for a new segment file.
-std::vector<std::uint8_t> encode_segment_header(std::uint64_t seq,
-                                                SegmentKind kind);
+/// Serialized fixed header for a new segment file. `format_version` is
+/// kFormatV1 for live (WAL) and v1 sealed segments, kFormatV2 for columnar
+/// sealed segments (a v2 live segment is invalid by definition).
+std::vector<std::uint8_t> encode_segment_header(
+    std::uint64_t seq, SegmentKind kind,
+    std::uint16_t format_version = kFormatV1);
 
 /// Builds the full byte image of a sealed segment. `groups` must be sorted
 /// by name with each group's instances sorted by start time — the builder
@@ -94,8 +109,17 @@ class SegmentReader {
 
   bool sealed() const noexcept { return sealed_; }
   std::uint64_t seq() const noexcept { return seq_; }
+  /// Format version from the header: kFormatV1 or kFormatV2.
+  std::uint16_t format_version() const noexcept { return version_; }
   const std::filesystem::path& path() const noexcept { return path_; }
-  const SegmentFooter& footer() const;  // throws StorageError unless sealed
+  /// v1 sealed footer; throws StorageError unless sealed and v1.
+  const SegmentFooter& footer() const;
+  /// v2 sealed footer; throws StorageError unless sealed and v2.
+  const V2Footer& v2_footer() const;
+  /// Watermark from whichever footer is present; throws unless sealed.
+  util::TimeSec sealed_watermark() const;
+  /// Event count from whichever footer is present; throws unless sealed.
+  std::uint64_t sealed_event_count() const;
   std::span<const std::uint8_t> bytes() const noexcept {
     return file_.bytes();
   }
@@ -117,13 +141,22 @@ class SegmentReader {
   };
   Scan scan_frames() const;
 
+  /// Every event of a *sealed* segment in stored order, format-agnostic
+  /// (v1: full frame scan; v2: full columnar decode). Unlike scan_frames,
+  /// any damage throws StorageError — a sealed segment has no legitimate
+  /// torn tail. This is the surface compaction and store loading use so
+  /// they never care which format they read.
+  std::vector<core::EventInstance> read_all_events() const;
+
  private:
   std::filesystem::path path_;
   MappedFile file_;
   std::uint64_t seq_ = 0;
+  std::uint16_t version_ = kFormatV1;
   SegmentKind kind_ = SegmentKind::kLive;
   bool sealed_ = false;
   SegmentFooter footer_;
+  V2Footer v2_footer_;
   std::uint64_t frames_end_ = 0;
 };
 

@@ -59,11 +59,15 @@
 //
 //   grca store inspect|verify|compact --dir DIR
 //       Operate on a persisted event log. `inspect` prints per-segment
-//       summaries (sequence, events, names, watermark, bytes). `verify`
-//       runs the full integrity sweep — header/footer/frame CRCs plus
-//       footer/frame agreement — and exits nonzero on any corruption.
-//       `compact` folds every sealed segment plus the WAL's valid prefix
-//       into one segment (query results unchanged).
+//       summaries (sequence, format, events, names, watermark, bytes; for
+//       columnar v2 segments also dictionary and zone-map sizes). `verify`
+//       runs the full integrity sweep — header/footer/frame CRCs, v2
+//       column-region CRCs, full structural decode — and exits nonzero on
+//       any corruption; `--deep` additionally recomputes footer statistics
+//       (max durations, v2 zone maps) from a full rescan. `compact` folds
+//       every sealed segment plus the WAL's valid prefix into one segment
+//       (query results unchanged; `--format v1|v2` picks the output
+//       format, default v2 — the v1 -> v2 upgrade path).
 //
 //   grca spans --in FILE [--out FILE]
 //       Convert a span JSONL log (from --span-log) into a Chrome trace
@@ -117,6 +121,7 @@ namespace {
   grca dump-library
   grca simulate --study bgp|cdn|pim|innet --out DIR [--days N] [--symptoms N]
                 [--seed S] [--paper-scale] [--store-out DIR]
+                [--store-format v1|v2]
   grca diagnose --study bgp|cdn|pim|innet --data DIR [--dsl FILE]...
                 [--threads N] [--trend] [--score] [--drill CAUSE]
                 [--metrics-out FILE] [--store DIR] [--span-log FILE]
@@ -129,8 +134,10 @@ namespace {
               [--source-lag SEC] [--jitter SEC] [--seed S] [--days N]
               [--symptoms N] [--report-out FILE] [--metrics-out FILE]
               [--min-rate RECORDS_PER_MIN] [--no-truth] [--persist DIR]
-              [--persist-seal-every SEC]
-  grca store inspect|verify|compact --dir DIR
+              [--persist-seal-every SEC] [--persist-format v1|v2]
+  grca store inspect --dir DIR
+  grca store verify --dir DIR [--deep]
+  grca store compact --dir DIR [--format v1|v2]
   grca spans --in FILE [--out FILE]
   grca version
 )";
@@ -317,7 +324,9 @@ int cmd_simulate(const Args& args) {
         watermark = std::max(watermark, e.when.start + 1);
       }
     }
-    storage::write_sealed_store(store_dir, store, watermark);
+    storage::SealFormat format =
+        storage::parse_seal_format(args.get("store-format", "v2"));
+    storage::write_sealed_store(store_dir, store, watermark, format);
     std::cout << "persisted " << store.total_instances() << " events ("
               << store.event_names().size() << " names) to "
               << store_dir.string() << "\n";
@@ -519,6 +528,8 @@ int cmd_replay(const Args& args) {
     opt.stream.persist_dir = fs::path(it->second.back());
     opt.stream.persist_seal_every =
         args.get_long("persist-seal-every", util::kHour);
+    opt.stream.persist_format =
+        storage::parse_seal_format(args.get("persist-format", "v2"));
   }
 
   apps::FeedReplayer replayer(corpus->network, opt);
@@ -550,10 +561,12 @@ int cmd_replay(const Args& args) {
 int cmd_store(const std::string& action, const Args& args) {
   fs::path dir(args.get("dir"));
   if (action == "verify") {
-    storage::VerifyReport report = storage::verify_store(dir);
-    std::cout << "verified " << report.segments << " segment file(s), "
-              << report.frames << " frame(s), " << report.bytes
-              << " byte(s)\n";
+    bool deep = args.flags.count("deep") > 0;
+    storage::VerifyReport report = storage::verify_store(dir, deep);
+    std::cout << "verified " << report.segments << " segment file(s) ("
+              << report.v2_segments << " columnar), " << report.frames
+              << " row(s), " << report.bytes << " byte(s)"
+              << (deep ? ", deep stats rescan" : "") << "\n";
     if (report.torn_wal_bytes > 0) {
       std::cout << "torn WAL tail: " << report.torn_wal_bytes
                 << " byte(s) (recoverable — not an error)\n";
@@ -569,13 +582,16 @@ int cmd_store(const std::string& action, const Args& args) {
     return 0;
   }
   if (action == "compact") {
-    std::optional<std::uint64_t> seq = storage::compact_store(dir);
+    storage::SealFormat format =
+        storage::parse_seal_format(args.get("format", "v2"));
+    std::optional<std::uint64_t> seq = storage::compact_store(dir, format);
     if (!seq) {
       std::cout << "nothing to compact in " << dir.string() << "\n";
       return 0;
     }
     std::cout << "compacted " << dir.string() << " into segment " << *seq
-              << "\n";
+              << " (" << (format == storage::SealFormat::kV2 ? "v2" : "v1")
+              << ")\n";
     return 0;
   }
   if (action == "inspect") {
@@ -592,10 +608,23 @@ int cmd_store(const std::string& action, const Args& args) {
       std::cout << path.filename().string() << ": seq " << seg.seq() << ", "
                 << seg.size() << " bytes, "
                 << (seg.mapped() ? "mapped" : "heap") << ", ";
-      if (seg.sealed()) {
+      if (seg.sealed() && seg.format_version() == storage::kFormatV2) {
+        const storage::V2Footer& footer = seg.v2_footer();
+        total_events += footer.event_count;
+        std::size_t zone_maps = 0;
+        for (const storage::V2Run& run : footer.runs) {
+          zone_maps += run.blocks.size();
+        }
+        std::cout << "sealed v2 (columnar): " << footer.event_count
+                  << " events across " << footer.runs.size() << " names, "
+                  << zone_maps << " zone maps, dictionaries: "
+                  << footer.locations.size() << " locations, "
+                  << footer.strings.size() << " attr strings, watermark "
+                  << footer.watermark << "\n";
+      } else if (seg.sealed()) {
         const storage::SegmentFooter& footer = seg.footer();
         total_events += footer.event_count;
-        std::cout << "sealed: " << footer.event_count << " events across "
+        std::cout << "sealed v1: " << footer.event_count << " events across "
                   << footer.runs.size() << " names, watermark "
                   << footer.watermark << "\n";
       } else {
@@ -696,7 +725,7 @@ int main(int argc, char** argv) {
     }
     if (command == "store") {
       if (argc < 3) usage("store needs an action: inspect|verify|compact");
-      return cmd_store(argv[2], Args::parse(argc, argv, 3, {}));
+      return cmd_store(argv[2], Args::parse(argc, argv, 3, {"deep"}));
     }
     if (command == "spans") {
       return cmd_spans(Args::parse(argc, argv, 2, {}));

@@ -375,6 +375,109 @@ TEST(PersistentStore, MultiSegmentPlusWalMatchesInMemoryQueries) {
   EXPECT_TRUE(verify_store(dir.path).ok());
 }
 
+// Mixed-version log: a v1 generation, a v2 generation, and a live WAL
+// tail must merge into the same answers as an in-memory store fed the same
+// arrival order — formats mix freely inside one log.
+TEST(PersistentStore, MixedFormatSegmentsPlusWalMatchInMemoryQueries) {
+  util::Rng rng(0x3141);
+  core::EventStore mem;
+  TempDir dir("mixed");
+  util::TimeSec watermark = 0;
+  auto feed = [&](EventLogWriter& writer, int count) {
+    for (int i = 0; i < count; ++i) {
+      core::EventInstance e = random_event(rng);
+      watermark = std::max(watermark, e.when.start + 1);
+      writer.append(e);
+      mem.add(std::move(e));
+    }
+  };
+  {
+    EventLogWriter v1_writer(dir.path, false, SealFormat::kV1);
+    feed(v1_writer, 400);
+    ASSERT_TRUE(v1_writer.seal(watermark).has_value());
+  }
+  {
+    EventLogWriter v2_writer(dir.path, false, SealFormat::kV2);
+    feed(v2_writer, 400);
+    ASSERT_TRUE(v2_writer.seal(watermark).has_value());
+    feed(v2_writer, 150);  // live WAL tail, not sealed
+  }
+  mem.warm();
+
+  PersistentEventStore disk = PersistentEventStore::open(dir.path);
+  EXPECT_EQ(disk.stats().sealed_segments, 2u);
+  EXPECT_EQ(disk.stats().v2_segments, 1u);
+  EXPECT_EQ(disk.stats().wal_events, 150u);
+  expect_equivalent(mem, disk, rng, 300);
+  EXPECT_TRUE(verify_store(dir.path, /*deep=*/true).ok());
+
+  // Compacting the mixed log folds both formats plus the tail into one v2
+  // segment with identical answers.
+  ASSERT_TRUE(compact_store(dir.path).has_value());
+  PersistentEventStore compacted = PersistentEventStore::open(dir.path);
+  EXPECT_EQ(compacted.stats().sealed_segments, 1u);
+  EXPECT_EQ(compacted.stats().v2_segments, 1u);
+  expect_equivalent(mem, compacted, rng, 300);
+  EXPECT_TRUE(verify_store(dir.path, /*deep=*/true).ok());
+}
+
+// The torn-tail sweep with a sealed v2 segment alongside: truncating the
+// WAL at every offset must never disturb the sealed columnar data, and
+// recovery still adopts exactly the whole frames.
+TEST(EventLog, TornTailSweepWithSealedV2Segment) {
+  util::Rng rng(0x2718);
+  TempDir master("master");
+  std::vector<core::EventInstance> sealed_events;
+  util::TimeSec watermark = 0;
+  {
+    EventLogWriter writer(master.path, false, SealFormat::kV2);
+    for (int i = 0; i < 50; ++i) {
+      sealed_events.push_back(random_event(rng));
+      watermark = std::max(watermark, sealed_events.back().when.start + 1);
+      writer.append(sealed_events.back());
+    }
+    ASSERT_TRUE(writer.seal(watermark).has_value());
+  }
+  // Hand-build the WAL tail so frame boundaries are known exactly.
+  std::vector<core::EventInstance> tail;
+  std::vector<std::size_t> frame_end;
+  std::vector<std::uint8_t> wal = encode_segment_header(2, SegmentKind::kLive);
+  for (int i = 0; i < 3; ++i) {
+    tail.push_back(random_event(rng));
+    encode_frame(tail.back(), wal);
+    frame_end.push_back(wal.size());
+  }
+  auto sealed_paths = list_segments(master.path);
+  ASSERT_EQ(sealed_paths.size(), 1u);
+  std::vector<std::uint8_t> seg_bytes = read_file(sealed_paths.front());
+
+  for (std::size_t cut = kSegmentHeaderBytes; cut <= wal.size(); ++cut) {
+    TempDir dir("cut" + std::to_string(cut));
+    fs::create_directories(dir.path);
+    write_file(dir.path / sealed_paths.front().filename(), seg_bytes,
+               seg_bytes.size());
+    write_file(dir.path / kWalName, wal, cut);
+
+    std::size_t whole_frames =
+        static_cast<std::size_t>(std::upper_bound(frame_end.begin(),
+                                                  frame_end.end(), cut) -
+                                 frame_end.begin());
+    PersistentEventStore store = PersistentEventStore::open(dir.path);
+    EXPECT_EQ(store.stats().v2_segments, 1u);
+    EXPECT_EQ(store.stats().wal_events, whole_frames);
+    ASSERT_EQ(store.total_instances(), sealed_events.size() + whole_frames)
+        << "cut=" << cut;
+    for (std::size_t i = 0; i < whole_frames; ++i) {
+      auto span = store.all(tail[i].name);
+      EXPECT_TRUE(std::any_of(span.begin(), span.end(),
+                              [&](const core::EventInstance& got) {
+                                return got == tail[i];
+                              }))
+          << "cut=" << cut << " lost WAL frame " << i;
+    }
+  }
+}
+
 TEST(PersistentStore, OpenEmptyDirectoryThrows) {
   TempDir dir("empty");
   fs::create_directories(dir.path);
@@ -482,10 +585,11 @@ std::string fingerprint(const core::Diagnosis& d) {
   return out.str();
 }
 
-// The acceptance gate: diagnosing against the reopened persistent store
-// yields byte-identical verdicts — same diagnoses, same order, same
-// evidence — as a fresh extraction run over the same corpus.
-TEST(PersistentStore, DiagnosisByteIdenticalAcrossBackends) {
+// The acceptance gate: diagnosing against a reopened persistent store —
+// in BOTH on-disk formats — yields byte-identical verdicts (same
+// diagnoses, same order, same evidence) as a fresh extraction run over the
+// same corpus.
+TEST(PersistentStore, DiagnosisByteIdenticalAcrossFormatsAndBackends) {
   StudyFixture f;
   apps::Pipeline fresh(f.rca_net, f.study.records);
   auto batch = fresh.diagnose_all(apps::bgp::build_graph(), 1);
@@ -497,20 +601,26 @@ TEST(PersistentStore, DiagnosisByteIdenticalAcrossBackends) {
       watermark = std::max(watermark, e.when.start + 1);
     }
   }
-  TempDir dir("diag");
-  write_sealed_store(dir.path, fresh.store(), watermark);
+  for (SealFormat format : {SealFormat::kV1, SealFormat::kV2}) {
+    std::string tag = format == SealFormat::kV1 ? "v1" : "v2";
+    TempDir dir("diag-" + tag);
+    write_sealed_store(dir.path, fresh.store(), watermark, format);
 
-  auto disk = std::make_shared<PersistentEventStore>(
-      PersistentEventStore::open(dir.path));
-  EXPECT_EQ(disk->total_instances(), fresh.store().total_instances());
-  apps::Pipeline loaded(f.rca_net, f.study.records, disk);
-  auto replayed = loaded.diagnose_all(apps::bgp::build_graph(), 1);
+    auto disk = std::make_shared<PersistentEventStore>(
+        PersistentEventStore::open(dir.path));
+    EXPECT_EQ(disk->stats().v2_segments,
+              format == SealFormat::kV2 ? 1u : 0u);
+    EXPECT_EQ(disk->total_instances(), fresh.store().total_instances());
+    apps::Pipeline loaded(f.rca_net, f.study.records, disk);
+    auto replayed = loaded.diagnose_all(apps::bgp::build_graph(), 1);
 
-  ASSERT_EQ(replayed.size(), batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    ASSERT_EQ(batch[i].symptom, replayed[i].symptom) << "diagnosis " << i;
-    ASSERT_EQ(fingerprint(batch[i]), fingerprint(replayed[i]))
-        << "diagnosis " << i;
+    ASSERT_EQ(replayed.size(), batch.size()) << tag;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(batch[i].symptom, replayed[i].symptom)
+          << tag << " diagnosis " << i;
+      ASSERT_EQ(fingerprint(batch[i]), fingerprint(replayed[i]))
+          << tag << " diagnosis " << i;
+    }
   }
 }
 
