@@ -18,6 +18,7 @@
 #include "apps/streaming.h"
 #include "core/trending.h"
 #include "obs/feed_health.h"
+#include "service/shutdown.h"
 #include "simulation/scenario.h"
 #include "topology/config.h"
 #include "topology/topo_gen.h"
@@ -88,11 +89,20 @@ int main(int argc, char** argv) {
     std::printf(" late-drops=%zu\n", stream.dropped_late());
   };
 
+  // Ctrl-C / SIGTERM: stop feeding, drain what is buffered (every frozen
+  // symptom still gets its diagnosis), print the summary, exit cleanly.
+  service::ShutdownSignal::install();
+
   std::vector<core::Diagnosis> all;
   std::size_t printed = 0;
   util::TimeSec next_tick = records.front().true_utc;
   util::TimeSec next_health = next_tick + util::kDay;
   for (const telemetry::RawRecord& r : records) {
+    if (service::ShutdownSignal::requested()) {
+      std::printf("signal %d: draining stream\n",
+                  service::ShutdownSignal::signal_number());
+      break;
+    }
     while (r.true_utc >= next_tick) {
       if (next_tick >= next_health) {
         print_health(next_tick);

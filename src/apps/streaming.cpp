@@ -268,6 +268,17 @@ std::vector<core::Diagnosis> StreamingRca::advance(TimeSec now) {
   return out;
 }
 
+void StreamingRca::inject(core::EventInstance instance) {
+  if (instance.name == engine_->graph().root()) {
+    throw ConfigError(
+        "StreamingRca::inject: cannot inject instances of the symptom "
+        "root '" +
+        instance.name + "' (the diagnosis cursor owns that bucket)");
+  }
+  store_.add(std::move(instance));
+  ++injected_;
+}
+
 std::vector<core::Diagnosis> StreamingRca::drain() {
   if (high_water_ == std::numeric_limits<TimeSec>::min()) return {};
   {

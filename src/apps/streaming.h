@@ -94,6 +94,19 @@ class StreamingRca {
   /// empty vector.
   std::vector<core::Diagnosis> drain();
 
+  /// Injects a synthesized (non-telemetry) event instance directly into the
+  /// event store — the alert engine's path for "missing data" evidence. Call
+  /// from the ingest thread between advance() calls only: the store is
+  /// single-writer and must not move while a diagnosis batch is in flight.
+  /// Injected instances are not written to the persistence WAL (they are
+  /// re-derivable from the feed-health metrics that raised them) and must
+  /// not use the graph root's name — the diagnosis cursor walks the root
+  /// bucket by insertion order, so a foreign instance there would corrupt
+  /// resume bookkeeping. Throws ConfigError on a root-named instance.
+  void inject(core::EventInstance instance);
+  /// Instances added through inject() so far.
+  std::size_t injected() const noexcept { return injected_; }
+
   const core::EventStore& store() const noexcept { return store_; }
   /// Records accepted into the stream buffer (normalized, within skew).
   std::size_t stored() const noexcept { return stored_; }
@@ -174,6 +187,7 @@ class StreamingRca {
   std::size_t stored_ = 0;
   std::size_t dropped_late_ = 0;
   std::size_t diagnosed_count_ = 0;
+  std::size_t injected_ = 0;
 
   // Streaming instrumentation (null when no registry is installed).
   obs::Gauge* freeze_lag_gauge_ = nullptr;

@@ -5,6 +5,8 @@
 
 #include <algorithm>
 
+#include "obs/export.h"
+
 namespace grca::core {
 
 void EventStore::add(EventInstance instance) {
@@ -21,9 +23,8 @@ void EventStore::add(EventInstance instance) {
   instance.where_id = kInvalidLocId;
   Bucket& b = buckets_[instance.name];
   if (metrics_ && !b.counter) {
-    b.counter =
-        &metrics_->counter("grca_events_total{event=\"" + instance.name +
-                           "\"}");
+    b.counter = &metrics_->counter(
+        obs::prometheus_label("grca_events_total", "event", instance.name));
   }
   if (b.counter) b.counter->inc();
   b.max_duration = std::max(b.max_duration, instance.when.duration());

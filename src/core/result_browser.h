@@ -59,6 +59,15 @@ class ResultBrowser {
   const std::vector<Diagnosis>& diagnoses() const noexcept {
     return diagnoses_;
   }
+
+  /// The installed display configuration, so other renderers (the service
+  /// plane's JSON API) can label and order causes exactly like the tables.
+  const std::map<std::string, std::string>& display_names() const noexcept {
+    return display_names_;
+  }
+  const std::vector<std::string>& display_order() const noexcept {
+    return display_order_;
+  }
   double mean_diagnosis_ms() const;
 
   /// One CSV line per diagnosis (symptom, window, location, cause, evidence

@@ -1,0 +1,71 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// A small single-threaded epoll reactor (the io-event selector idiom): file
+// descriptors are registered edge-triggered with a callback, run() blocks in
+// epoll_wait dispatching ready callbacks until stop() is called from any
+// thread (an eventfd wakes the loop). Edge-triggered means a callback must
+// drain its descriptor to EAGAIN before returning — the loop will not
+// re-report a level that was never cleared.
+//
+// One EventLoop is owned and run by exactly one thread; add/modify/remove
+// are called from that thread only (callbacks registering new descriptors —
+// an acceptor registering connections — is the normal case). stop() is the
+// single cross-thread entry point.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace grca::net {
+
+class EventLoop {
+ public:
+  /// Callback for descriptor readiness; `events` is the epoll event mask
+  /// (EPOLLIN / EPOLLOUT / EPOLLHUP / EPOLLERR bits).
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` edge-triggered for `events` (EPOLLIN and/or EPOLLOUT;
+  /// EPOLLET is added internally). The loop does not own the descriptor.
+  void add(int fd, std::uint32_t events, Callback cb);
+
+  /// Changes the interest mask of a registered descriptor.
+  void modify(int fd, std::uint32_t events);
+
+  /// Deregisters `fd`. Safe to call from inside its own callback; the
+  /// callback object stays alive until the dispatch that invoked it returns.
+  void remove(int fd);
+
+  /// Dispatches events until stop(). `tick` (if set) additionally runs every
+  /// `tick_interval_ms` of idle time — the server uses it for timeouts.
+  void run(const std::function<void()>& tick = {}, int tick_interval_ms = 500);
+
+  /// Wakes the loop and makes run() return after the current dispatch round.
+  /// Callable from any thread.
+  void stop() noexcept;
+
+  /// Number of registered descriptors (excludes the internal wakeup fd).
+  std::size_t size() const noexcept { return handlers_.size(); }
+
+ private:
+  Fd epoll_;
+  Fd wake_;  // eventfd: written by stop(), drained by the loop
+  std::unordered_map<int, Callback> handlers_;
+  /// Retired callbacks parked until the current dispatch round ends, so a
+  /// handler may remove() (and thereby destroy) itself mid-call safely.
+  std::vector<Callback> retired_;
+  bool dispatching_ = false;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace grca::net

@@ -1,0 +1,96 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Minimal HTTP/1.1 message layer for the service plane: an incremental
+// request parser (per-connection state machine — bytes arrive in arbitrary
+// chunks from an edge-triggered socket) and a response serializer. Scope is
+// exactly what a scrape/query endpoint needs: GET/HEAD with headers and an
+// optional Content-Length body, keep-alive and pipelining, percent-decoded
+// paths and query strings. No chunked transfer, no TLS, no compression.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace grca::net {
+
+/// One parsed request. Header names are lowercased; query values are
+/// percent-decoded ('+' decodes to space, as form encoding sends it).
+struct HttpRequest {
+  std::string method;   // uppercase, e.g. "GET"
+  std::string target;   // raw request target, e.g. "/api/breakdown?from=1"
+  std::string path;     // decoded path component, e.g. "/api/breakdown"
+  std::map<std::string, std::string> query;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Whether the connection should stay open after the response (HTTP/1.1
+  /// default unless "connection: close"; HTTP/1.0 requires keep-alive).
+  bool keep_alive = true;
+
+  /// Convenience lookup; empty string when the query key is absent.
+  const std::string& query_value(const std::string& key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+/// The reason phrase for the handful of status codes the server emits.
+const char* status_text(int status) noexcept;
+
+/// Serializes a response. HEAD responses carry full headers (including the
+/// real Content-Length) but no body.
+std::string serialize(const HttpResponse& response, bool keep_alive,
+                      bool head_only);
+
+/// Percent-decodes a URL component; '+' becomes a space when `form`.
+/// Malformed escapes are passed through verbatim.
+std::string url_decode(const std::string& text, bool form);
+
+/// Incremental HTTP/1.1 request parser. feed() consumes bytes; whenever a
+/// complete request has been assembled, next() hands it out (pipelined
+/// requests queue up in order). A protocol violation or an exceeded limit
+/// moves the parser into the error state permanently; the connection should
+/// send `error_status()` and close.
+class HttpParser {
+ public:
+  /// Defense against hostile peers: a request line + headers beyond this
+  /// size is rejected with 431, a body beyond the cap with 413.
+  static constexpr std::size_t kMaxHeaderBytes = 16 * 1024;
+  static constexpr std::size_t kMaxBodyBytes = 1024 * 1024;
+
+  /// Consumes a chunk of bytes. Returns false once the parser is in the
+  /// error state (further bytes are ignored).
+  bool feed(const char* data, std::size_t size);
+
+  /// True when at least one complete request is ready.
+  bool has_request() const noexcept { return !ready_.empty(); }
+
+  /// Pops the oldest complete request.
+  HttpRequest next();
+
+  bool errored() const noexcept { return errored_; }
+  int error_status() const noexcept { return error_status_; }
+
+ private:
+  void parse_buffer();
+  bool parse_head(const std::string& head);
+  void fail(int status) noexcept;
+
+  std::string buffer_;
+  HttpRequest current_;
+  std::size_t body_needed_ = 0;
+  bool in_body_ = false;
+  std::vector<HttpRequest> ready_;
+  std::size_t ready_front_ = 0;
+  bool errored_ = false;
+  int error_status_ = 400;
+};
+
+}  // namespace grca::net

@@ -1,0 +1,293 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "net/http_server.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "util/error.h"
+
+namespace grca::net {
+
+namespace {
+
+std::uint64_t steady_seconds() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// One reactor thread: an event loop, its SO_REUSEPORT listener, and the
+/// connections the kernel routed to it. All fields except the shared
+/// counters are touched only by the owning thread.
+struct HttpServer::Loop {
+  struct Connection {
+    Fd fd;
+    HttpParser parser;
+    std::string outbox;          // bytes serialized but not yet written
+    std::size_t out_pos = 0;     // prefix of outbox already written
+    bool want_writable = false;  // EPOLLOUT currently in the interest mask
+    bool close_after_flush = false;
+    std::uint64_t last_activity_s = 0;
+  };
+
+  EventLoop loop;
+  Fd listener;
+  std::unordered_map<int, Connection> connections;
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> served{0};
+  HttpServer* server = nullptr;
+
+  void run() {
+    loop.add(listener.get(), EPOLLIN, [this](std::uint32_t) { accept_all(); });
+    loop.run([this] { reap_idle(); });
+    // Loop exited: drop every connection so fds return to the system.
+    for (auto& [fd, conn] : connections) loop.remove(fd);
+    connections.clear();
+  }
+
+  void accept_all() {
+    for (;;) {
+      int raw = ::accept4(listener.get(), nullptr, nullptr,
+                          SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (raw < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        // EMFILE/ECONNABORTED and friends: drop this accept, keep serving.
+        return;
+      }
+      if (connections.size() >= server->options_.max_connections_per_loop) {
+        ::close(raw);
+        continue;
+      }
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      if (server->connections_total_) server->connections_total_->inc();
+      if (server->active_connections_) server->active_connections_->add(1);
+      Connection conn;
+      conn.fd = Fd(raw);
+      conn.last_activity_s = steady_seconds();
+      auto [it, inserted] = connections.emplace(raw, std::move(conn));
+      (void)inserted;
+      loop.add(raw, EPOLLIN,
+               [this, raw](std::uint32_t events) { on_event(raw, events); });
+    }
+  }
+
+  void on_event(int fd, std::uint32_t events) {
+    auto it = connections.find(fd);
+    if (it == connections.end()) return;  // stale event after close
+    Connection& conn = it->second;
+    conn.last_activity_s = steady_seconds();
+    if (events & (EPOLLHUP | EPOLLERR)) {
+      close_connection(it);
+      return;
+    }
+    if (events & EPOLLOUT) {
+      if (!flush(it)) return;  // connection closed
+      it = connections.find(fd);
+      if (it == connections.end()) return;
+    }
+    if (events & EPOLLIN) read_all(it);
+  }
+
+  void read_all(std::unordered_map<int, Connection>::iterator it) {
+    Connection& conn = it->second;
+    char buf[16 * 1024];
+    for (;;) {
+      ssize_t n = ::read(conn.fd.get(), buf, sizeof(buf));
+      if (n > 0) {
+        if (!conn.parser.feed(buf, static_cast<std::size_t>(n))) {
+          // Protocol violation: answer with the parser's status and close
+          // once the error response has drained.
+          HttpResponse err;
+          err.status = conn.parser.error_status();
+          err.content_type = "text/plain; charset=utf-8";
+          err.body = status_text(err.status);
+          err.body += "\n";
+          conn.outbox += serialize(err, /*keep_alive=*/false,
+                                   /*head_only=*/false);
+          conn.close_after_flush = true;
+          flush(it);
+          return;
+        }
+        continue;
+      }
+      if (n == 0) {
+        // Peer closed its write half; finish flushing, then close.
+        if (conn.out_pos < conn.outbox.size()) {
+          conn.close_after_flush = true;
+          flush(it);
+        } else {
+          close_connection(it);
+        }
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_connection(it);
+      return;
+    }
+    dispatch_ready(it);
+  }
+
+  void dispatch_ready(std::unordered_map<int, Connection>::iterator it) {
+    Connection& conn = it->second;
+    while (conn.parser.has_request()) {
+      HttpRequest request = conn.parser.next();
+      served.fetch_add(1, std::memory_order_relaxed);
+      if (server->requests_total_) server->requests_total_->inc();
+      HttpResponse response;
+      if (request.method != "GET" && request.method != "HEAD") {
+        response.status = 405;
+        response.content_type = "text/plain; charset=utf-8";
+        response.body = "Method Not Allowed\n";
+      } else {
+        try {
+          response = server->handler_(request);
+        } catch (const std::exception& e) {
+          response = HttpResponse{};
+          response.status = 500;
+          response.content_type = "text/plain; charset=utf-8";
+          response.body = std::string("internal error: ") + e.what() + "\n";
+        }
+      }
+      bool keep = request.keep_alive;
+      conn.outbox +=
+          serialize(response, keep, /*head_only=*/request.method == "HEAD");
+      if (!keep) {
+        conn.close_after_flush = true;
+        break;
+      }
+    }
+    flush(it);
+  }
+
+  /// Writes as much of the outbox as the socket accepts. Returns false when
+  /// the connection was closed (erased from the map).
+  bool flush(std::unordered_map<int, Connection>::iterator it) {
+    Connection& conn = it->second;
+    while (conn.out_pos < conn.outbox.size()) {
+      ssize_t n = ::write(conn.fd.get(), conn.outbox.data() + conn.out_pos,
+                          conn.outbox.size() - conn.out_pos);
+      if (n > 0) {
+        conn.out_pos += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!conn.want_writable) {
+          conn.want_writable = true;
+          loop.modify(conn.fd.get(), EPOLLIN | EPOLLOUT);
+        }
+        return true;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      close_connection(it);
+      return false;
+    }
+    // Fully drained: recycle the buffer and drop write interest.
+    conn.outbox.clear();
+    conn.out_pos = 0;
+    if (conn.want_writable) {
+      conn.want_writable = false;
+      loop.modify(conn.fd.get(), EPOLLIN);
+    }
+    if (conn.close_after_flush) {
+      close_connection(it);
+      return false;
+    }
+    return true;
+  }
+
+  void close_connection(std::unordered_map<int, Connection>::iterator it) {
+    loop.remove(it->second.fd.get());
+    connections.erase(it);
+    if (server->active_connections_) server->active_connections_->add(-1);
+  }
+
+  void reap_idle() {
+    if (server->options_.idle_timeout_s <= 0) return;
+    const std::uint64_t now = steady_seconds();
+    const std::uint64_t limit =
+        static_cast<std::uint64_t>(server->options_.idle_timeout_s);
+    for (auto it = connections.begin(); it != connections.end();) {
+      auto cur = it++;
+      if (now - cur->second.last_activity_s > limit) close_connection(cur);
+    }
+  }
+};
+
+HttpServer::HttpServer(Handler handler, HttpServerOptions options)
+    : handler_(std::move(handler)), options_(options) {
+  if (options_.threads == 0) options_.threads = 1;
+  if (obs::MetricsRegistry* reg = obs::registry_ptr()) {
+    connections_total_ = &reg->counter("grca_http_connections_total");
+    requests_total_ = &reg->counter("grca_http_requests_total");
+    active_connections_ = &reg->gauge("grca_http_active_connections");
+  }
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  if (running_.exchange(true)) return;
+  ignore_sigpipe();
+  const bool reuse_port = options_.threads > 1;
+  loops_.clear();
+  for (unsigned i = 0; i < options_.threads; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->server = this;
+    // The first bind resolves an ephemeral port; the rest share it.
+    std::uint16_t bind_port = i == 0 ? options_.port : port_;
+    loop->listener = listen_tcp(bind_port, reuse_port, options_.loopback_only);
+    if (i == 0) port_ = local_port(loop->listener.get());
+    loops_.push_back(std::move(loop));
+  }
+  threads_.reserve(loops_.size());
+  for (auto& loop : loops_) {
+    threads_.emplace_back([raw = loop.get()] { raw->run(); });
+  }
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& loop : loops_) loop->loop.stop();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  for (const auto& loop : loops_) {
+    accepted_before_ += loop->accepted.load(std::memory_order_relaxed);
+    served_before_ += loop->served.load(std::memory_order_relaxed);
+  }
+  threads_.clear();
+  loops_.clear();
+}
+
+std::uint64_t HttpServer::connections_accepted() const noexcept {
+  std::uint64_t total = accepted_before_;
+  for (const auto& loop : loops_) {
+    total += loop->accepted.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t HttpServer::requests_served() const noexcept {
+  std::uint64_t total = served_before_;
+  for (const auto& loop : loops_) {
+    total += loop->served.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace grca::net

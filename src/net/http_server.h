@@ -1,0 +1,90 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// An embedded epoll HTTP/1.1 server. N loop threads each own an epoll
+// reactor and a SO_REUSEPORT listener on the shared port; the kernel
+// balances incoming connections across them. Connections are edge-triggered
+// and non-blocking end to end: accept and read loops drain to EAGAIN, the
+// handler produces a response synchronously (handlers read prebuilt
+// snapshots — see service/service_plane.h — so they are microseconds, never
+// blocking on the ingest path), and writes that hit a full socket buffer
+// park the remainder behind EPOLLOUT.
+//
+// The handler is called on loop threads, possibly several concurrently (one
+// per loop thread); it must be thread-safe and must not block.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/http.h"
+#include "obs/metrics.h"
+
+namespace grca::net {
+
+struct HttpServerOptions {
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Loop threads, each with its own epoll instance and listener.
+  unsigned threads = 1;
+  /// Bind only the loopback interface (the default: the service plane is a
+  /// local scrape/query endpoint, not an internet-facing server).
+  bool loopback_only = true;
+  /// Idle connections are closed after this many seconds without a request.
+  int idle_timeout_s = 60;
+  /// Hard cap on concurrently open connections per loop thread; accepts
+  /// beyond it are immediately closed (defends the fd budget).
+  std::size_t max_connections_per_loop = 16384;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(Handler handler, HttpServerOptions options = {});
+  /// stop()s and joins if still running.
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds the listeners and starts the loop threads. Throws StateError if
+  /// the port cannot be bound.
+  void start();
+
+  /// Closes the listeners, wakes every loop, joins the threads and closes
+  /// all connections. Idempotent.
+  void stop();
+
+  /// The bound port (valid after start(); resolves an ephemeral bind).
+  std::uint16_t port() const noexcept { return port_; }
+
+  bool running() const noexcept { return running_.load(); }
+
+  /// Totals across all loop threads; survive stop()/restart cycles.
+  std::uint64_t connections_accepted() const noexcept;
+  std::uint64_t requests_served() const noexcept;
+
+ private:
+  struct Loop;  // per-thread reactor state (defined in http_server.cpp)
+
+  Handler handler_;
+  HttpServerOptions options_;
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  // Counts carried over from loops already torn down by stop().
+  std::uint64_t accepted_before_ = 0;
+  std::uint64_t served_before_ = 0;
+
+  // Server-level instrumentation (null without an installed registry).
+  obs::Counter* connections_total_ = nullptr;
+  obs::Counter* requests_total_ = nullptr;
+  obs::Gauge* active_connections_ = nullptr;
+};
+
+}  // namespace grca::net

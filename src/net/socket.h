@@ -1,0 +1,65 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Thin, dependency-free POSIX socket helpers for the service plane: an RAII
+// file-descriptor owner and the handful of TCP operations the HTTP server
+// and its tests need (non-blocking listeners, loopback client connects).
+// Everything is IPv4 loopback/any-address TCP — the service plane fronts a
+// single process, not a routing mesh.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace grca::net {
+
+/// Owns one file descriptor; closes it on destruction. Move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  /// Releases ownership without closing.
+  int release() noexcept { return std::exchange(fd_, -1); }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Puts `fd` into non-blocking mode. Throws StateError on failure.
+void set_nonblocking(int fd);
+
+/// Opens a non-blocking TCP listener on `port` (0 picks an ephemeral port).
+/// `reuse_port` sets SO_REUSEPORT so several loop threads can each own a
+/// listener on the same port and let the kernel balance accepts. Binds the
+/// loopback interface when `loopback_only`, the any-address otherwise.
+/// Throws StateError on failure.
+Fd listen_tcp(std::uint16_t port, bool reuse_port, bool loopback_only,
+              int backlog = 511);
+
+/// The port a bound socket ended up on (resolves ephemeral binds).
+std::uint16_t local_port(int fd);
+
+/// Blocking loopback connect, for tests and simple clients.
+Fd connect_loopback(std::uint16_t port);
+
+/// Ignores SIGPIPE process-wide (a peer closing mid-write must surface as
+/// EPIPE from write(), not kill the process). Idempotent.
+void ignore_sigpipe() noexcept;
+
+}  // namespace grca::net

@@ -31,6 +31,17 @@ std::string render_json(const MetricsRegistry& registry);
 /// "x=\"y\""); names without a label block return an empty label string.
 std::pair<std::string, std::string> split_labels(const std::string& name);
 
+/// Escapes a label value for the text exposition format: backslash, double
+/// quote and newline (the three characters the format requires escaped).
+std::string prometheus_escape_label_value(const std::string& value);
+
+/// Builds a registry name with one escaped label:
+/// ("m_total", "source", "a\"b") -> `m_total{source="a\"b"}`. Every
+/// instrumentation site that labels by untrusted strings (event names,
+/// source names) must build its series names through this.
+std::string prometheus_label(const std::string& base, const std::string& key,
+                             const std::string& value);
+
 /// JSON string escaping (quotes, backslashes, control characters).
 std::string json_escape(const std::string& text);
 

@@ -5,6 +5,8 @@
 
 #include <algorithm>
 
+#include "obs/export.h"
+
 namespace grca::obs {
 
 using telemetry::SourceType;
@@ -17,8 +19,8 @@ const std::vector<double> kLagBounds = {1,   5,    30,   60,   300,
                                         900, 1800, 3600, 7200, 21600};
 
 std::string series(const char* name, SourceType source) {
-  return std::string(name) + "{source=\"" +
-         std::string(telemetry::to_string(source)) + "\"}";
+  return prometheus_label(name, "source",
+                          std::string(telemetry::to_string(source)));
 }
 
 }  // namespace

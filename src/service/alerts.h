@@ -1,0 +1,133 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Feed-health alerting: threshold rules over the metrics registry's gauges
+// that synthesize "missing data" alarm events and inject them back into the
+// diagnosis graph as evidence.
+//
+// This closes the paper's self-monitoring loop: G-RCA treated data quality
+// as a first-class concern (~600 feeds; a silent poller corrupts diagnoses
+// silently). The FeedHealthMonitor already *measures* silence, gaps and
+// arrival lag into gauges (`grca_feed_silent{source=...}` etc.); the alert
+// engine closes the loop by *acting* on them — when a rule fires, it
+// synthesizes a `missing-data` event instance so that symptoms diagnosed
+// while a feed was dark carry "telemetry was missing here" as evidence
+// instead of a bare "unknown".
+//
+// Edge semantics: an alarm is keyed by (rule, labelled gauge). Crossing the
+// threshold (rising edge) activates the alarm and emits event instances;
+// while it stays active, coverage is extended ahead of the stream clock so
+// a long silence is one alarm, not one per tick; dropping back deactivates
+// it. Everything is single-threaded on the tick (ingest) thread — the
+// service plane publishes value snapshots for the HTTP side.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/diagnosis_graph.h"
+#include "core/event.h"
+#include "obs/metrics.h"
+#include "util/time.h"
+
+namespace grca::service {
+
+/// The event name alarms synthesize and the diagnosis graph keys on.
+inline constexpr const char* kMissingDataEvent = "missing-data";
+
+/// One threshold rule over registry gauges.
+struct AlertRule {
+  std::string name;    // rule identifier, e.g. "feed-silent"
+  std::string metric;  // gauge base name to watch, e.g. "grca_feed_silent"
+                       // (label blocks are matched per labelled series)
+  enum class Op { kGreater, kLess } op = Op::kGreater;
+  double threshold = 0.5;
+  /// Backdating: a synthesized instance starts this long before the firing
+  /// tick. Feed trouble is detected *now* but corrupted diagnoses are for
+  /// symptoms up to freeze-horizon + settle in the past, so the alarm event
+  /// must reach back far enough to join them temporally.
+  util::TimeSec backdate = 3 * util::kHour;
+  /// Forward coverage per synthesized instance; while the alarm stays
+  /// active, coverage is extended before it runs out.
+  util::TimeSec hold = 1800;
+  /// Synthesized event name.
+  std::string event = kMissingDataEvent;
+};
+
+/// The built-in rules: feed silence, feed gap beyond one hour, and mean
+/// arrival lag beyond ten minutes.
+std::vector<AlertRule> default_alert_rules();
+
+/// Parses a rule file. One rule per line:
+///   NAME METRIC >|< THRESHOLD [backdate SEC] [hold SEC] [event NAME]
+/// '#' starts a comment; blank lines are skipped. Throws ParseError on a
+/// malformed line.
+std::vector<AlertRule> parse_alert_rules(const std::string& text);
+
+/// Defines the missing-data event and a lowest-priority root -> missing-data
+/// edge (PoP join level) in `graph`. Real causes always outrank the alarm
+/// evidence; it only surfaces when nothing better explains a symptom.
+void add_missing_data_support(core::DiagnosisGraph& graph,
+                              const std::string& event = kMissingDataEvent);
+
+class AlertEngine {
+ public:
+  /// `scope` is where synthesized instances are placed (one instance per
+  /// scope location per firing) — typically every PoP of the network, with
+  /// the graph edge joining at PoP level.
+  AlertEngine(std::vector<AlertRule> rules, std::vector<core::Location> scope,
+              obs::MetricsRegistry* registry = obs::registry_ptr());
+
+  /// One alarm: a rule crossed its threshold on one labelled gauge.
+  struct Alarm {
+    std::string rule;
+    std::string metric;  // the full labelled gauge name, e.g.
+                         // "grca_feed_silent{source=\"snmp\"}"
+    double value = 0.0;  // gauge value at the most recent evaluation
+    util::TimeSec since = 0;  // stream time of the rising edge
+    util::TimeSec until = 0;  // falling-edge time (0 while active)
+    bool active = false;
+  };
+
+  /// Evaluates every rule against the registry's gauges at stream time
+  /// `now` (non-decreasing). Returns the event instances synthesized by
+  /// this evaluation (rising edges and coverage extensions) — the caller
+  /// injects them into its event store. Tick-thread only.
+  std::vector<core::EventInstance> evaluate(util::TimeSec now);
+
+  /// Every alarm ever raised (active and resolved), in raise order. The
+  /// service plane copies this into its published snapshot.
+  const std::vector<Alarm>& alarms() const noexcept { return alarms_; }
+  std::size_t active_count() const noexcept;
+  std::uint64_t events_synthesized() const noexcept { return synthesized_; }
+
+  const std::vector<AlertRule>& rules() const noexcept { return rules_; }
+
+ private:
+  struct State {
+    std::size_t alarm_index = 0;      // into alarms_
+    bool active = false;
+    util::TimeSec covered_until = 0;  // stream time synthesized events reach
+  };
+
+  std::vector<core::EventInstance> synthesize(const AlertRule& rule,
+                                              const std::string& metric,
+                                              double value,
+                                              util::TimeSec from,
+                                              util::TimeSec to);
+
+  std::vector<AlertRule> rules_;
+  std::vector<core::Location> scope_;
+  obs::MetricsRegistry* registry_;
+  std::vector<Alarm> alarms_;
+  std::map<std::string, State> states_;  // key: rule name + '\0' + metric
+  std::uint64_t synthesized_ = 0;
+
+  // Engine instrumentation (null without a registry).
+  obs::Counter* alarms_raised_ = nullptr;
+  obs::Counter* events_injected_ = nullptr;
+  obs::Gauge* alarms_active_ = nullptr;
+};
+
+}  // namespace grca::service

@@ -1,0 +1,238 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "service/service_plane.h"
+
+#include <sstream>
+
+#include "obs/export.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace grca::service {
+
+namespace {
+
+constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+constexpr const char* kDrilldownPrefix = "/api/drilldown/";
+
+net::HttpResponse text_response(int status, const std::string& body) {
+  net::HttpResponse response;
+  response.status = status;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = body;
+  return response;
+}
+
+net::HttpResponse json_error(int status, const std::string& message) {
+  net::HttpResponse response;
+  response.status = status;
+  response.body =
+      "{\"error\": \"" + obs::json_escape(message) + "\"}\n";
+  return response;
+}
+
+}  // namespace
+
+ServicePlane::ServicePlane(ServicePlaneOptions options)
+    : options_(options),
+      registry_(obs::registry_ptr()),
+      published_(std::make_shared<const Snapshot>()) {
+  if (registry_) {
+    scrapes_total_ = &registry_->counter("grca_service_scrapes_total");
+    api_requests_total_ = &registry_->counter("grca_service_api_requests_total");
+  }
+}
+
+ServicePlane::~ServicePlane() { stop(); }
+
+void ServicePlane::start() {
+  if (server_) return;
+  net::HttpServerOptions http;
+  http.port = options_.port;
+  http.threads = options_.http_threads;
+  http.loopback_only = options_.loopback_only;
+  server_ = std::make_unique<net::HttpServer>(
+      [this](const net::HttpRequest& request) { return handle(request); },
+      http);
+  server_->start();
+}
+
+void ServicePlane::stop() {
+  if (!server_) return;
+  server_->stop();
+  server_.reset();
+}
+
+std::uint16_t ServicePlane::port() const noexcept {
+  return server_ ? server_->port() : 0;
+}
+
+void ServicePlane::add_diagnoses(const std::vector<core::Diagnosis>& batch) {
+  staged_items_.reserve(staged_items_.size() + batch.size());
+  for (const core::Diagnosis& d : batch) {
+    staged_items_.push_back(to_api_item(d));
+  }
+}
+
+void ServicePlane::set_health(
+    std::vector<obs::FeedHealthMonitor::Status> feeds) {
+  staged_feeds_ = std::move(feeds);
+}
+
+void ServicePlane::set_alerts(std::vector<AlertRule> rules,
+                              std::vector<AlertEngine::Alarm> alarms,
+                              std::uint64_t events_synthesized) {
+  staged_rules_ = std::move(rules);
+  staged_alarms_ = std::move(alarms);
+  staged_synthesized_ = events_synthesized;
+}
+
+void ServicePlane::publish(util::TimeSec stream_now) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->items = staged_items_;
+  snap->feeds = staged_feeds_;
+  snap->rules = staged_rules_;
+  snap->alarms = staged_alarms_;
+  snap->events_synthesized = staged_synthesized_;
+  snap->stream_now = stream_now;
+  std::lock_guard<std::mutex> lock(mutex_);
+  published_ = std::move(snap);
+}
+
+std::shared_ptr<const ServicePlane::Snapshot> ServicePlane::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return published_;
+}
+
+std::size_t ServicePlane::published_items() const {
+  return snapshot()->items.size();
+}
+
+net::HttpResponse ServicePlane::handle(const net::HttpRequest& request) const {
+  const std::string& path = request.path;
+  if (path == "/healthz") return text_response(200, "ok\n");
+  if (path == "/metrics" || path == "/metrics.json") {
+    if (scrapes_total_) scrapes_total_->inc();
+    if (!registry_) return text_response(503, "no metrics registry\n");
+    net::HttpResponse response;
+    if (path == "/metrics") {
+      response.content_type = kPrometheusContentType;
+      response.body = obs::render_prometheus(*registry_);
+    } else {
+      response.body = obs::render_json(*registry_);
+    }
+    return response;
+  }
+  if (path == "/" || path == "/api" || path == "/api/") {
+    net::HttpResponse response;
+    response.body =
+        "{\"endpoints\": [\"/metrics\", \"/metrics.json\", "
+        "\"/api/breakdown\", \"/api/trending\", \"/api/drilldown/{cause}\", "
+        "\"/api/health\", \"/api/alerts\", \"/healthz\"]}\n";
+    return response;
+  }
+  if (path.rfind("/api/", 0) == 0) {
+    if (api_requests_total_) api_requests_total_->inc();
+    std::shared_ptr<const Snapshot> snap = snapshot();
+    try {
+      return api_response(request, *snap);
+    } catch (const ParseError& e) {
+      return json_error(400, e.what());
+    }
+  }
+  return json_error(404, "not found: " + path);
+}
+
+net::HttpResponse ServicePlane::api_response(const net::HttpRequest& request,
+                                             const Snapshot& snap) const {
+  const std::string& path = request.path;
+  QueryFilter filter = QueryFilter::parse(request.query);
+  net::HttpResponse response;
+  if (path == "/api/breakdown") {
+    response.body = render_breakdown(snap.items, filter, display_);
+    return response;
+  }
+  if (path == "/api/trending") {
+    response.body = render_trending(snap.items, filter, display_);
+    return response;
+  }
+  if (path == "/api/health") {
+    response.body = render_health(snap.feeds, snap.stream_now,
+                                  [&snap] {
+                                    std::size_t n = 0;
+                                    for (const auto& a : snap.alarms) {
+                                      if (a.active) ++n;
+                                    }
+                                    return n;
+                                  }());
+    return response;
+  }
+  if (path == "/api/alerts") {
+    std::ostringstream out;
+    out << "{\n  \"events_synthesized\": " << snap.events_synthesized
+        << ",\n  \"rules\": [";
+    bool first = true;
+    for (const AlertRule& rule : snap.rules) {
+      out << (first ? "" : ",") << "\n    {\"name\": \""
+          << obs::json_escape(rule.name) << "\", \"metric\": \""
+          << obs::json_escape(rule.metric) << "\", \"op\": \""
+          << (rule.op == AlertRule::Op::kGreater ? ">" : "<")
+          << "\", \"threshold\": " << util::format_double(rule.threshold, 3)
+          << ", \"backdate\": " << rule.backdate << ", \"hold\": " << rule.hold
+          << ", \"event\": \"" << obs::json_escape(rule.event) << "\"}";
+      first = false;
+    }
+    out << "\n  ],\n  \"alarms\": [";
+    first = true;
+    for (const AlertEngine::Alarm& alarm : snap.alarms) {
+      out << (first ? "" : ",") << "\n    {\"rule\": \""
+          << obs::json_escape(alarm.rule) << "\", \"metric\": \""
+          << obs::json_escape(alarm.metric)
+          << "\", \"value\": " << util::format_double(alarm.value, 3)
+          << ", \"since\": " << alarm.since << ", \"until\": " << alarm.until
+          << ", \"active\": " << (alarm.active ? "true" : "false") << "}";
+      first = false;
+    }
+    out << "\n  ]\n}\n";
+    response.body = out.str();
+    return response;
+  }
+  if (path.rfind(kDrilldownPrefix, 0) == 0) {
+    std::string cause = path.substr(std::string(kDrilldownPrefix).size());
+    if (cause.empty()) return json_error(400, "drilldown needs a cause");
+    response.body = render_drilldown(snap.items, filter, display_, cause,
+                                     options_.drilldown_limit);
+    return response;
+  }
+  return json_error(404, "not found: " + path);
+}
+
+std::string ServicePlane::get(const std::string& target) const {
+  net::HttpRequest request;
+  request.method = "GET";
+  request.target = target;
+  std::size_t qmark = target.find('?');
+  request.path = net::url_decode(target.substr(0, qmark), false);
+  if (qmark != std::string::npos) {
+    for (const std::string& pair :
+         util::split(target.substr(qmark + 1), '&')) {
+      if (pair.empty()) continue;
+      std::size_t eq = pair.find('=');
+      std::string key = net::url_decode(pair.substr(0, eq), true);
+      std::string value = eq == std::string::npos
+                              ? ""
+                              : net::url_decode(pair.substr(eq + 1), true);
+      request.query[std::move(key)] = std::move(value);
+    }
+  }
+  net::HttpResponse response = handle(request);
+  if (response.status != 200) {
+    throw StateError("GET " + target + " -> " +
+                     std::to_string(response.status) + ": " + response.body);
+  }
+  return response.body;
+}
+
+}  // namespace grca::service

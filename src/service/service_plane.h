@@ -1,0 +1,134 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The live service plane: one HTTP endpoint embedded into a running
+// diagnosis (streaming or batch) exposing
+//
+//   GET /metrics            Prometheus scrape of the process registry
+//                           (text exposition format 0.0.4)
+//   GET /metrics.json       the same snapshot as JSON
+//   GET /api/breakdown      root-cause breakdown        (result_api.h)
+//   GET /api/trending       daily cause trend
+//   GET /api/drilldown/{c}  evidence chains for cause c
+//   GET /api/health         per-source feed health + alarm count
+//   GET /api/alerts         alert rules, alarm history, injected events
+//   GET /healthz            liveness probe ("ok")
+//
+// Snapshot/freeze semantics: the ingest (tick) thread stages deep-copied
+// value data (result_api.h ApiItems, feed statuses, alarm states) and
+// publish()es it as one immutable Snapshot behind a shared_ptr swap. HTTP
+// threads take a reference under a mutex held for nanoseconds and then
+// render entirely from the frozen snapshot — thousands of concurrent
+// scrapes never touch live engine state, never block ingest, and always
+// see an internally consistent view (items + health + alarms from the same
+// publish). The /metrics endpoints read the registry directly; its values
+// are atomics, designed for concurrent scrape.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+#include "net/http_server.h"
+#include "obs/metrics.h"
+#include "service/alerts.h"
+#include "service/result_api.h"
+
+namespace grca::service {
+
+struct ServicePlaneOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral (read back via port())
+  unsigned http_threads = 1;
+  bool loopback_only = true;
+  /// Drilldown matches rendered per request (the total is always exact).
+  std::size_t drilldown_limit = 100;
+};
+
+class ServicePlane {
+ public:
+  explicit ServicePlane(ServicePlaneOptions options = {});
+  ~ServicePlane();
+  ServicePlane(const ServicePlane&) = delete;
+  ServicePlane& operator=(const ServicePlane&) = delete;
+
+  /// Labels and row order for the JSON renderers (call before start()).
+  void set_display(DisplayConfig display) { display_ = std::move(display); }
+
+  void start();
+  void stop();
+  std::uint16_t port() const noexcept;
+
+  // --- publisher side (one thread, typically the ingest/tick loop) ---
+
+  /// Deep-copies a batch of freshly completed diagnoses into the staged
+  /// item list. The diagnoses' instance pointers must still be valid (call
+  /// directly after StreamingRca::advance / drain, before further ingest).
+  void add_diagnoses(const std::vector<core::Diagnosis>& batch);
+
+  /// Stages the current per-source feed health.
+  void set_health(std::vector<obs::FeedHealthMonitor::Status> feeds);
+
+  /// Stages alert-engine state (rules echoed into /api/alerts, the alarm
+  /// list, and the synthesized-event count).
+  void set_alerts(std::vector<AlertRule> rules,
+                  std::vector<AlertEngine::Alarm> alarms,
+                  std::uint64_t events_synthesized);
+
+  /// Publishes everything staged so far as the new immutable snapshot
+  /// served to HTTP threads. `stream_now` is the stream clock (sim time)
+  /// echoed by /api/health.
+  void publish(util::TimeSec stream_now);
+
+  // --- serving side ---
+
+  /// Routes one request. Thread-safe; also the offline entry point — the
+  /// `--api-dump` files and the tests call this directly, which is what
+  /// makes "live responses equal offline report data" hold byte for byte.
+  net::HttpResponse handle(const net::HttpRequest& request) const;
+
+  /// Convenience: handle() for a GET of `target` (path + optional query),
+  /// returning the body. Throws StateError on a non-200 status.
+  std::string get(const std::string& target) const;
+
+  /// Number of diagnoses in the currently published snapshot.
+  std::size_t published_items() const;
+
+ private:
+  struct Snapshot {
+    std::vector<ApiItem> items;
+    std::vector<obs::FeedHealthMonitor::Status> feeds;
+    std::vector<AlertRule> rules;
+    std::vector<AlertEngine::Alarm> alarms;
+    std::uint64_t events_synthesized = 0;
+    util::TimeSec stream_now = 0;
+  };
+
+  std::shared_ptr<const Snapshot> snapshot() const;
+  net::HttpResponse api_response(const net::HttpRequest& request,
+                                 const Snapshot& snap) const;
+
+  ServicePlaneOptions options_;
+  DisplayConfig display_;
+  obs::MetricsRegistry* registry_;
+
+  // Staged (publisher thread only) until the next publish().
+  std::vector<ApiItem> staged_items_;
+  std::vector<obs::FeedHealthMonitor::Status> staged_feeds_;
+  std::vector<AlertRule> staged_rules_;
+  std::vector<AlertEngine::Alarm> staged_alarms_;
+  std::uint64_t staged_synthesized_ = 0;
+
+  mutable std::mutex mutex_;  // guards published_ pointer swap/load only
+  std::shared_ptr<const Snapshot> published_;
+
+  std::unique_ptr<net::HttpServer> server_;
+
+  // Scrape instrumentation (null without a registry).
+  obs::Counter* scrapes_total_ = nullptr;
+  obs::Counter* api_requests_total_ = nullptr;
+};
+
+}  // namespace grca::service

@@ -1,0 +1,41 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "service/shutdown.h"
+
+#include <csignal>
+
+namespace grca::service {
+
+namespace {
+
+volatile std::sig_atomic_t g_requested = 0;
+volatile std::sig_atomic_t g_signal = 0;
+
+void handle(int signum) {
+  g_requested = 1;
+  g_signal = signum;
+}
+
+}  // namespace
+
+void ShutdownSignal::install() noexcept {
+  struct sigaction action {};
+  action.sa_handler = handle;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a blocking read in a console loop returns EINTR so the
+  // caller notices the request promptly.
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+bool ShutdownSignal::requested() noexcept { return g_requested != 0; }
+
+int ShutdownSignal::signal_number() noexcept { return g_signal; }
+
+void ShutdownSignal::reset() noexcept {
+  g_requested = 0;
+  g_signal = 0;
+}
+
+}  // namespace grca::service

@@ -1,0 +1,30 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Graceful-shutdown signal latch. `grca serve` and the streaming monitor
+// install it once; their tick loops poll requested() and, when set, drain
+// the streaming engine (flush the queue, seal the WAL watermark) and close
+// the listeners instead of dying mid-write. Async-signal-safe: the handler
+// only stores a flag.
+#pragma once
+
+namespace grca::service {
+
+class ShutdownSignal {
+ public:
+  /// Installs SIGINT and SIGTERM handlers that latch the flag. Idempotent;
+  /// the original dispositions are not restored (processes that install
+  /// this intend to exit through the drain path).
+  static void install() noexcept;
+
+  /// True once SIGINT or SIGTERM has been received.
+  static bool requested() noexcept;
+
+  /// The signal number that latched the flag (0 when none yet).
+  static int signal_number() noexcept;
+
+  /// Clears the latch (tests).
+  static void reset() noexcept;
+};
+
+}  // namespace grca::service

@@ -57,6 +57,28 @@
 //       plus a streaming-vs-batch verdict diff. Exits nonzero when a check
 //       fails or the sustained rate is below --min-rate.
 //
+//   grca serve --study bgp|cdn|pim|innet [--data DIR] [--port N]
+//              [--port-file FILE] [--http-threads N] [--api-dump DIR]
+//              [--once] [--public] [--follow] [--rate N[x]|max] [--tick SEC]
+//              [--idle-ticks N] [--alert-rules FILE] [--workers N]
+//              [--persist DIR] [--persist-seal-every SEC]
+//              [--persist-format v1|v2] [--days N] [--symptoms N] [--seed S]
+//       Run a diagnosis and serve it over HTTP: GET /metrics (Prometheus
+//       scrape), /api/breakdown, /api/trending, /api/drilldown/{cause},
+//       /api/health, /api/alerts, /healthz. Default (batch) mode runs the
+//       study once and serves the finished result; --follow streams the
+//       corpus through the real-time engine at --rate, publishing a fresh
+//       snapshot every --tick sim-seconds while the feed-health alert
+//       engine (default rules or --alert-rules FILE) injects missing-data
+//       evidence into the live diagnosis. --idle-ticks keeps the stream
+//       clock advancing after the corpus ends (feeds go silent and the
+//       alarms fire — the smoke test's trigger). --api-dump writes every
+//       /api/* response to DIR through the exact handler the server uses,
+//       so a live curl and the dump are byte-identical; --once exits after
+//       the dump instead of serving. SIGINT/SIGTERM shut down gracefully:
+//       the stream drains, the persistence watermark seals, listeners
+//       close.
+//
 //   grca store inspect|verify|compact --dir DIR
 //       Operate on a persisted event log. `inspect` prints per-segment
 //       summaries (sequence, format, events, names, watermark, bytes; for
@@ -77,12 +99,14 @@
 //   grca version
 //       Print the build version (also: grca --version).
 
+#include <chrono>
 #include <filesystem>
 #include <set>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "apps/bgp_flap_app.h"
 #include "apps/cdn_app.h"
@@ -98,6 +122,9 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "service/alerts.h"
+#include "service/service_plane.h"
+#include "service/shutdown.h"
 #include "simulation/archive.h"
 #include "storage/event_log.h"
 #include "storage/persistent_store.h"
@@ -135,6 +162,12 @@ namespace {
               [--symptoms N] [--report-out FILE] [--metrics-out FILE]
               [--min-rate RECORDS_PER_MIN] [--no-truth] [--persist DIR]
               [--persist-seal-every SEC] [--persist-format v1|v2]
+  grca serve --study bgp|cdn|pim|innet [--data DIR] [--port N]
+             [--port-file FILE] [--http-threads N] [--api-dump DIR] [--once]
+             [--public] [--follow] [--rate N[x]|max] [--tick SEC]
+             [--idle-ticks N] [--alert-rules FILE] [--workers N]
+             [--persist DIR] [--persist-seal-every SEC]
+             [--persist-format v1|v2] [--days N] [--symptoms N] [--seed S]
   grca store inspect --dir DIR
   grca store verify --dir DIR [--deep]
   grca store compact --dir DIR [--format v1|v2]
@@ -558,6 +591,240 @@ int cmd_replay(const Args& args) {
   return report.passed() ? 0 : 1;
 }
 
+/// Writes every /api/* response to `dir` through ServicePlane::handle —
+/// the exact code path the live server runs, so a curl of the running
+/// server and these files are byte-identical (the CI smoke job diffs them).
+void api_dump(const service::ServicePlane& plane, const fs::path& dir) {
+  fs::create_directories(dir);
+  static constexpr std::pair<const char*, const char*> kEndpoints[] = {
+      {"/api/breakdown", "breakdown.json"},
+      {"/api/trending", "trending.json"},
+      {"/api/health", "health.json"},
+      {"/api/alerts", "alerts.json"},
+      {"/api/drilldown/unknown", "drilldown-unknown.json"},
+  };
+  for (const auto& [target, file] : kEndpoints) {
+    std::ofstream out(dir / file);
+    if (!out) usage("cannot write " + (dir / file).string());
+    out << plane.get(target);
+  }
+  std::cout << "wrote " << std::size(kEndpoints) << " API dumps under "
+            << dir.string() << "\n";
+}
+
+std::vector<service::AlertRule> load_alert_rules(const Args& args) {
+  auto it = args.values.find("alert-rules");
+  if (it == args.values.end()) return service::default_alert_rules();
+  std::ifstream in(it->second.back());
+  if (!in) usage("cannot open alert rules file " + it->second.back());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return service::parse_alert_rules(ss.str());
+}
+
+/// Starts the HTTP listeners and reports where they landed (--port 0 binds
+/// an ephemeral port; --port-file is how scripts learn which).
+void start_serving(service::ServicePlane& plane, const Args& args) {
+  plane.start();
+  if (auto it = args.values.find("port-file"); it != args.values.end()) {
+    std::ofstream out(it->second.back());
+    if (!out) usage("cannot write " + it->second.back());
+    out << plane.port() << "\n";
+  }
+  std::cout << "serving on http://127.0.0.1:" << plane.port()
+            << " (/metrics, /api/*)" << std::endl;
+}
+
+/// Blocks until SIGINT/SIGTERM, then announces the graceful shutdown.
+void wait_for_shutdown(service::ServicePlane& plane) {
+  while (!service::ShutdownSignal::requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << "signal " << service::ShutdownSignal::signal_number()
+            << ": closing listeners" << std::endl;
+  plane.stop();
+}
+
+int cmd_serve(const Args& args) {
+  std::string study = args.get("study");
+  StudyHooks hooks = hooks_for(study);
+  bool follow = args.flags.count("follow") > 0;
+  bool once = args.flags.count("once") > 0;
+
+  std::unique_ptr<sim::ReplayCorpus> corpus;
+  if (auto it = args.values.find("data"); it != args.values.end()) {
+    corpus = std::make_unique<sim::ReplayCorpus>(
+        sim::read_corpus(fs::path(it->second.back())));
+  } else {
+    corpus = std::make_unique<sim::ReplayCorpus>(
+        generate_corpus(args, study, StudyDefaults{14, 1000}));
+  }
+  if (corpus->records.empty()) usage("corpus has no records");
+
+  service::ServicePlaneOptions popt;
+  popt.port = static_cast<std::uint16_t>(args.get_long("port", 0));
+  popt.http_threads = static_cast<unsigned>(args.get_long("http-threads", 1));
+  popt.loopback_only = args.flags.count("public") == 0;
+  service::ServicePlane plane(popt);
+  {
+    // Same labels and row order as the study's offline report tables.
+    core::ResultBrowser browser{std::vector<core::Diagnosis>{}};
+    hooks.browser(browser);
+    plane.set_display(service::DisplayConfig::from_browser(browser));
+  }
+
+  service::ShutdownSignal::install();
+
+  if (!follow) {
+    // Batch mode: run the study once, publish the finished result, serve.
+    core::DiagnosisGraph graph = hooks.graph();
+    apps::Pipeline pipeline(corpus->network, corpus->records,
+                            collector::ExtractOptions{},
+                            observers_for(study, corpus->network));
+    long threads = args.get_long("threads", 0);
+    if (threads < 0) usage("--threads must be >= 0");
+    std::vector<core::Diagnosis> diagnoses =
+        pipeline.diagnose_all(std::move(graph),
+                              static_cast<unsigned>(threads));
+    // The stream clock echoed by /api/health: end of the diagnosed data
+    // (deterministic, so batch dumps are reproducible run to run).
+    util::TimeSec now = 0;
+    for (const core::Diagnosis& d : diagnoses) {
+      now = std::max(now, d.symptom.when.end);
+    }
+    plane.add_diagnoses(diagnoses);
+    plane.set_health(pipeline.feed_health().status());
+    plane.set_alerts(load_alert_rules(args), {}, 0);
+    plane.publish(now);
+    std::cout << "published " << diagnoses.size() << " diagnoses (batch "
+              << study << " study)" << std::endl;
+    if (auto it = args.values.find("api-dump"); it != args.values.end()) {
+      api_dump(plane, fs::path(it->second.back()));
+    }
+    if (once) return 0;
+    start_serving(plane, args);
+    wait_for_shutdown(plane);
+    return 0;
+  }
+
+  // Follow mode: stream the corpus through the real-time engine, publish a
+  // fresh snapshot every tick, and let the alert engine inject missing-data
+  // evidence into the live diagnosis.
+  core::DiagnosisGraph graph = hooks.graph();
+  service::add_missing_data_support(graph);
+  apps::StreamingOptions sopt;
+  sopt.workers = static_cast<unsigned>(args.get_long("workers", 1));
+  if (auto it = args.values.find("persist"); it != args.values.end()) {
+    sopt.persist_dir = fs::path(it->second.back());
+    sopt.persist_seal_every =
+        args.get_long("persist-seal-every", util::kHour);
+    sopt.persist_format =
+        storage::parse_seal_format(args.get("persist-format", "v2"));
+  }
+  apps::StreamingRca stream(corpus->network, std::move(graph), sopt);
+
+  std::vector<core::Location> scope;
+  for (const topology::Pop& p : corpus->network.pops()) {
+    scope.push_back(core::Location::pop(p.name));
+  }
+  service::AlertEngine alerts(load_alert_rules(args), std::move(scope));
+
+  double rate = 0.0;  // <= 0: as fast as possible
+  if (std::string r = args.get("rate", "max"); r != "max") {
+    if (!r.empty() && r.back() == 'x') r.pop_back();
+    try {
+      rate = std::stod(r);
+    } catch (const std::exception&) {
+      rate = -1.0;
+    }
+    if (rate <= 0) usage("--rate must be a positive factor or 'max'");
+  }
+  util::TimeSec tick = args.get_long("tick", 300);
+  if (tick <= 0) usage("--tick must be positive");
+  long idle_ticks = args.get_long("idle-ticks", 0);
+
+  if (!once) start_serving(plane, args);
+
+  const telemetry::RecordStream& records = corpus->records;
+  util::TimeSec start_sim = records.front().true_utc;
+  auto wall_start = std::chrono::steady_clock::now();
+  auto pace = [&](util::TimeSec sim) {
+    if (rate <= 0) return;
+    auto target = wall_start + std::chrono::duration_cast<
+                                   std::chrono::steady_clock::duration>(
+                                   std::chrono::duration<double>(
+                                       static_cast<double>(sim - start_sim) /
+                                       rate));
+    while (!service::ShutdownSignal::requested() &&
+           std::chrono::steady_clock::now() < target) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  };
+
+  std::size_t diag_total = 0;
+  auto step = [&](util::TimeSec t) {
+    std::vector<core::Diagnosis> batch = stream.advance(t);
+    diag_total += batch.size();
+    // Copy the batch before inject(): injected events grow the store, which
+    // may invalidate the batch's instance pointers.
+    plane.add_diagnoses(batch);
+    for (core::EventInstance& e : alerts.evaluate(t)) {
+      stream.inject(std::move(e));
+    }
+    plane.set_health(stream.feed_health().status());
+    plane.set_alerts(alerts.rules(), alerts.alarms(),
+                     alerts.events_synthesized());
+    plane.publish(t);
+  };
+
+  util::TimeSec now = start_sim;
+  std::size_t idx = 0;
+  while (idx < records.size() && !service::ShutdownSignal::requested()) {
+    util::TimeSec next = now + tick;
+    while (idx < records.size() && records[idx].true_utc < next) {
+      stream.ingest(records[idx]);
+      ++idx;
+    }
+    now = next;
+    pace(now);
+    step(now);
+  }
+  for (long i = 0;
+       i < idle_ticks && !service::ShutdownSignal::requested(); ++i) {
+    // The corpus has ended but the clock keeps running: feeds go silent,
+    // the silence alarms fire, missing-data evidence enters the graph.
+    now += tick;
+    pace(now);
+    step(now);
+  }
+
+  // End of stream (or a shutdown signal): drain the engine — remaining
+  // symptoms diagnose, the persistence watermark seals — and publish the
+  // final snapshot before the listeners close.
+  std::vector<core::Diagnosis> tail = stream.drain();
+  diag_total += tail.size();
+  plane.add_diagnoses(tail);
+  plane.set_health(stream.feed_health().status());
+  plane.set_alerts(alerts.rules(), alerts.alarms(),
+                   alerts.events_synthesized());
+  plane.publish(now);
+  std::cout << "stream complete: " << diag_total << " diagnoses, "
+            << stream.injected() << " injected alert events, "
+            << alerts.alarms().size() << " alarms" << std::endl;
+  if (auto it = args.values.find("api-dump"); it != args.values.end()) {
+    api_dump(plane, fs::path(it->second.back()));
+  }
+  if (once) return 0;
+  if (service::ShutdownSignal::requested()) {
+    std::cout << "signal " << service::ShutdownSignal::signal_number()
+              << ": drained and sealed, closing listeners" << std::endl;
+    plane.stop();
+    return 0;
+  }
+  wait_for_shutdown(plane);
+  return 0;
+}
+
 int cmd_store(const std::string& action, const Args& args) {
   fs::path dir(args.get("dir"));
   if (action == "verify") {
@@ -722,6 +989,10 @@ int main(int argc, char** argv) {
     if (command == "replay") {
       return cmd_replay(
           Args::parse(argc, argv, 2, {"no-truth", "paper-scale"}));
+    }
+    if (command == "serve") {
+      return cmd_serve(Args::parse(
+          argc, argv, 2, {"follow", "once", "public", "paper-scale"}));
     }
     if (command == "store") {
       if (argc < 3) usage("store needs an action: inspect|verify|compact");

@@ -165,7 +165,9 @@ std::vector<Sample> parse_prometheus(const std::string& text) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     if (line[0] == '#') {
-      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << "bad comment: " << line;
+      EXPECT_TRUE(line.rfind("# TYPE ", 0) == 0 ||
+                  line.rfind("# HELP ", 0) == 0)
+          << "bad comment: " << line;
       continue;
     }
     std::size_t space = line.rfind(' ');
@@ -212,6 +214,54 @@ TEST(Export, PrometheusParsesLineByLine) {
   // Exactly one TYPE header per family.
   EXPECT_EQ(text.find("# TYPE grca_x_total counter"),
             text.rfind("# TYPE grca_x_total counter"));
+}
+
+TEST(Export, PrometheusEmitsHelpAndTypePerFamily) {
+  MetricsRegistry registry;
+  registry.counter("grca_feed_records_total{source=\"syslog\"}").inc(1);
+  registry.counter("custom_total").inc(1);
+  registry.gauge("grca_depth").set(1);
+  std::string text = render_prometheus(registry);
+  // Every family carries a HELP line (known families get real text,
+  // unknown ones the generic fallback), immediately before its TYPE line.
+  EXPECT_NE(text.find("# HELP grca_feed_records_total Raw records accepted"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP custom_total G-RCA metric\n"
+                      "# TYPE custom_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP grca_depth"), std::string::npos);
+  // Exactly one HELP header per family.
+  EXPECT_EQ(text.find("# HELP grca_feed_records_total"),
+            text.rfind("# HELP grca_feed_records_total"));
+}
+
+TEST(Export, PrometheusLabelEscapesValue) {
+  EXPECT_EQ(prometheus_escape_label_value("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(prometheus_label("m_total", "event", "if-down"),
+            "m_total{event=\"if-down\"}");
+  EXPECT_EQ(prometheus_label("m_total", "event", "we\"ird\\name"),
+            "m_total{event=\"we\\\"ird\\\\name\"}");
+
+  // A hostile event name flows through the registry into a well-formed,
+  // escaped exposition line.
+  MetricsRegistry registry;
+  registry.counter(prometheus_label("grca_events_total", "event", "a\"b\nc"))
+      .inc(1);
+  std::string text = render_prometheus(registry);
+  EXPECT_NE(text.find("grca_events_total{event=\"a\\\"b\\nc\"} 1"),
+            std::string::npos)
+      << text;
+  // The rendered exposition must contain no raw newline inside a label
+  // value: every line is either a comment or name{...} value.
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.rfind(' '), std::string::npos) << "torn line: " << line;
+  }
 }
 
 // ---- JSON exporter ---------------------------------------------------------
