@@ -33,7 +33,19 @@ event ebgp-hte {
   retrieval syslog-bgp-hte
   desc "eBGP hold timer expired, BGP-5-NOTIFICATION msg"
 }
+event bgp-prefix-flood {
+  location router-neighbor
+  source bgp-monitor
+  retrieval bgpmon-announce-burst
+  desc "session floods prefix announcements until max-prefix tears it down"
+}
 
+rule ebgp-flap -> bgp-prefix-flood {
+  priority 210
+  symptom start-start 120 5
+  diagnostic start-end 5 30
+  join router-neighbor
+}
 rule ebgp-flap -> router-reboot {
   priority 200
   symptom start-start 10 5
@@ -95,6 +107,7 @@ core::DiagnosisGraph build_graph() {
 }
 
 void configure_browser(core::ResultBrowser& browser) {
+  browser.set_display_name("bgp-prefix-flood", "BGP route leak (prefix flood)");
   browser.set_display_name("router-reboot", "Router reboot");
   browser.set_display_name("customer-reset-session", "Customer reset session");
   browser.set_display_name("cpu-high-avg", "CPU high (average)");
@@ -109,7 +122,8 @@ void configure_browser(core::ResultBrowser& browser) {
   browser.set_display_name("sonet-restoration", "SONET restoration");
   browser.set_display_name("unknown", "Unknown");
   browser.set_display_order(
-      {"router-reboot", "customer-reset-session", "cpu-high-avg",
+      {"bgp-prefix-flood", "router-reboot", "customer-reset-session",
+       "cpu-high-avg",
        "cpu-high-spike", "interface-flap", "line-protocol-flap", "ebgp-hte",
        "optical-restoration-regular", "optical-restoration-fast",
        "sonet-restoration", "unknown"});

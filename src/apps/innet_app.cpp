@@ -13,7 +13,18 @@ core::DiagnosisGraph build_graph() {
   core::load_knowledge_library(graph);
   // Every event and rule comes from the library; the "application" is just
   // the choice of root symptom.
+  // One application-specific rule on top: probe loss explained by a gray
+  // failure — a link silently corrupting packets (SNMP ifcorrupt) without
+  // ever going down. Margins mirror the link-congestion rule: the corrupt
+  // counter is read at the end of its 5-minute bin.
   core::load_dsl(R"(
+rule innet-loss-increase -> link-loss {
+  priority 135
+  symptom start-start 330 30
+  diagnostic start-end 300 60
+  join logical-link
+}
+
 graph {
   root innet-loss-increase
 }
@@ -25,15 +36,16 @@ graph {
 
 void configure_browser(core::ResultBrowser& browser) {
   browser.set_display_name("link-congestion", "Link congestion");
+  browser.set_display_name("link-loss", "Link loss (gray failure)");
   browser.set_display_name("ospf-reconvergence", "OSPF re-convergence");
   browser.set_display_name("interface-flap", "Interface flap");
   browser.set_display_name("bgp-egress-change", "BGP egress change");
   browser.set_display_name("cmd-cost-in", "Maintenance (cost-in command)");
   browser.set_display_name("cmd-cost-out", "Maintenance (cost-out command)");
   browser.set_display_name("unknown", "Unknown");
-  browser.set_display_order({"link-congestion", "ospf-reconvergence",
-                             "interface-flap", "bgp-egress-change",
-                             "unknown"});
+  browser.set_display_order({"link-congestion", "link-loss",
+                             "ospf-reconvergence", "interface-flap",
+                             "bgp-egress-change", "unknown"});
 }
 
 std::string canonical_cause(const std::string& primary) {

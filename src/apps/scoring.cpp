@@ -62,6 +62,7 @@ Score score_diagnoses(
 
   Score score;
   score.truth_total = truth.size();
+  score.diagnosed_total = diagnoses.size();
   for (const core::Diagnosis& d : diagnoses) {
     auto it = index.find(diagnosis_key(d));
     if (it == index.end()) continue;

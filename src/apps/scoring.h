@@ -19,9 +19,10 @@
 namespace grca::apps {
 
 struct Score {
-  std::size_t truth_total = 0;    // ground-truth symptom entries
-  std::size_t matched = 0;        // diagnoses matched to a truth entry
-  std::size_t correct = 0;        // matched with the right root cause
+  std::size_t truth_total = 0;     // ground-truth symptom entries
+  std::size_t diagnosed_total = 0; // diagnoses produced for the symptom
+  std::size_t matched = 0;         // diagnoses matched to a truth entry
+  std::size_t correct = 0;         // matched with the right root cause
   /// confusion[truth-cause][diagnosed-cause] = count.
   std::map<std::string, std::map<std::string, std::size_t>> confusion;
 
@@ -29,6 +30,24 @@ struct Score {
     return matched == 0 ? 0.0
                         : static_cast<double>(correct) /
                               static_cast<double>(matched);
+  }
+
+  /// RCAEval-style scorecard metrics: of everything diagnosed, how much was
+  /// right (precision); of all injected truth, how much was found and
+  /// correctly explained (recall).
+  double precision() const {
+    return diagnosed_total == 0 ? 0.0
+                                : static_cast<double>(correct) /
+                                      static_cast<double>(diagnosed_total);
+  }
+  double recall() const {
+    return truth_total == 0 ? 0.0
+                            : static_cast<double>(correct) /
+                                  static_cast<double>(truth_total);
+  }
+  double f1() const {
+    double p = precision(), r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
   }
 
   /// "truth cause | diagnosed as | count" rows, largest first.

@@ -106,6 +106,10 @@ void EventExtractor::extract(std::span<const NormalizedRecord> records,
   std::vector<CostEvent> cost_events;
   std::map<std::uint32_t, int> prev_metric;
 
+  // BGP announce timestamps per session, keyed "<egress>|<nexthop>", for
+  // the prefix-flood retrieval.
+  std::map<std::string, std::vector<TimeSec>> announce_times;
+
   for (const NormalizedRecord& r : records) {
     switch (r.source) {
       case SourceType::kSyslog: {
@@ -325,8 +329,46 @@ void EventExtractor::extract(std::span<const NormalizedRecord> records,
         }
         break;
       }
-      case SourceType::kBgpMon:
-        break;  // handled by extract_egress_changes
+      case SourceType::kBgpMon: {
+        // Egress changes are handled by extract_egress_changes; here the
+        // feed is watched for announce bursts (the route-leak signature).
+        if (r.body != "announce") break;
+        auto egress = r.attrs.find("egress");
+        auto nexthop = r.attrs.find("nexthop");
+        if (egress == r.attrs.end() || nexthop == r.attrs.end()) break;
+        announce_times[egress->second + "|" + nexthop->second].push_back(
+            r.utc);
+        break;
+      }
+    }
+  }
+
+  // ---- BGP prefix-flood detection (Table-I-style database query) ----------
+  // A session announcing >= prefix_flood_count prefixes inside the sliding
+  // window is flooding; the event spans the whole burst (consecutive
+  // announces no further than one window apart), so one leak yields one
+  // instance, not a train of overlapping ones.
+  for (auto& [key, times] : announce_times) {
+    std::sort(times.begin(), times.end());
+    std::size_t i = 0;
+    const std::size_t need =
+        static_cast<std::size_t>(std::max(options_.prefix_flood_count, 1));
+    while (i + need <= times.size()) {
+      if (times[i + need - 1] - times[i] > options_.prefix_flood_window) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i + need - 1;
+      while (j + 1 < times.size() &&
+             times[j + 1] - times[j] <= options_.prefix_flood_window) {
+        ++j;
+      }
+      auto parts = util::split(key, '|');
+      store.add(EventInstance{"bgp-prefix-flood",
+                              {times[i], times[j]},
+                              Location::router_neighbor(parts[0], parts[1]),
+                              {}});
+      i = j + 1;
     }
   }
 

@@ -34,6 +34,11 @@ struct ExtractOptions {
   double server_load_threshold = 0.9;   // CDN server issue
   util::TimeSec flap_pair_window = 3600;   // max down->up gap for flaps
   util::TimeSec router_cost_window = 30;   // grouping window, router cost in/out
+  /// bgp-prefix-flood retrieval: an eBGP session announcing at least
+  /// `prefix_flood_count` prefixes within `prefix_flood_window` seconds is a
+  /// route-leak signature (normal reflector traffic never bursts that hard).
+  int prefix_flood_count = 15;
+  util::TimeSec prefix_flood_window = 120;
 
   /// Baseline-relative anomaly detection for performance metrics (perf
   /// probes + CDN measurements) — the Table I "anomaly detection program"

@@ -1,0 +1,448 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "simulation/fault_scenarios.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+namespace grca::sim {
+
+namespace t = topology;
+using util::TimeSec;
+
+namespace {
+
+TimeSec default_start(TimeSec start) {
+  return start != 0 ? start : util::make_utc(2010, 1, 1);
+}
+
+std::vector<t::RouterId> provider_edges(const t::Network& net) {
+  std::vector<t::RouterId> out;
+  for (const t::Router& r : net.routers()) {
+    if (r.role == t::RouterRole::kProviderEdge) out.push_back(r.id);
+  }
+  return out;
+}
+
+/// PERs of each PoP, indexed by PopId value.
+std::vector<std::vector<t::RouterId>> pers_by_pop(const t::Network& net) {
+  std::vector<std::vector<t::RouterId>> out(net.pops().size());
+  for (const t::Router& r : net.routers()) {
+    if (r.role == t::RouterRole::kProviderEdge) {
+      out[r.pop.value()].push_back(r.id);
+    }
+  }
+  return out;
+}
+
+/// Lexicographically smallest core router of a PoP, or invalid if none.
+t::RouterId core_of_pop(const t::Network& net, t::PopId pop) {
+  const t::Router* best = nullptr;
+  for (const t::Router& r : net.routers()) {
+    if (r.pop != pop || r.role != t::RouterRole::kCore) continue;
+    if (best == nullptr || r.name < best->name) best = &r;
+  }
+  return best != nullptr ? best->id : t::RouterId();
+}
+
+std::size_t count_symptoms(const std::vector<TruthEntry>& truth,
+                           std::string_view symptom) {
+  return static_cast<std::size_t>(
+      std::count_if(truth.begin(), truth.end(), [&](const TruthEntry& e) {
+        return e.symptom == symptom;
+      }));
+}
+
+/// Background noise shared by every class (mirrors the study workloads).
+void add_noise(ScenarioEngine& eng, const t::Network& net, TimeSec start,
+               TimeSec end, double noise, util::Rng& rng) {
+  if (noise <= 0.0) return;
+  int days = static_cast<int>((end - start) / util::kDay);
+  int benign_cpu = static_cast<int>(2 * days * noise);
+  int benign_workflow = static_cast<int>(3 * days * noise);
+  for (int i = 0; i < benign_cpu; ++i) {
+    t::RouterId r(static_cast<std::uint32_t>(rng.below(net.routers().size())));
+    eng.noise_cpu_spike(r, start + rng.range(0, end - start));
+  }
+  for (int i = 0; i < benign_workflow; ++i) {
+    t::RouterId r(static_cast<std::uint32_t>(rng.below(net.routers().size())));
+    eng.noise_workflow(r, start + rng.range(0, end - start), "provisioning");
+  }
+  eng.background_snmp(start, end, 0.01 * noise);
+}
+
+struct Scaffold {
+  TimeSec start, end;
+  routing::OspfSim ospf;
+  routing::BgpSim bgp;
+  ScenarioEngine eng;
+
+  Scaffold(const t::Network& net, const ScenarioParams& p)
+      : start(default_start(p.start)),
+        end(start + p.days * util::kDay),
+        ospf(net),
+        bgp(ospf),
+        eng(net, ospf, bgp, p.seed) {
+    routing::seed_customer_routes(bgp, net, start - util::kDay);
+  }
+
+  StudyOutput finish(const t::Network& net, const ScenarioParams& p) {
+    add_noise(eng, net, start, end, p.noise, eng.rng());
+    StudyOutput out;
+    out.truth = eng.truth();
+    out.records = eng.take_records();
+    return out;
+  }
+};
+
+// ---- maintenance-window symptom storms --------------------------------------
+
+StudyOutput run_maintenance_storm(const t::Network& net,
+                                  const ScenarioParams& p) {
+  Scaffold s(net, p);
+  util::Rng& rng = s.eng.rng();
+  auto pop_pers = pers_by_pop(net);
+  std::vector<t::PopId> pops_with_pers;
+  for (const t::Pop& pop : net.pops()) {
+    if (!pop_pers[pop.id.value()].empty()) pops_with_pers.push_back(pop.id);
+  }
+  if (pops_with_pers.empty()) {
+    throw ConfigError("maintenance-storm: network has no provider edges");
+  }
+
+  // Three maintenance windows per night (slots at +1h/+4h/+7h local), each
+  // visiting the next PoP in rotation: core costed out, provisioning churn
+  // on a PER (the §IV-B bug: sessions HTE out), occasionally a PER reboot,
+  // a burst of customer flaps as tails are re-homed, core costed back in.
+  const std::size_t target = static_cast<std::size_t>(p.target_symptoms);
+  int window = 0;
+  const int max_windows = p.days * 3;
+  while (count_symptoms(s.eng.truth(), "ebgp-flap") < target &&
+         window < max_windows) {
+    int night = window / 3, slot = window % 3;
+    t::PopId pop = pops_with_pers[window % pops_with_pers.size()];
+    TimeSec w = s.start + night * util::kDay + (1 + 3 * slot) * util::kHour +
+                rng.range(0, 1800);
+    t::RouterId core = core_of_pop(net, pop);
+    const std::vector<t::RouterId>& pers = pop_pers[pop.value()];
+    if (core.valid()) {
+      s.eng.cost_out_router(core, w);
+    }
+    t::RouterId per = pers[rng.below(pers.size())];
+    s.eng.provisioning(per, w + rng.range(60, 600), /*causes_flaps=*/true);
+    if (rng.chance(0.35)) {
+      s.eng.router_reboot(pers[rng.below(pers.size())],
+                          w + rng.range(600, 1800));
+    }
+    // Tails re-homed during the window flap one by one.
+    std::vector<t::CustomerSiteId> sites;
+    for (const t::CustomerSite& site : net.customers()) {
+      if (net.router(net.interface(site.attachment).router).pop == pop) {
+        sites.push_back(site.id);
+      }
+    }
+    int burst = 2 + static_cast<int>(rng.range(0, 4));
+    for (int i = 0; i < burst && !sites.empty(); ++i) {
+      s.eng.customer_interface_flap(sites[rng.below(sites.size())],
+                                    w + rng.range(1800, 9000));
+    }
+    if (core.valid()) {
+      s.eng.cost_in_router(core, w + rng.range(2, 4) * util::kHour +
+                                     rng.range(0, 600));
+    }
+    ++window;
+  }
+  return s.finish(net, p);
+}
+
+// ---- correlated SRLG optical cuts -------------------------------------------
+
+StudyOutput run_srlg_cut(const t::Network& net, const ScenarioParams& p) {
+  Scaffold s(net, p);
+  util::Rng& rng = s.eng.rng();
+
+  // Devices worth cutting: transport devices feeding >= 2 access circuits,
+  // so one fault produces a correlated flap group.
+  std::vector<std::size_t> tails(net.layer1_devices().size(), 0);
+  for (const t::PhysicalLink& pl : net.physical_links()) {
+    if (!pl.access_port.valid()) continue;
+    for (t::Layer1DeviceId dev : pl.path) ++tails[dev.value()];
+  }
+  std::vector<t::Layer1DeviceId> srlgs;
+  for (const t::Layer1Device& dev : net.layer1_devices()) {
+    if (tails[dev.id.value()] >= 2) srlgs.push_back(dev.id);
+  }
+  if (srlgs.empty()) {
+    throw ConfigError("srlg-cut: no transport device feeds >= 2 circuits");
+  }
+
+  const std::size_t target = static_cast<std::size_t>(p.target_symptoms);
+  TimeSec cursor = s.start + rng.range(0, util::kHour);
+  std::size_t i = 0;
+  while (count_symptoms(s.eng.truth(), "ebgp-flap") < target &&
+         cursor + util::kHour < s.end) {
+    s.eng.srlg_optical_cut(srlgs[i++ % srlgs.size()], cursor);
+    // Cuts spaced >= 1h apart keep every tail's BGP episode history ordered.
+    cursor += util::kHour + rng.range(0, 2 * util::kHour);
+  }
+  return s.finish(net, p);
+}
+
+// ---- BGP route leaks --------------------------------------------------------
+
+StudyOutput run_route_leak(const t::Network& net, const ScenarioParams& p) {
+  Scaffold s(net, p);
+  util::Rng& rng = s.eng.rng();
+  if (net.customers().empty()) {
+    throw ConfigError("route-leak: network has no customer sites");
+  }
+
+  // ~80% route leaks, ~20% ordinary administrative resets: the resets keep
+  // precision honest (a prefix-flood verdict on them would be wrong).
+  int leaks = std::max(1, p.target_symptoms * 8 / 10);
+  int resets = std::max(1, p.target_symptoms - leaks);
+  struct Ev {
+    TimeSec time;
+    bool leak;
+  };
+  std::vector<Ev> schedule;
+  for (int i = 0; i < leaks; ++i) {
+    schedule.push_back(
+        Ev{s.start + rng.range(0, s.end - s.start - util::kHour), true});
+  }
+  for (int i = 0; i < resets; ++i) {
+    schedule.push_back(
+        Ev{s.start + rng.range(0, s.end - s.start - util::kHour), false});
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const Ev& a, const Ev& b) { return a.time < b.time; });
+
+  // Gap-aware site picking so per-prefix BGP histories stay ordered.
+  std::vector<TimeSec> last_use(net.customers().size(),
+                                std::numeric_limits<TimeSec>::min());
+  auto pick_site = [&](TimeSec time) {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      t::CustomerSiteId site(
+          static_cast<std::uint32_t>(rng.below(net.customers().size())));
+      TimeSec last = last_use[site.value()];
+      if (last == std::numeric_limits<TimeSec>::min() || time - last >= 900) {
+        last_use[site.value()] = time;
+        return site;
+      }
+    }
+    t::CustomerSiteId site(
+        static_cast<std::uint32_t>(rng.below(net.customers().size())));
+    last_use[site.value()] = time;
+    return site;
+  };
+
+  for (const Ev& ev : schedule) {
+    t::CustomerSiteId site = pick_site(ev.time);
+    if (ev.leak) {
+      s.eng.bgp_route_leak(site, ev.time,
+                           20 + static_cast<int>(rng.range(0, 40)));
+    } else {
+      s.eng.customer_reset(site, ev.time);
+    }
+  }
+  return s.finish(net, p);
+}
+
+// ---- gray failures ----------------------------------------------------------
+
+StudyOutput run_gray_failure(const t::Network& net, const ScenarioParams& p) {
+  Scaffold s(net, p);
+  util::Rng& rng = s.eng.rng();
+
+  // Core-to-core backbone links only: the probe mesh runs between PoP cores.
+  std::vector<t::LogicalLinkId> backbone;
+  for (const t::LogicalLink& l : net.links()) {
+    t::RouterId ra = net.interface(l.side_a).router;
+    t::RouterId rb = net.interface(l.side_b).router;
+    if (net.router(ra).role == t::RouterRole::kCore &&
+        net.router(rb).role == t::RouterRole::kCore) {
+      backbone.push_back(l.id);
+    }
+  }
+  if (backbone.empty()) {
+    throw ConfigError("gray-failure: network has no core-core links");
+  }
+
+  auto random_pop_pair = [&] {
+    std::size_t a = rng.below(net.pops().size());
+    std::size_t b = a;
+    while (b == a) b = rng.below(net.pops().size());
+    return std::make_pair(net.pops()[a].id, net.pops()[b].id);
+  };
+
+  const std::size_t target = static_cast<std::size_t>(p.target_symptoms);
+  int attempts = 0;
+  const int max_attempts = p.target_symptoms * 10 + 100;
+  while (count_symptoms(s.eng.truth(), "innet-loss-increase") < target &&
+         attempts++ < max_attempts) {
+    t::LogicalLinkId link = backbone[rng.below(backbone.size())];
+    TimeSec at = s.start + rng.range(0, s.end - s.start - 4 * util::kHour);
+    TimeSec dur = rng.range(1, 3) * util::kHour;
+    // Probe set: the link's own endpoint PoPs (their shortest path crosses
+    // the link in every non-degenerate weighting) plus a spread of others.
+    const t::LogicalLink& l = net.link(link);
+    std::vector<std::pair<t::PopId, t::PopId>> probes;
+    probes.emplace_back(net.router(net.interface(l.side_a).router).pop,
+                        net.router(net.interface(l.side_b).router).pop);
+    for (int i = 0; i < 12 && net.pops().size() >= 2; ++i) {
+      auto pair = random_pop_pair();
+      if (std::find(probes.begin(), probes.end(), pair) == probes.end()) {
+        probes.push_back(pair);
+      }
+    }
+    s.eng.gray_failure(link, at, dur, probes);
+  }
+
+  // Benign probe readings so thresholding is exercised.
+  if (p.noise > 0 && net.pops().size() >= 2) {
+    for (int i = 0; i < p.days * 20; ++i) {
+      auto [a, b] = random_pop_pair();
+      s.eng.emitter().perf(a, b, s.start + rng.range(0, s.end - s.start),
+                           "loss", rng.uniform(0.0, 0.4));
+      s.eng.emitter().perf(a, b, s.start + rng.range(0, s.end - s.start),
+                           "delay", rng.uniform(5.0, 35.0));
+    }
+  }
+  return s.finish(net, p);
+}
+
+// ---- CDN / overlay symptom floods -------------------------------------------
+
+StudyOutput run_cdn_flood(const t::Network& net, const ScenarioParams& p) {
+  if (net.cdn_nodes().empty()) {
+    throw ConfigError("cdn-flood: network has no CDN nodes");
+  }
+  Scaffold s(net, p);
+  util::Rng& rng = s.eng.rng();
+  t::CdnNodeId node = net.cdn_nodes().front().id;
+  std::vector<t::RouterId> pers = provider_edges(net);
+  if (pers.empty()) {
+    throw ConfigError("cdn-flood: network has no provider edges");
+  }
+
+  StudyOutput out;
+  std::uint32_t base = util::Ipv4Addr::parse("203.0.0.0").value();
+  const int n_prefixes = 24;
+  for (int i = 0; i < n_prefixes; ++i) {
+    util::Ipv4Prefix prefix(util::Ipv4Addr(base + 256u * i), 24);
+    t::RouterId primary = pers[rng.below(pers.size())];
+    t::RouterId backup = primary;
+    for (int tries = 0;
+         tries < 16 && net.router(backup).pop == net.router(primary).pop;
+         ++tries) {
+      backup = pers[rng.below(pers.size())];
+    }
+    s.eng.add_client_prefix(prefix, {primary, backup},
+                            s.start - util::kDay);
+    out.client_prefixes.push_back(prefix);
+  }
+  auto random_client = [&] {
+    util::Ipv4Prefix prefix =
+        out.client_prefixes[rng.below(out.client_prefixes.size())];
+    return util::Ipv4Addr(prefix.address().value() +
+                          static_cast<std::uint32_t>(rng.range(2, 250)));
+  };
+
+  // The flood: mass policy changes and server overloads (large client
+  // batches), with single-client path events and outside noise sprinkled in
+  // so the flood classes are diagnosed against real alternatives.
+  const std::size_t target = static_cast<std::size_t>(p.target_symptoms);
+  int attempts = 0;
+  const int max_attempts = p.target_symptoms * 10 + 100;
+  while (count_symptoms(s.eng.truth(), "cdn-rtt-increase") < target &&
+         attempts++ < max_attempts) {
+    TimeSec at = s.start + rng.range(0, s.end - s.start - util::kHour);
+    double roll = rng.uniform();
+    try {
+      if (roll < 0.40) {
+        std::vector<util::Ipv4Addr> clients;
+        for (int i = 0; i < 15; ++i) clients.push_back(random_client());
+        s.eng.cdn_policy_change(node, clients, at);
+      } else if (roll < 0.80) {
+        std::vector<util::Ipv4Addr> clients;
+        for (int i = 0; i < 10; ++i) clients.push_back(random_client());
+        s.eng.cdn_server_overload(node, clients, at);
+      } else if (roll < 0.88) {
+        s.eng.cdn_path_congestion(node, random_client(), at);
+      } else if (roll < 0.94) {
+        s.eng.cdn_path_loss(node, random_client(), at);
+      } else {
+        s.eng.cdn_outside(node, random_client(), at);
+      }
+    } catch (const ConfigError&) {
+      // Routing-history collision: skip the incident.
+    }
+  }
+  StudyOutput done = s.finish(net, p);
+  done.client_prefixes = std::move(out.client_prefixes);
+  return done;
+}
+
+}  // namespace
+
+// ---- public API -------------------------------------------------------------
+
+std::vector<ScenarioClass> all_scenario_classes() {
+  return {ScenarioClass::kMaintenanceStorm, ScenarioClass::kSrlgCut,
+          ScenarioClass::kRouteLeak, ScenarioClass::kGrayFailure,
+          ScenarioClass::kCdnFlood};
+}
+
+const char* to_string(ScenarioClass c) {
+  switch (c) {
+    case ScenarioClass::kMaintenanceStorm: return "maintenance-storm";
+    case ScenarioClass::kSrlgCut: return "srlg-cut";
+    case ScenarioClass::kRouteLeak: return "route-leak";
+    case ScenarioClass::kGrayFailure: return "gray-failure";
+    case ScenarioClass::kCdnFlood: return "cdn-flood";
+  }
+  return "unknown";
+}
+
+ScenarioClass parse_scenario_class(std::string_view name) {
+  for (ScenarioClass c : all_scenario_classes()) {
+    if (name == to_string(c)) return c;
+  }
+  throw ParseError("unknown scenario class: " + std::string(name));
+}
+
+const char* scenario_app(ScenarioClass c) {
+  switch (c) {
+    case ScenarioClass::kMaintenanceStorm:
+    case ScenarioClass::kSrlgCut:
+    case ScenarioClass::kRouteLeak:
+      return "bgp";
+    case ScenarioClass::kGrayFailure:
+      return "innet";
+    case ScenarioClass::kCdnFlood:
+      return "cdn";
+  }
+  return "bgp";
+}
+
+StudyOutput run_scenario(ScenarioClass c, const topology::Network& net,
+                         const ScenarioParams& params) {
+  switch (c) {
+    case ScenarioClass::kMaintenanceStorm:
+      return run_maintenance_storm(net, params);
+    case ScenarioClass::kSrlgCut:
+      return run_srlg_cut(net, params);
+    case ScenarioClass::kRouteLeak:
+      return run_route_leak(net, params);
+    case ScenarioClass::kGrayFailure:
+      return run_gray_failure(net, params);
+    case ScenarioClass::kCdnFlood:
+      return run_cdn_flood(net, params);
+  }
+  throw ConfigError("run_scenario: unknown scenario class");
+}
+
+}  // namespace grca::sim

@@ -1,0 +1,54 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Benchmark fault-scenario classes: named, seed-deterministic incident mixes
+// that go beyond the paper's study tables — maintenance-window symptom
+// storms, correlated SRLG optical cuts, BGP route leaks, gray failures with
+// partial packet loss, and CDN/overlay symptom floods. Each class produces a
+// StudyOutput (telemetry + TruthEntry ground truth) through the same
+// ScenarioEngine cascade machinery the §III studies use, so any class runs
+// on any imported topology and scores through the same pipeline.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "simulation/workloads.h"
+
+namespace grca::sim {
+
+enum class ScenarioClass {
+  kMaintenanceStorm,  // night maintenance windows: cost-outs, reboots, flaps
+  kSrlgCut,           // transport-device faults hitting whole SRLGs at once
+  kRouteLeak,         // customer sessions flooding prefixes until max-prefix
+  kGrayFailure,       // silent packet corruption: SNMP + probe loss only
+  kCdnFlood,          // CDN policy changes and server overloads en masse
+};
+
+/// Every class, in canonical (scorecard) order.
+std::vector<ScenarioClass> all_scenario_classes();
+
+/// Canonical kebab-case name ("maintenance-storm", "srlg-cut", ...).
+const char* to_string(ScenarioClass c);
+
+/// Inverse of to_string; throws grca::ParseError on an unknown name.
+ScenarioClass parse_scenario_class(std::string_view name);
+
+/// The application whose diagnosis graph scores this class
+/// ("bgp" | "innet" | "cdn").
+const char* scenario_app(ScenarioClass c);
+
+struct ScenarioParams {
+  util::TimeSec start = 0;     // filled with 2010-01-01 when 0
+  int days = 7;
+  int target_symptoms = 300;   // ground-truth symptom instances to reach
+  double noise = 1.0;          // benign-event scale factor
+  std::uint64_t seed = 29;
+};
+
+/// Runs one scenario class on the given network. Deterministic in
+/// (class, network, params).
+StudyOutput run_scenario(ScenarioClass c, const topology::Network& net,
+                         const ScenarioParams& params);
+
+}  // namespace grca::sim

@@ -141,6 +141,54 @@ void ScenarioEngine::access_layer1_restoration(t::PhysicalLinkId circuit_id,
                           restoration_cause(kind));
 }
 
+int ScenarioEngine::srlg_optical_cut(t::Layer1DeviceId device, TimeSec start) {
+  // One transport-device fault: every access circuit whose layer-1 path
+  // rides the device restores within ~2 minutes — the correlated flap storm
+  // an SRLG database would predict.
+  int hit = 0;
+  for (const t::PhysicalLink& pl : net_.physical_links()) {
+    if (!pl.access_port.valid()) continue;
+    if (std::find(pl.path.begin(), pl.path.end(), device) == pl.path.end()) {
+      continue;
+    }
+    RestorationKind kind =
+        pl.kind == t::Layer1Kind::kSonetRing
+            ? RestorationKind::kSonet
+            : (rng_.chance(0.3) ? RestorationKind::kOpticalFast
+                                : RestorationKind::kOpticalRegular);
+    access_layer1_restoration(pl.id, start + rng_.range(0, 120), kind);
+    ++hit;
+  }
+  return hit;
+}
+
+void ScenarioEngine::bgp_route_leak(t::CustomerSiteId site_id, TimeSec start,
+                                    int prefixes) {
+  const t::CustomerSite& site = net_.customer(site_id);
+  t::RouterId per = net_.interface(site.attachment).router;
+  // The leaked routes are visible only on the reflector feed: the PER's
+  // max-prefix guard tears the session down before they reach the RIB, so
+  // the BgpSim routing state is deliberately left untouched.
+  std::vector<routing::BgpRoute> leaked;
+  for (int i = 0; i < prefixes; ++i) {
+    routing::BgpRoute route;
+    route.prefix = util::Ipv4Prefix(util::Ipv4Addr(next_leak_prefix_), 24);
+    next_leak_prefix_ += 256;
+    route.egress = per;
+    route.next_hop = site.neighbor_ip;
+    emitter_.bgpmon(route, start + (45 * i) / std::max(prefixes, 1), true);
+    leaked.push_back(route);
+  }
+  TimeSec teardown = start + 45 + rng_.range(5, 25);
+  for (const routing::BgpRoute& route : leaked) {
+    emitter_.bgpmon(route, teardown + 1 + rng_.range(0, 4), false);
+  }
+  emit_notification(site_id, teardown, /*sent=*/true, "3/1",
+                    "maximum prefix count exceeded");
+  emit_ebgp_flap(site_id, teardown, teardown + rng_.range(60, 240), "",
+                 cause::kBgpRouteLeak);
+}
+
 void ScenarioEngine::line_protocol_flap(t::CustomerSiteId site_id,
                                         TimeSec start) {
   const t::CustomerSite& site = net_.customer(site_id);
@@ -628,6 +676,24 @@ void ScenarioEngine::cdn_outside(t::CdnNodeId node, util::Ipv4Addr client,
   cdn_rtt_increase(node, client, start, cause::kUnknown);
 }
 
+void ScenarioEngine::cdn_server_overload(
+    t::CdnNodeId node, const std::vector<util::Ipv4Addr>& clients,
+    TimeSec start) {
+  const t::CdnNode& cdn = net_.cdn_node(node);
+  int hot = std::max(1, cdn.server_count / 4);
+  TimeSec bin = snmp_bin_end(start);
+  for (int s = 0; s < hot; ++s) {
+    emitter_.server_load(node, s, bin, rng_.uniform(0.92, 1.0));
+    emitter_.server_load(node, s, bin + 300, rng_.uniform(0.92, 1.0));
+  }
+  // Clients degrade after the first hot reading so the diagnostic window
+  // (start-end 5/300 on the load event) always covers the symptom.
+  for (util::Ipv4Addr client : clients) {
+    cdn_rtt_increase(node, client, bin + rng_.range(0, 200),
+                     cause::kCdnServerIssue);
+  }
+}
+
 // ---- in-network probe cascades ---------------------------------------------------
 
 namespace {
@@ -644,6 +710,27 @@ t::RouterId pop_core(const t::Network& net, t::PopId pop) {
   return best->id;
 }
 }  // namespace
+
+void ScenarioEngine::gray_failure(
+    t::LogicalLinkId link, TimeSec start, TimeSec dur,
+    const std::vector<std::pair<t::PopId, t::PopId>>& probes) {
+  const t::LogicalLink& l = net_.link(link);
+  // The link corrupts packets but never goes down: no syslog, no OSPF event
+  // — only the ifcorrupt counters climb, bin after bin.
+  for (TimeSec bin = snmp_bin_end(start); bin <= start + dur; bin += 300) {
+    emitter_.snmp_interface(l.side_a, bin, "ifcorrupt",
+                            rng_.uniform(150.0, 900.0));
+  }
+  for (const auto& [a, b] : probes) {
+    t::RouterId ra = pop_core(net_, a), rb = pop_core(net_, b);
+    auto links = ospf_.links_on_paths(ra, rb, start);
+    if (std::find(links.begin(), links.end(), link) == links.end()) continue;
+    TimeSec at = start + rng_.range(30, 250);
+    emitter_.perf(a, b, at, "loss", rng_.uniform(1.5, 6.0));
+    truth_.push_back(TruthEntry{"innet-loss-increase", net_.pop(a).name,
+                                net_.pop(b).name, at, cause::kLinkLoss});
+  }
+}
 
 void ScenarioEngine::innet_loss_congestion(t::PopId a, t::PopId b,
                                            TimeSec start) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "simulation/emitter.h"
@@ -58,6 +59,8 @@ inline constexpr const char* kLinkCostInUp = "link-cost-inup";
 inline constexpr const char* kPimConfigChange = "pim-config-change";
 inline constexpr const char* kUplinkPimLoss = "uplink-pim-adjacency-change";
 inline constexpr const char* kLinecardCrash = "linecard-crash";
+inline constexpr const char* kBgpRouteLeak = "bgp-prefix-flood";
+inline constexpr const char* kCdnServerIssue = "cdn-server-issue";
 }  // namespace cause
 
 class ScenarioEngine {
@@ -139,6 +142,26 @@ class ScenarioEngine {
   void link_loss(topology::LogicalLinkId link, util::TimeSec t,
                  double corrupted_packets);
 
+  /// Correlated SRLG cut: a transport device fails and every access circuit
+  /// whose layer-1 path rides it restores at once, flapping all the customer
+  /// tails it feeds within ~2 minutes. Returns the number of circuits hit.
+  int srlg_optical_cut(topology::Layer1DeviceId device, util::TimeSec t);
+
+  /// BGP route leak: the customer session floods `prefixes` bogus /24
+  /// announcements over ~45 s until the PER's max-prefix guard tears the
+  /// session down (NOTIFICATION + eBGP flap), then withdraws them all.
+  void bgp_route_leak(topology::CustomerSiteId site, util::TimeSec t,
+                      int prefixes);
+
+  /// Gray failure: a backbone link silently corrupts packets for `dur`
+  /// seconds — interfaces stay up, no syslog — visible only as ifcorrupt
+  /// SNMP counters plus probe loss on the PoP pairs in `probes` whose
+  /// current path crosses the link.
+  void gray_failure(topology::LogicalLinkId link, util::TimeSec start,
+                    util::TimeSec dur,
+                    const std::vector<std::pair<topology::PopId,
+                                                topology::PopId>>& probes);
+
   // ---- PIM / MVPN cascades (the Fig. 6 study) -----------------------------
 
   /// Customer port flap at an MVPN site: the eBGP cascade plus PIM neighbor
@@ -201,6 +224,13 @@ class ScenarioEngine {
   /// Degradation with no internal evidence ("outside of our network").
   void cdn_outside(topology::CdnNodeId node, util::Ipv4Addr client,
                    util::TimeSec t);
+
+  /// CDN server overload: a quarter of the node's servers run hot (server
+  /// log load readings across two bins) and every affected client sees RTT
+  /// degrade — the overlay symptom flood.
+  void cdn_server_overload(topology::CdnNodeId node,
+                           const std::vector<util::Ipv4Addr>& clients,
+                           util::TimeSec t);
 
   // ---- In-network probe cascades (the §I motivating scenario) -------------
 
@@ -269,6 +299,7 @@ class ScenarioEngine {
   TelemetryEmitter emitter_;
   util::Rng rng_;
   std::vector<TruthEntry> truth_;
+  std::uint32_t next_leak_prefix_ = 0xC6120000u;  // 198.18.0.0, RFC 2544 space
 };
 
 }  // namespace grca::sim

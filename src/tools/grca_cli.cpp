@@ -96,10 +96,27 @@
 //       file: load the output into chrome://tracing or https://ui.perfetto.dev
 //       for a flame-style view of the run's stages.
 //
+//   grca benchmark [--topology FILE]... [--topo-dir DIR] [--scenarios LIST]
+//                  [--days N] [--symptoms N] [--seed S] [--threads N]
+//                  [--noise X] [--pers N] [--customers N] [--out FILE]
+//                  [--gate-out FILE] [--deterministic]
+//       Run the RCAEval-style scorecard: import every --topology file (or
+//       all *.graph files under --topo-dir, default bench/topologies) in
+//       REPETITA flat-text format, generate each fault-scenario class on
+//       each imported network (maintenance-storm, srlg-cut, route-leak,
+//       gray-failure, cdn-flood — or the --scenarios comma list), diagnose
+//       the corpus end-to-end, and print per-cell precision/recall/F1 plus
+//       diagnosis throughput. --out writes the scorecard JSON; --gate-out
+//       writes the flat metric map tools/bench_diff.py gates on.
+//       --deterministic drops wall-clock throughput from all outputs so
+//       they are byte-stable across machines (golden fixtures, CI gates).
+//
 //   grca version
 //       Print the build version (also: grca --version).
 
+#include <algorithm>
 #include <chrono>
+#include <deque>
 #include <filesystem>
 #include <set>
 #include <fstream>
@@ -108,6 +125,7 @@
 #include <sstream>
 #include <thread>
 
+#include "apps/benchmark.h"
 #include "apps/bgp_flap_app.h"
 #include "apps/cdn_app.h"
 #include "apps/innet_app.h"
@@ -129,7 +147,9 @@
 #include "storage/event_log.h"
 #include "storage/persistent_store.h"
 #include "simulation/workloads.h"
+#include "topology/import.h"
 #include "topology/topo_gen.h"
+#include "util/strings.h"
 
 namespace fs = std::filesystem;
 using namespace grca;
@@ -172,6 +192,10 @@ namespace {
   grca store verify --dir DIR [--deep]
   grca store compact --dir DIR [--format v1|v2]
   grca spans --in FILE [--out FILE]
+  grca benchmark [--topology FILE]... [--topo-dir DIR] [--scenarios LIST]
+                 [--days N] [--symptoms N] [--seed S] [--threads N]
+                 [--noise X] [--pers N] [--customers N] [--out FILE]
+                 [--gate-out FILE] [--deterministic]
   grca version
 )";
   std::exit(2);
@@ -963,6 +987,98 @@ int cmd_spans(const Args& args) {
   return 0;
 }
 
+int cmd_benchmark(const Args& args) {
+  // Topology set: explicit --topology files, else every *.graph under the
+  // topology directory in name order (stable matrix row order).
+  std::vector<fs::path> files;
+  if (auto it = args.values.find("topology"); it != args.values.end()) {
+    for (const std::string& f : it->second) files.emplace_back(f);
+  } else {
+    fs::path dir(args.get("topo-dir", "bench/topologies"));
+    if (!fs::is_directory(dir)) {
+      usage("topology directory " + dir.string() +
+            " not found (pass --topology FILE or --topo-dir DIR)");
+    }
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.path().extension() == ".graph") files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+  }
+  if (files.empty()) usage("no topology files to benchmark");
+
+  apps::BenchmarkOptions options;
+  options.days = static_cast<int>(args.get_long("days", 3));
+  options.target_symptoms = static_cast<int>(args.get_long("symptoms", 120));
+  options.seed = static_cast<std::uint64_t>(args.get_long("seed", 29));
+  long threads = args.get_long("threads", 0);
+  if (threads < 0) usage("--threads must be >= 0");
+  options.threads = static_cast<unsigned>(threads);
+  try {
+    options.noise = std::stod(args.get("noise", "1.0"));
+  } catch (const std::exception&) {
+    usage("--noise: expected a number, got '" + args.get("noise", "1.0") +
+          "'");
+  }
+  options.timing = !args.flags.count("deterministic");
+  if (auto it = args.values.find("scenarios"); it != args.values.end()) {
+    for (std::string_view part : util::split(it->second.back(), ',')) {
+      options.scenarios.push_back(
+          sim::parse_scenario_class(std::string(util::trim(part))));
+    }
+  }
+
+  topology::ImportOptions import_options;
+  import_options.pers_per_pop = static_cast<int>(args.get_long("pers", 2));
+  import_options.customers_per_per =
+      static_cast<int>(args.get_long("customers", 4));
+
+  std::deque<topology::Network> networks;  // stable addresses
+  std::vector<apps::BenchmarkTopology> topologies;
+  for (const fs::path& file : files) {
+    topology::ImportStats stats;
+    networks.push_back(
+        topology::import_repetita_file(file.string(), import_options, &stats));
+    topologies.push_back({file.stem().string(), &networks.back()});
+    std::cout << "imported " << file.stem().string() << ": "
+              << stats.graph_nodes << " nodes, " << stats.graph_edges
+              << " edges -> " << stats.backbone_links << " backbone links ("
+              << stats.parallel_groups << " SRLG group(s))\n";
+  }
+
+  apps::BenchmarkResult result = apps::run_benchmark(topologies, options);
+  std::cout << "\n"
+            << apps::render_scorecard_table(result).render(
+                   "G-RCA benchmark scorecard");
+
+  std::size_t truth = 0, diagnosed = 0, correct = 0;
+  for (const apps::BenchmarkCell& c : result.cells) {
+    truth += c.truth_total;
+    diagnosed += c.diagnosed;
+    correct += c.correct;
+  }
+  double p = diagnosed ? static_cast<double>(correct) / diagnosed : 0.0;
+  double r = truth ? static_cast<double>(correct) / truth : 0.0;
+  double f1 = p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  std::cout << "\noverall: precision " << util::format_double(p, 4)
+            << ", recall " << util::format_double(r, 4) << ", f1 "
+            << util::format_double(f1, 4) << " over " << result.cells.size()
+            << " cell(s)\n";
+
+  if (auto it = args.values.find("out"); it != args.values.end()) {
+    std::ofstream out(it->second.back());
+    if (!out) usage("cannot write " + it->second.back());
+    out << apps::render_scorecard_json(result);
+    std::cout << "scorecard written to " << it->second.back() << "\n";
+  }
+  if (auto it = args.values.find("gate-out"); it != args.values.end()) {
+    std::ofstream out(it->second.back());
+    if (!out) usage("cannot write " + it->second.back());
+    out << apps::render_gate_json(result);
+    std::cout << "gate metrics written to " << it->second.back() << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1000,6 +1116,9 @@ int main(int argc, char** argv) {
     }
     if (command == "spans") {
       return cmd_spans(Args::parse(argc, argv, 2, {}));
+    }
+    if (command == "benchmark") {
+      return cmd_benchmark(Args::parse(argc, argv, 2, {"deterministic"}));
     }
     usage("unknown command '" + command + "'");
   } catch (const std::exception& e) {

@@ -42,12 +42,15 @@ TEST(AppConfigs, RootsAndLocations) {
             core::LocationType::kVpnNeighbor);
 }
 
-TEST(AppConfigs, BgpAppAddsExactlyThreeEvents) {
-  // Paper Table III: only three application-specific events.
+TEST(AppConfigs, BgpAppAddsExactlyFourEvents) {
+  // Paper Table III's three application-specific events, plus the
+  // bgp-prefix-flood event backing the route-leak benchmark scenario.
   core::DiagnosisGraph library;
   core::load_knowledge_library(library);
   core::DiagnosisGraph combined = apps::bgp::build_graph();
-  EXPECT_EQ(combined.events().size() - library.events().size(), 3u);
+  EXPECT_EQ(combined.events().size() - library.events().size(), 4u);
+  EXPECT_EQ(combined.event("bgp-prefix-flood").location_type,
+            core::LocationType::kRouterNeighbor);
 }
 
 TEST(AppConfigs, PimAppAddsThreeEventsSevenRules) {

@@ -1,0 +1,242 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Tests for the benchmark harness and the new fault-scenario classes:
+// every class must be byte-deterministic in its seed (same corpus, same
+// truth), diagnosis must be thread-count invariant, streaming must agree
+// with batch on the new corpora, and the scorecard JSON must match the
+// committed golden fixture byte for byte.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "apps/benchmark.h"
+#include "apps/bgp_flap_app.h"
+#include "apps/cdn_app.h"
+#include "apps/innet_app.h"
+#include "apps/pipeline.h"
+#include "apps/replay.h"
+#include "topology/import.h"
+
+#ifndef GRCA_TEST_DATA_DIR
+#define GRCA_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace grca::apps {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+const topology::Network& mini_network() {
+  static const topology::Network net = topology::import_repetita_file(
+      std::string(GRCA_TEST_DATA_DIR) + "/mini.graph");
+  return net;
+}
+
+sim::ScenarioParams small_params() {
+  sim::ScenarioParams params;
+  params.days = 1;
+  params.target_symptoms = 20;
+  return params;
+}
+
+/// Canonical serialization of a telemetry corpus + its ground truth.
+std::string corpus_fingerprint(const sim::StudyOutput& study) {
+  std::ostringstream os;
+  for (const telemetry::RawRecord& r : study.records) {
+    os << static_cast<int>(r.source) << '|' << r.timestamp << '|' << r.device
+       << '|' << r.field << '|' << r.body << '|' << r.value << '|'
+       << r.true_utc;
+    for (const auto& [k, v] : r.attrs) os << '|' << k << '=' << v;
+    os << '\n';
+  }
+  os << "--truth--\n";
+  for (const sim::TruthEntry& t : study.truth) {
+    os << t.symptom << '@' << t.router << '@' << t.detail << '@' << t.time
+       << " -> " << t.cause << '\n';
+  }
+  return os.str();
+}
+
+/// Sorted "location@start -> cause" lines (the replay_test pattern).
+std::string diagnosis_fingerprint(const std::vector<core::Diagnosis>& ds) {
+  std::vector<std::string> lines;
+  lines.reserve(ds.size());
+  for (const core::Diagnosis& d : ds) {
+    lines.push_back(d.symptom.where.key() + "@" +
+                    std::to_string(d.symptom.when.start) + " -> " +
+                    d.primary());
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) out += line + "\n";
+  return out;
+}
+
+struct AppBits {
+  core::DiagnosisGraph (*graph)();
+  std::string (*canonical)(const std::string&);
+};
+
+AppBits bits_for(sim::ScenarioClass c) {
+  std::string app = sim::scenario_app(c);
+  if (app == "bgp") return {bgp::build_graph, bgp::canonical_cause};
+  if (app == "cdn") return {cdn::build_graph, cdn::canonical_cause};
+  return {innet::build_graph, innet::canonical_cause};
+}
+
+std::vector<topology::RouterId> observers_for(sim::ScenarioClass c,
+                                              const topology::Network& net) {
+  if (std::string(sim::scenario_app(c)) == "cdn") {
+    return net.cdn_nodes().front().ingress_routers;
+  }
+  return {};
+}
+
+// ---- Seed determinism for every scenario class -----------------------------
+
+TEST(FaultScenarios, RerunIsByteIdentical) {
+  const topology::Network& net = mini_network();
+  for (sim::ScenarioClass c : sim::all_scenario_classes()) {
+    sim::StudyOutput a = sim::run_scenario(c, net, small_params());
+    sim::StudyOutput b = sim::run_scenario(c, net, small_params());
+    EXPECT_GT(a.truth.size(), 0u) << sim::to_string(c);
+    EXPECT_EQ(corpus_fingerprint(a), corpus_fingerprint(b))
+        << sim::to_string(c);
+  }
+}
+
+TEST(FaultScenarios, DifferentSeedsDiverge) {
+  const topology::Network& net = mini_network();
+  sim::ScenarioParams other = small_params();
+  other.seed += 1;
+  sim::StudyOutput a =
+      sim::run_scenario(sim::ScenarioClass::kRouteLeak, net, small_params());
+  sim::StudyOutput b =
+      sim::run_scenario(sim::ScenarioClass::kRouteLeak, net, other);
+  EXPECT_NE(corpus_fingerprint(a), corpus_fingerprint(b));
+}
+
+// ---- Diagnosis is thread-count invariant per class -------------------------
+
+TEST(FaultScenarios, DiagnosisThreadCountInvariant) {
+  const topology::Network& net = mini_network();
+  for (sim::ScenarioClass c : sim::all_scenario_classes()) {
+    sim::StudyOutput study = sim::run_scenario(c, net, small_params());
+    AppBits bits = bits_for(c);
+    Pipeline pipe(net, study.records, {}, observers_for(c, net));
+    std::string serial =
+        diagnosis_fingerprint(pipe.diagnose_all(bits.graph(), 1));
+    std::string fanned =
+        diagnosis_fingerprint(pipe.diagnose_all(bits.graph(), 4));
+    EXPECT_FALSE(serial.empty()) << sim::to_string(c);
+    EXPECT_EQ(serial, fanned) << sim::to_string(c);
+  }
+}
+
+// ---- Streaming agrees with batch on the new corpora ------------------------
+
+TEST(FaultScenarios, StreamingMatchesBatchVerdicts) {
+  const topology::Network& net = mini_network();
+  for (sim::ScenarioClass c : sim::all_scenario_classes()) {
+    sim::StudyOutput study = sim::run_scenario(c, net, small_params());
+    AppBits bits = bits_for(c);
+    FeedReplayer replayer(net, {});
+    ReplayReport report =
+        replayer.replay(study.records, bits.graph(), &study.truth,
+                        bits.canonical);
+    ASSERT_TRUE(report.truth.has_value()) << sim::to_string(c);
+    EXPECT_TRUE(report.truth->verdicts.identical())
+        << sim::to_string(c) << ": mismatched "
+        << report.truth->verdicts.mismatched << " streaming_only "
+        << report.truth->verdicts.streaming_only << " batch_only "
+        << report.truth->verdicts.batch_only;
+  }
+}
+
+// ---- Benchmark matrix ------------------------------------------------------
+
+BenchmarkOptions golden_options() {
+  BenchmarkOptions options;
+  options.days = 1;
+  options.target_symptoms = 20;
+  options.threads = 1;
+  options.timing = false;
+  return options;
+}
+
+TEST(Benchmark, MatrixCoversEveryCell) {
+  const topology::Network& net = mini_network();
+  BenchmarkResult result =
+      run_benchmark({{"mini", &net}}, golden_options());
+  ASSERT_EQ(result.cells.size(), sim::all_scenario_classes().size());
+  for (const BenchmarkCell& cell : result.cells) {
+    EXPECT_GT(cell.records, 0u) << cell.scenario;
+    EXPECT_GT(cell.truth_total, 0u) << cell.scenario;
+    EXPECT_GT(cell.f1, 0.5) << cell.scenario;
+    EXPECT_EQ(cell.records_per_min, 0.0) << "timing off";
+  }
+}
+
+TEST(Benchmark, CellSeedsIndependentOfMatrixComposition) {
+  const topology::Network& net = mini_network();
+  BenchmarkOptions all = golden_options();
+  BenchmarkOptions one = golden_options();
+  one.scenarios = {sim::ScenarioClass::kGrayFailure};
+  BenchmarkResult full = run_benchmark({{"mini", &net}}, all);
+  BenchmarkResult solo = run_benchmark({{"mini", &net}}, one);
+  ASSERT_EQ(solo.cells.size(), 1u);
+  const BenchmarkCell* match = nullptr;
+  for (const BenchmarkCell& cell : full.cells) {
+    if (cell.scenario == solo.cells[0].scenario) match = &cell;
+  }
+  ASSERT_NE(match, nullptr);
+  EXPECT_EQ(match->records, solo.cells[0].records);
+  EXPECT_EQ(match->truth_total, solo.cells[0].truth_total);
+  EXPECT_EQ(match->correct, solo.cells[0].correct);
+}
+
+TEST(Benchmark, ScorecardMatchesGoldenFixture) {
+  const topology::Network& net = mini_network();
+  BenchmarkResult result =
+      run_benchmark({{"mini", &net}}, golden_options());
+  std::string golden =
+      read_file(std::string(GRCA_TEST_DATA_DIR) + "/golden_scorecard.json");
+  ASSERT_FALSE(golden.empty());
+  // Byte-for-byte: any drift in corpus generation, diagnosis, scoring or
+  // rendering shows up as a failing diff. Regenerate with `grca benchmark
+  // --topology tests/data/mini.graph --days 1 --symptoms 20 --threads 1
+  // --deterministic --out <fixture>`.
+  EXPECT_EQ(render_scorecard_json(result), golden);
+}
+
+TEST(Benchmark, GateJsonCarriesPerCellMetrics) {
+  const topology::Network& net = mini_network();
+  BenchmarkResult result =
+      run_benchmark({{"mini", &net}}, golden_options());
+  std::string gate = render_gate_json(result);
+  EXPECT_NE(gate.find("\"mini.route-leak.f1\""), std::string::npos);
+  EXPECT_NE(gate.find("\"overall.precision\""), std::string::npos);
+  EXPECT_EQ(gate.find("records_per_min"), std::string::npos)
+      << "timing off must keep the gate file machine-independent";
+}
+
+TEST(Benchmark, ScenarioClassRoundTrip) {
+  for (sim::ScenarioClass c : sim::all_scenario_classes()) {
+    EXPECT_EQ(sim::parse_scenario_class(sim::to_string(c)), c);
+  }
+  EXPECT_THROW(sim::parse_scenario_class("no-such-class"), ParseError);
+}
+
+}  // namespace
+}  // namespace grca::apps

@@ -1,0 +1,175 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Tests for the REPETITA real-topology importer: structure of the grown
+// network (PoPs, cores, PERs, customers, CDN placement), SRLG inference for
+// parallel fibers, determinism, and a malformed-input sweep — every bad
+// file must fail with a clean ParseError, never a crash or a silent
+// half-parsed network.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "topology/import.h"
+
+namespace grca::topology {
+namespace {
+
+// Triangle with a parallel alpha-beta fiber pair.
+const char* kTriangle = R"(# toy triangle
+NODES 3
+label x y
+Alpha 0.0 0.0
+Beta 1.0 0.0
+Gamma 0.5 1.0
+EDGES 8
+label src dest weight bw delay
+e0 0 1 10 10000000 1
+e1 1 0 10 10000000 1
+e2 0 2 20 2500000 1
+e3 2 0 20 2500000 1
+e4 1 2 10 10000000 1
+e5 2 1 10 10000000 1
+e6 0 1 12 10000000 1
+e7 1 0 12 10000000 1
+)";
+
+TEST(TopologyImport, GrowsNetworkFromGraph) {
+  ImportStats stats;
+  ImportOptions options;
+  Network net = import_repetita(kTriangle, options, &stats);
+
+  EXPECT_EQ(stats.graph_nodes, 3u);
+  EXPECT_EQ(stats.graph_edges, 8u);
+  // Three adjacencies; alpha-beta carries two parallel fibers.
+  EXPECT_EQ(stats.backbone_links, 4u);
+  EXPECT_EQ(stats.parallel_groups, 1u);
+
+  ASSERT_EQ(net.pops().size(), 3u);
+  EXPECT_EQ(net.pops()[0].name, "alpha");  // labels are sanitized lowercase
+  // Per PoP: one core + pers_per_pop PERs, plus route reflectors somewhere.
+  std::size_t cores = 0, pers = 0;
+  for (const Router& r : net.routers()) {
+    if (r.name.find("-cr") != std::string::npos) ++cores;
+    if (r.name.find("-er") != std::string::npos) ++pers;
+  }
+  EXPECT_EQ(cores, 3u);
+  EXPECT_EQ(pers, 3u * static_cast<std::size_t>(options.pers_per_pop));
+  EXPECT_EQ(net.customers().size(),
+            pers * static_cast<std::size_t>(options.customers_per_per));
+  ASSERT_EQ(net.cdn_nodes().size(), 1u);
+  EXPECT_FALSE(net.cdn_nodes()[0].ingress_routers.empty());
+}
+
+TEST(TopologyImport, ParallelFibersShareOxcPath) {
+  Network net = import_repetita(kTriangle);
+  // Find the two alpha-beta backbone circuits: their layer-1 paths must be
+  // identical (same oxc pair) — that sharing IS the SRLG.
+  std::vector<const PhysicalLink*> ab;
+  for (const PhysicalLink& pl : net.physical_links()) {
+    if (pl.circuit_id.rfind("CKT.alpha.beta.", 0) == 0) ab.push_back(&pl);
+  }
+  ASSERT_EQ(ab.size(), 2u);
+  ASSERT_FALSE(ab[0]->path.empty());
+  EXPECT_EQ(ab[0]->path, ab[1]->path);
+}
+
+TEST(TopologyImport, DeterministicForFixedSeed) {
+  ImportStats a, b;
+  Network na = import_repetita(kTriangle, {}, &a);
+  Network nb = import_repetita(kTriangle, {}, &b);
+  EXPECT_EQ(a.backbone_links, b.backbone_links);
+  ASSERT_EQ(na.routers().size(), nb.routers().size());
+  for (std::size_t i = 0; i < na.routers().size(); ++i) {
+    EXPECT_EQ(na.routers()[i].name, nb.routers()[i].name);
+  }
+  ASSERT_EQ(na.customers().size(), nb.customers().size());
+  for (std::size_t i = 0; i < na.customers().size(); ++i) {
+    EXPECT_EQ(na.customers()[i].asn, nb.customers()[i].asn);
+    EXPECT_EQ(na.customers()[i].mvpn, nb.customers()[i].mvpn);
+  }
+}
+
+// ---- Malformed-input sweep -------------------------------------------------
+
+void expect_parse_error(const std::string& text) {
+  EXPECT_THROW(import_repetita(text), ParseError) << "input:\n" << text;
+}
+
+TEST(TopologyImport, RejectsEmptyAndTruncatedFiles) {
+  expect_parse_error("");
+  expect_parse_error("# only a comment\n");
+  expect_parse_error("NODES 3\n");  // header but no rows
+  expect_parse_error(
+      "NODES 2\na 0 0\nb 1 1\n");  // nodes but no EDGES section
+  expect_parse_error(
+      "NODES 2\na 0 0\nb 1 1\nEDGES 2\ne0 0 1 10 10000000 1\n");  // short
+}
+
+TEST(TopologyImport, RejectsEmptyGraphs) {
+  expect_parse_error("NODES 0\nEDGES 0\n");
+  expect_parse_error("NODES -3\n");
+  expect_parse_error("NODES 1\nsolo 0 0\nEDGES 0\n");  // no edges
+}
+
+TEST(TopologyImport, RejectsBadHeadersAndNumbers) {
+  expect_parse_error("VERTICES 2\n");
+  expect_parse_error("NODES two\n");
+  expect_parse_error(
+      "NODES 2\na 0 0\nb 1 1\nEDGES 2\n"
+      "e0 0 x 10 10000000 1\ne1 1 0 10 10000000 1\n");
+}
+
+TEST(TopologyImport, RejectsBadEdges) {
+  // Endpoint out of range.
+  expect_parse_error(
+      "NODES 2\na 0 0\nb 1 1\nEDGES 2\n"
+      "e0 0 7 10 10000000 1\ne1 7 0 10 10000000 1\n");
+  // Self-loop.
+  expect_parse_error(
+      "NODES 2\na 0 0\nb 1 1\nEDGES 2\n"
+      "e0 0 0 10 10000000 1\ne1 0 1 10 10000000 1\n");
+  // Zero and negative weights.
+  expect_parse_error(
+      "NODES 2\na 0 0\nb 1 1\nEDGES 2\n"
+      "e0 0 1 0 10000000 1\ne1 1 0 0 10000000 1\n");
+  expect_parse_error(
+      "NODES 2\na 0 0\nb 1 1\nEDGES 2\n"
+      "e0 0 1 -5 10000000 1\ne1 1 0 -5 10000000 1\n");
+  // Duplicate edge label.
+  expect_parse_error(
+      "NODES 2\na 0 0\nb 1 1\nEDGES 2\n"
+      "e0 0 1 10 10000000 1\ne0 1 0 10 10000000 1\n");
+  // Too few columns.
+  expect_parse_error("NODES 2\na 0 0\nb 1 1\nEDGES 1\ne0 0 1\n");
+}
+
+TEST(TopologyImport, RejectsDuplicateNodeLabels) {
+  expect_parse_error(
+      "NODES 2\nsame 0 0\nsame 1 1\nEDGES 2\n"
+      "e0 0 1 10 10000000 1\ne1 1 0 10 10000000 1\n");
+}
+
+TEST(TopologyImport, RejectsNonUtf8AndNulBytes) {
+  expect_parse_error("NODES 2\n\xFF\xFE a 0 0\nb 1 1\n");
+  expect_parse_error(std::string("NODES 2\na\x80 0 0\nb 1 1\n"));
+  std::string with_nul = "NODES 2\na 0 0\nb 1 1\n";
+  with_nul[7] = '\0';
+  expect_parse_error(with_nul);
+  // Truncated multi-byte sequence at end of input.
+  expect_parse_error(std::string("NODES 1\nn 0 0\n\xC3"));
+}
+
+TEST(TopologyImport, FileVariantNamesTheFile) {
+  try {
+    import_repetita_file("/nonexistent/topology.graph");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("topology.graph"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace grca::topology

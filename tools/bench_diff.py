@@ -26,8 +26,22 @@ import os
 import sys
 
 # A numeric key gates the build iff it matches one of these substrings —
-# all of them are higher-is-better by construction.
-HIGHER_IS_BETTER = ("_per_s", "multiplier", "speedup", "ratio", "rate")
+# all of them are higher-is-better by construction. Accuracy metrics
+# (precision/recall/f1 from the benchmark scorecard) gate the same way:
+# a drop below tolerance means diagnosis quality regressed. Note "rate"
+# also matches "hit_rate" and "records_per_min"-style keys do NOT gate
+# unless they carry one of these substrings.
+HIGHER_IS_BETTER = (
+    "_per_s",
+    "multiplier",
+    "speedup",
+    "ratio",
+    "rate",
+    "precision",
+    "recall",
+    "f1",
+    "accuracy",
+)
 
 
 def gated_keys(report):
