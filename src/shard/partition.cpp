@@ -1,0 +1,384 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/error.h"
+
+namespace grca::shard {
+
+namespace t = topology;
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double Partition::skew() const noexcept {
+  std::size_t max = 0, total = 0, busy = 0;
+  for (const auto& seqs : shard_seqs) {
+    if (seqs.empty()) continue;
+    max = std::max(max, seqs.size());
+    total += seqs.size();
+    ++busy;
+  }
+  if (busy == 0) return 1.0;
+  return static_cast<double>(max) /
+         (static_cast<double>(total) / static_cast<double>(busy));
+}
+
+bool Partition::included(std::uint32_t worker,
+                         const core::Location& loc) const {
+  auto it = location_ids.find(loc);
+  if (it == location_ids.end()) return false;
+  return worker < inclusion.size() && inclusion[worker][it->second] != 0;
+}
+
+namespace {
+
+/// Plain union-find over PoP indices.
+class PopComponents {
+ public:
+  explicit PopComponents(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// The PoP footprint of one location: every PoP a spatial join anchored
+/// here can name through a shared static projection entity. `everywhere`
+/// marks the conservative fallback (path-dependent or unresolvable).
+struct Reach {
+  bool everywhere = false;
+  std::vector<std::uint32_t> pops;  // PopId values, deduplicated
+};
+
+class ReachAnalyzer {
+ public:
+  explicit ReachAnalyzer(const core::LocationMapper& mapper)
+      : mapper_(mapper), net_(mapper.network()) {
+    for (const t::LogicalLink& l : net_.links()) link_ids_[l.name] = l.id;
+    for (const t::Layer1Device& d : net_.layer1_devices()) {
+      device_ids_[d.name] = d.id;
+    }
+  }
+
+  Reach reach(const core::Location& loc) const {
+    Reach out;
+    if (core::LocationMapper::path_dependent(loc.type)) {
+      out.everywhere = true;
+      return out;
+    }
+    std::vector<std::uint32_t> pops;
+    bool resolved = own_pops(loc, pops);
+    // Sweep every static join level: each projected entity contributes the
+    // PoPs *any* peer location sharing that entity would also compute, so
+    // two locations that can ever join share at least one PoP here.
+    static constexpr core::LocationType kLevels[] = {
+        core::LocationType::kRouter,       core::LocationType::kPop,
+        core::LocationType::kLogicalLink,  core::LocationType::kPhysicalLink,
+        core::LocationType::kLayer1Device,
+    };
+    for (core::LocationType level : kLevels) {
+      if (loc.type == level) continue;  // own footprint already covered
+      for (const core::Location& entity : mapper_.project(loc, level, 0)) {
+        entity_pops(entity, pops);
+      }
+    }
+    if (!resolved && pops.empty()) {
+      // Unresolvable against this topology: two such locations can still
+      // join by exact identity at their own level, so be conservative.
+      out.everywhere = true;
+      return out;
+    }
+    std::sort(pops.begin(), pops.end());
+    pops.erase(std::unique(pops.begin(), pops.end()), pops.end());
+    out.pops = std::move(pops);
+    return out;
+  }
+
+  /// The representative PoP the symptom hashes to: the ingress ('a') side
+  /// for pair-typed locations, the lexicographically-smallest own PoP
+  /// otherwise. nullopt when nothing resolves.
+  std::optional<std::uint32_t> root_pop(const core::Location& loc) const {
+    switch (loc.type) {
+      case core::LocationType::kRouterPair:
+      case core::LocationType::kIngressDestination:
+      case core::LocationType::kVpnNeighbor: {
+        auto r = net_.find_router(loc.a);
+        if (!r) return std::nullopt;
+        return net_.router(*r).pop.value();
+      }
+      case core::LocationType::kPopPair: {
+        auto p = net_.find_pop(loc.a);
+        if (!p) return std::nullopt;
+        return p->value();
+      }
+      case core::LocationType::kCdnClient: {
+        auto n = net_.find_cdn_node(loc.a);
+        if (!n) return std::nullopt;
+        return net_.cdn_node(*n).pop.value();
+      }
+      default: {
+        std::vector<std::uint32_t> pops;
+        own_pops(loc, pops);
+        if (pops.empty()) return std::nullopt;
+        std::uint32_t best = pops.front();
+        for (std::uint32_t p : pops) {
+          if (net_.pop(t::PopId(p)).name < net_.pop(t::PopId(best)).name) {
+            best = p;
+          }
+        }
+        return best;
+      }
+    }
+  }
+
+ private:
+  void add_router_pop(t::RouterId r, std::vector<std::uint32_t>& pops) const {
+    pops.push_back(net_.router(r).pop.value());
+  }
+
+  void add_link_pops(t::LogicalLinkId l,
+                     std::vector<std::uint32_t>& pops) const {
+    const t::LogicalLink& link = net_.link(l);
+    add_router_pop(net_.interface(link.side_a).router, pops);
+    add_router_pop(net_.interface(link.side_b).router, pops);
+  }
+
+  void add_circuit_pops(t::PhysicalLinkId p,
+                        std::vector<std::uint32_t>& pops) const {
+    const t::PhysicalLink& pl = net_.physical_link(p);
+    if (pl.logical.valid()) add_link_pops(pl.logical, pops);
+    if (pl.access_port.valid()) {
+      add_router_pop(net_.interface(pl.access_port).router, pops);
+    }
+    for (t::Layer1DeviceId d : pl.path) {
+      pops.push_back(net_.layer1_device(d).pop.value());
+    }
+  }
+
+  /// The PoPs of the projection *entity* `e` itself — the fixed footprint
+  /// both sides of a join compute for a shared entity.
+  void entity_pops(const core::Location& e,
+                   std::vector<std::uint32_t>& pops) const {
+    switch (e.type) {
+      case core::LocationType::kRouter: {
+        if (auto r = net_.find_router(e.a)) add_router_pop(*r, pops);
+        break;
+      }
+      case core::LocationType::kPop: {
+        if (auto p = net_.find_pop(e.a)) pops.push_back(p->value());
+        break;
+      }
+      case core::LocationType::kLogicalLink: {
+        if (auto it = link_ids_.find(e.a); it != link_ids_.end()) {
+          add_link_pops(it->second, pops);
+        }
+        break;
+      }
+      case core::LocationType::kPhysicalLink: {
+        if (auto p = net_.find_circuit(e.a)) add_circuit_pops(*p, pops);
+        break;
+      }
+      case core::LocationType::kLayer1Device: {
+        if (auto it = device_ids_.find(e.a); it != device_ids_.end()) {
+          pops.push_back(net_.layer1_device(it->second).pop.value());
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  /// The location's own entity footprint (projections at level == L.type
+  /// return L verbatim, so a peer can join by identity; its PoPs must be
+  /// part of reach). Returns false when nothing resolved.
+  bool own_pops(const core::Location& loc,
+                std::vector<std::uint32_t>& pops) const {
+    std::size_t before = pops.size();
+    switch (loc.type) {
+      case core::LocationType::kRouter:
+      case core::LocationType::kInterface:
+      case core::LocationType::kLineCard:
+      case core::LocationType::kRouterNeighbor: {
+        if (auto r = net_.find_router(loc.a)) add_router_pop(*r, pops);
+        break;
+      }
+      case core::LocationType::kPop: {
+        if (auto p = net_.find_pop(loc.a)) pops.push_back(p->value());
+        break;
+      }
+      case core::LocationType::kLogicalLink:
+      case core::LocationType::kPhysicalLink:
+      case core::LocationType::kLayer1Device:
+        entity_pops(loc, pops);
+        break;
+      case core::LocationType::kCdnNode: {
+        if (auto n = net_.find_cdn_node(loc.a)) {
+          const t::CdnNode& cdn = net_.cdn_node(*n);
+          pops.push_back(cdn.pop.value());
+          for (t::RouterId r : cdn.ingress_routers) add_router_pop(r, pops);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    return pops.size() > before;
+  }
+
+  const core::LocationMapper& mapper_;
+  const t::Network& net_;
+  std::unordered_map<std::string, t::LogicalLinkId> link_ids_;
+  std::unordered_map<std::string, t::Layer1DeviceId> device_ids_;
+};
+
+}  // namespace
+
+Partition partition_symptoms(const core::EventStoreView& store,
+                             const std::string& root_event,
+                             const core::LocationMapper& mapper,
+                             std::uint32_t workers) {
+  if (workers == 0) throw ConfigError("shard: --workers must be >= 1");
+  Partition part;
+  part.workers = workers;
+  part.root_event = root_event;
+  part.shard_seqs.resize(workers);
+
+  // 1. Deterministic coordinator location table: sorted event names,
+  // instances in store (start, insertion) order. Never depends on any
+  // process-local interning order.
+  std::vector<std::string> names = store.event_names();
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    for (const core::EventInstance& e : store.all(name)) {
+      auto [it, fresh] = part.location_ids.try_emplace(
+          e.where, static_cast<std::uint32_t>(part.locations.size()));
+      if (fresh) part.locations.push_back(e.where);
+    }
+  }
+
+  // 2. Reach analysis per distinct location + PoP component coupling.
+  ReachAnalyzer analyzer(mapper);
+  const std::size_t pop_count = mapper.network().pops().size();
+  PopComponents components(pop_count);
+  std::vector<Reach> reaches;
+  reaches.reserve(part.locations.size());
+  for (const core::Location& loc : part.locations) {
+    Reach r = analyzer.reach(loc);
+    if (r.everywhere) {
+      ++part.boundary_locations;
+    } else {
+      ++part.anchored_locations;
+      for (std::size_t i = 1; i < r.pops.size(); ++i) {
+        components.unite(r.pops[0], r.pops[i]);
+      }
+    }
+    reaches.push_back(std::move(r));
+  }
+
+  // 3. Symptom assignment. Symptoms group by their root-PoP location key
+  // (the PoP/PE-subtree anchor — same root, same worker, so slice locality
+  // holds); groups are ordered largest-first with the key's FNV-1a hash as
+  // the stable tie-break and each group goes to the least-loaded worker
+  // (LPT scheduling, which keeps the skew the speedup gate divides by near
+  // 1). Deterministic by construction: store order fixes the groups, the
+  // cross-platform hash fixes the ordering, and load-then-lowest-index
+  // fixes the assignment — no process-local state anywhere.
+  std::span<const core::EventInstance> symptoms = store.all(root_event);
+  part.symptom_shard.assign(symptoms.size(), 0);
+  std::unordered_map<std::string, std::vector<std::uint32_t>> groups;
+  for (std::uint32_t seq = 0; seq < symptoms.size(); ++seq) {
+    const core::Location& where = symptoms[seq].where;
+    core::Location root;
+    if (auto pop = analyzer.root_pop(where)) {
+      root = core::Location::pop(
+          mapper.network().pop(t::PopId(*pop)).name);
+    } else {
+      root = where;  // unresolvable: group by the symptom location itself
+    }
+    groups[root.key()].push_back(seq);
+  }
+  using Group = std::pair<const std::string, std::vector<std::uint32_t>>;
+  std::vector<const Group*> ordered;
+  ordered.reserve(groups.size());
+  for (const Group& g : groups) ordered.push_back(&g);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Group* a, const Group* b) {
+              if (a->second.size() != b->second.size()) {
+                return a->second.size() > b->second.size();
+              }
+              std::uint64_t ha = fnv1a64(a->first), hb = fnv1a64(b->first);
+              if (ha != hb) return ha < hb;
+              return a->first < b->first;
+            });
+  std::vector<std::uint64_t> load(workers, 0);
+  for (const Group* g : ordered) {
+    std::uint32_t shard = 0;
+    for (std::uint32_t w = 1; w < workers; ++w) {
+      if (load[w] < load[shard]) shard = w;
+    }
+    load[shard] += g->second.size();
+    for (std::uint32_t seq : g->second) part.symptom_shard[seq] = shard;
+  }
+  // everywhere_shards[w]: some symptom of w reaches everywhere -> w's view
+  // is the full store. touched[w]: PoP components w's symptoms reach.
+  std::vector<std::uint8_t> everywhere_shards(workers, 0);
+  std::vector<std::vector<std::uint8_t>> touched(
+      workers, std::vector<std::uint8_t>(pop_count, 0));
+  for (std::uint32_t seq = 0; seq < symptoms.size(); ++seq) {
+    const std::uint32_t shard = part.symptom_shard[seq];
+    part.shard_seqs[shard].push_back(seq);
+    const Reach& r = reaches[part.location_ids.at(symptoms[seq].where)];
+    if (r.everywhere) {
+      everywhere_shards[shard] = 1;
+    } else {
+      for (std::uint32_t p : r.pops) {
+        touched[shard][components.find(p)] = 1;
+      }
+    }
+  }
+
+  // 4. Per-worker inclusion: boundary locations everywhere; anchored
+  // locations wherever a symptom touches their component.
+  part.inclusion.assign(workers,
+                        std::vector<std::uint8_t>(part.locations.size(), 0));
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    std::vector<std::uint8_t>& mask = part.inclusion[w];
+    for (std::size_t id = 0; id < part.locations.size(); ++id) {
+      const Reach& r = reaches[id];
+      if (r.everywhere || everywhere_shards[w]) {
+        mask[id] = 1;
+      } else if (!r.pops.empty() &&
+                 touched[w][components.find(r.pops.front())]) {
+        mask[id] = 1;
+      }
+    }
+  }
+  return part;
+}
+
+}  // namespace grca::shard

@@ -79,10 +79,31 @@
 //       the stream drains, the persistence watermark seals, listeners
 //       close.
 //
+//   grca shard --study bgp|cdn|pim|innet --data DIR --store DIR
+//              [--workers N] [--threads N] [--mode slice|filter]
+//              [--slice-dir DIR] [--slice-format v1|v2] [--keep-slices]
+//              [--retry-failed] [--dsl FILE]... [--metrics-out FILE]
+//              [--fail-worker N] [--fail-after N]
+//       Sharded multi-process diagnosis: partition the study's symptom
+//       stream by location across N worker processes (forked from this
+//       binary as `grca shard-worker`), each diagnosing off its own
+//       re-sealed slice of the persistent store (--mode slice, default) or
+//       the full store behind a location filter (--mode filter), then merge
+//       the result frames by global sequence number. The breakdown printed
+//       to stdout is byte-identical to `diagnose --study ... --data DIR
+//       --store DIR` up to the mean-diagnosis-time line; the per-worker
+//       status table goes to stderr. Exits nonzero when any worker fails
+//       (per-worker status still printed); --retry-failed reruns failed
+//       shards once — the partition is deterministic, so the rerun merges
+//       byte-identically. --fail-worker/--fail-after are failure-injection
+//       hooks for the tests (worker N aborts after emitting N results).
+//
 //   grca store inspect|verify|compact --dir DIR
 //       Operate on a persisted event log. `inspect` prints per-segment
 //       summaries (sequence, format, events, names, watermark, bytes; for
-//       columnar v2 segments also dictionary and zone-map sizes). `verify`
+//       columnar v2 segments also dictionary and zone-map sizes plus
+//       per-name run summaries: rows, blocks, start range, column-region
+//       bytes — the shard-slice debugging view). `verify`
 //       runs the full integrity sweep — header/footer/frame CRCs, v2
 //       column-region CRCs, full structural decode — and exits nonzero on
 //       any corruption; `--deep` additionally recomputes footer statistics
@@ -114,6 +135,8 @@
 //   grca version
 //       Print the build version (also: grca --version).
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <deque>
@@ -143,6 +166,8 @@
 #include "service/alerts.h"
 #include "service/service_plane.h"
 #include "service/shutdown.h"
+#include "shard/coordinator.h"
+#include "shard/worker.h"
 #include "simulation/archive.h"
 #include "storage/event_log.h"
 #include "storage/persistent_store.h"
@@ -188,6 +213,11 @@ namespace {
              [--idle-ticks N] [--alert-rules FILE] [--workers N]
              [--persist DIR] [--persist-seal-every SEC]
              [--persist-format v1|v2] [--days N] [--symptoms N] [--seed S]
+  grca shard --study bgp|cdn|pim|innet --data DIR --store DIR [--workers N]
+             [--threads N] [--mode slice|filter] [--slice-dir DIR]
+             [--slice-format v1|v2] [--keep-slices] [--retry-failed]
+             [--dsl FILE]... [--metrics-out FILE] [--fail-worker N]
+             [--fail-after N]
   grca store inspect --dir DIR
   grca store verify --dir DIR [--deep]
   grca store compact --dir DIR [--format v1|v2]
@@ -849,6 +879,67 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+int cmd_shard(const Args& args) {
+  shard::ShardOptions options;
+  options.study = args.get("study");
+  hooks_for(options.study);  // validate the name before forking anything
+  options.data_dir = fs::path(args.get("data"));
+  options.store_dir = fs::path(args.get("store"));
+  long workers = args.get_long("workers", 8);
+  if (workers < 1) usage("--workers must be >= 1");
+  options.workers = static_cast<std::uint32_t>(workers);
+  long threads = args.get_long("threads", 1);
+  if (threads < 1) usage("--threads must be >= 1");
+  options.threads_per_worker = static_cast<std::uint32_t>(threads);
+  options.mode = shard::parse_mode(args.get("mode", "slice"));
+  if (auto it = args.values.find("slice-dir"); it != args.values.end()) {
+    options.slice_dir = fs::path(it->second.back());
+  }
+  options.slice_format =
+      storage::parse_seal_format(args.get("slice-format", "v2"));
+  options.keep_slices = args.flags.count("keep-slices") > 0;
+  options.retry_failed = args.flags.count("retry-failed") > 0;
+  if (auto it = args.values.find("dsl"); it != args.values.end()) {
+    std::stringstream ss;
+    for (const std::string& file : it->second) {
+      std::ifstream in(file);
+      if (!in) usage("cannot open DSL file " + file);
+      ss << in.rdbuf() << "\n";
+    }
+    options.extra_dsl = ss.str();
+  }
+  long fail_worker = args.get_long("fail-worker", -1);
+  if (fail_worker >= 0) {
+    options.test_fail_worker = static_cast<std::uint32_t>(fail_worker);
+    options.test_fail_after =
+        static_cast<std::uint32_t>(args.get_long("fail-after", 0));
+  }
+
+  shard::ShardReport report = shard::run_sharded(options);
+  std::cerr << report.render_status();
+  if (!report.ok) {
+    std::cerr << "shard run FAILED\n";
+    return 1;
+  }
+
+  // Render exactly what `diagnose` renders so the views byte-diff (the
+  // mean-diagnosis-time line differs numerically run to run — it carries
+  // wall time — which is why the CI comparison strips lines containing
+  // "diagnosis time"). `report` outlives the browser: the merged diagnoses
+  // point into its decode arenas.
+  core::ResultBrowser browser(std::move(report.diagnoses));
+  hooks_for(options.study).browser(browser);
+  std::cout << browser.breakdown().render("root cause breakdown");
+  std::cout << "\nmean diagnosis time: " << browser.mean_diagnosis_ms()
+            << " ms/symptom over " << browser.diagnoses().size()
+            << " symptoms\n";
+
+  if (auto it = args.values.find("metrics-out"); it != args.values.end()) {
+    write_metrics_file(fs::path(it->second.back()));
+  }
+  return 0;
+}
+
 int cmd_store(const std::string& action, const Args& args) {
   fs::path dir(args.get("dir"));
   if (action == "verify") {
@@ -912,6 +1003,23 @@ int cmd_store(const std::string& action, const Args& args) {
                   << footer.locations.size() << " locations, "
                   << footer.strings.size() << " attr strings, watermark "
                   << footer.watermark << "\n";
+        // Per-name run summaries: rows, zone-map block count + time range,
+        // column-region bytes. This is the shard-slice debugging view —
+        // `grca shard --keep-slices` leaves the per-worker stores on disk
+        // and these lines show what each slice actually holds.
+        for (const storage::V2Run& run : footer.runs) {
+          std::cout << "  " << footer.names[run.name_id] << ": " << run.count
+                    << " rows, " << run.blocks.size() << " blocks ("
+                    << run.block_rows << " rows/block)";
+          if (!run.blocks.empty()) {
+            std::cout << ", starts [" << run.blocks.front().min_start << ".."
+                      << run.blocks.back().max_start << "]";
+          }
+          std::cout << ", max duration " << run.max_duration << ", "
+                    << run.region_len() << " bytes (starts " << run.starts_len
+                    << ", durations " << run.durs_len << ", locations "
+                    << run.locs_len << ", attrs " << run.attrs_len << ")\n";
+        }
       } else if (seg.sealed()) {
         const storage::SegmentFooter& footer = seg.footer();
         total_events += footer.event_count;
@@ -1109,6 +1217,22 @@ int main(int argc, char** argv) {
     if (command == "serve") {
       return cmd_serve(Args::parse(
           argc, argv, 2, {"follow", "once", "public", "paper-scale"}));
+    }
+    if (command == "shard") {
+      return cmd_shard(
+          Args::parse(argc, argv, 2, {"keep-slices", "retry-failed"}));
+    }
+    if (command == "shard-worker") {
+      // Hidden: the exec'd worker half of `grca shard`. Its frame stream
+      // rides the fd that arrived as stdout, so steal it first and point
+      // stdout at stderr — any stray print then lands in the coordinator's
+      // status log instead of corrupting the protocol stream.
+      int out_fd = ::dup(STDOUT_FILENO);
+      if (out_fd < 0 || ::dup2(STDERR_FILENO, STDOUT_FILENO) < 0) {
+        std::cerr << "shard-worker: cannot rewire stdio\n";
+        return 1;
+      }
+      return shard::run_worker(STDIN_FILENO, out_fd);
     }
     if (command == "store") {
       if (argc < 3) usage("store needs an action: inspect|verify|compact");
