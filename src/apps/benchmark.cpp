@@ -84,6 +84,11 @@ struct Aggregate {
 
 }  // namespace
 
+std::uint64_t cell_seed(std::uint64_t base, std::string_view topology,
+                        std::string_view scenario) {
+  return base ^ fnv1a(topology) ^ (fnv1a(scenario) << 1);
+}
+
 BenchmarkResult run_benchmark(const std::vector<BenchmarkTopology>& topologies,
                               const BenchmarkOptions& options) {
   if (topologies.empty()) {
@@ -115,8 +120,7 @@ BenchmarkResult run_benchmark(const std::vector<BenchmarkTopology>& topologies,
       params.noise = options.noise;
       // Cell seeds depend only on (base seed, topology name, scenario
       // name): matrix composition never shifts an existing cell's corpus.
-      params.seed = options.seed ^ fnv1a(topo.name) ^
-                    (fnv1a(cell.scenario) << 1);
+      params.seed = cell_seed(options.seed, topo.name, cell.scenario);
       sim::StudyOutput study = sim::run_scenario(c, net, params);
       cell.records = study.records.size();
       cell.truth_total = study.truth.size();

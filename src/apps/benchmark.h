@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "simulation/fault_scenarios.h"
@@ -58,6 +59,12 @@ struct BenchmarkResult {
   std::vector<std::string> scenarios;
   std::vector<BenchmarkCell> cells;  // topology-major, scenario-minor order
 };
+
+/// The per-cell corpus seed: `base` mixed with stable hashes of the topology
+/// and scenario names. Exposed so other drivers (`grca learn`'s scenario
+/// mode) can regenerate the exact corpus of a benchmark cell.
+std::uint64_t cell_seed(std::uint64_t base, std::string_view topology,
+                        std::string_view scenario);
 
 /// Runs the matrix. Cell corpora are deterministic in (options.seed,
 /// topology name, scenario name) — independent of matrix composition, so

@@ -87,4 +87,23 @@ Score score_diagnoses(
   return score;
 }
 
+Score score_diagnoses_window(
+    const std::vector<core::Diagnosis>& diagnoses,
+    const std::vector<sim::TruthEntry>& truth, util::TimeSec from,
+    util::TimeSec to,
+    const std::function<std::string(const std::string&)>& canonical,
+    util::TimeSec tolerance) {
+  std::vector<core::Diagnosis> d;
+  for (const core::Diagnosis& x : diagnoses) {
+    if (x.symptom.when.start >= from && x.symptom.when.start < to) {
+      d.push_back(x);
+    }
+  }
+  std::vector<sim::TruthEntry> t;
+  for (const sim::TruthEntry& e : truth) {
+    if (e.time >= from && e.time < to) t.push_back(e);
+  }
+  return score_diagnoses(d, t, canonical, tolerance);
+}
+
 }  // namespace grca::apps

@@ -64,4 +64,15 @@ Score score_diagnoses(
     const std::function<std::string(const std::string&)>& canonical = {},
     util::TimeSec tolerance = 30);
 
+/// Scores only the diagnoses (by symptom start) and truth entries (by label
+/// time) falling inside [from, to). The learn loop carves its train /
+/// held-out split along the time axis with this, so both sides of the split
+/// keep consistent truth denominators.
+Score score_diagnoses_window(
+    const std::vector<core::Diagnosis>& diagnoses,
+    const std::vector<sim::TruthEntry>& truth, util::TimeSec from,
+    util::TimeSec to,
+    const std::function<std::string(const std::string&)>& canonical = {},
+    util::TimeSec tolerance = 30);
+
 }  // namespace grca::apps

@@ -8,11 +8,6 @@
 
 namespace grca::core {
 
-namespace {
-
-/// Pearson correlation of a with b rotated left by `shift` (circular).
-/// Optionally offsets b by `lag` bins (also circular). Returns 0 for
-/// degenerate (constant) inputs.
 double circular_pearson(std::span<const double> a, std::span<const double> b,
                         std::size_t shift, int lag) {
   const std::size_t n = a.size();
@@ -38,6 +33,8 @@ double circular_pearson(std::span<const double> a, std::span<const double> b,
   if (va <= 0.0 || vb <= 0.0) return 0.0;
   return cov / std::sqrt(va * vb);
 }
+
+namespace {
 
 /// Best correlation over the lag window.
 double best_lag_score(std::span<const double> a, std::span<const double> b,

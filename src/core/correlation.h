@@ -40,6 +40,13 @@ EventSeries make_series(
     util::TimeSec end, util::TimeSec bin,
     const std::function<bool(const EventInstance&)>& pred);
 
+/// Pearson correlation of `a` against `b` rotated left by `shift` bins and
+/// additionally offset by `lag` bins (both circular); 0 for degenerate
+/// (constant) inputs. nice_test composes this over the lag-slack window;
+/// exposed so the miner's edge-case tests can probe lag asymmetry directly.
+double circular_pearson(std::span<const double> a, std::span<const double> b,
+                        std::size_t shift, int lag);
+
 struct CorrelationResult {
   double score = 0.0;        // Pearson correlation at zero lag
   double p_value = 1.0;      // share of circular shifts scoring >= score

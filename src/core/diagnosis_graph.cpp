@@ -29,6 +29,20 @@ void DiagnosisGraph::add_rule(DiagnosisRule rule) {
   rules_.push_back(std::move(rule));
 }
 
+std::size_t DiagnosisGraph::remove_rule(const std::string& symptom,
+                                        const std::string& diagnostic) {
+  auto matches = [&](const DiagnosisRule& r) {
+    return r.symptom == symptom && r.diagnostic == diagnostic;
+  };
+  std::size_t before = rules_.size();
+  std::erase_if(rules_, matches);
+  if (auto it = rules_by_parent_.find(symptom); it != rules_by_parent_.end()) {
+    std::erase_if(it->second, matches);
+    if (it->second.empty()) rules_by_parent_.erase(it);
+  }
+  return before - rules_.size();
+}
+
 void DiagnosisGraph::set_root(std::string event_name) {
   if (!has_event(event_name)) {
     throw ConfigError("root event '" + event_name + "' is not defined");

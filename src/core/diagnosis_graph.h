@@ -25,6 +25,11 @@ struct DiagnosisRule {
   TemporalRule temporal;
   LocationType join_level = LocationType::kRouter;
   int priority = 0;
+  /// Free-text provenance annotation — empty for operator-authored rules,
+  /// filled by `grca learn` for mined rules (correlation score, calibration
+  /// sample count). Carried through the DSL round trip; the engine never
+  /// reads it.
+  std::string origin;
 };
 
 class DiagnosisGraph {
@@ -35,6 +40,11 @@ class DiagnosisGraph {
 
   /// Adds an edge. Both endpoints must already be defined.
   void add_rule(DiagnosisRule rule);
+
+  /// Removes every rule with the given endpoints (the rule-ablation /
+  /// rule-learning mutation path); returns how many were removed.
+  std::size_t remove_rule(const std::string& symptom,
+                          const std::string& diagnostic);
 
   /// Declares the root symptom event of this graph.
   void set_root(std::string event_name);

@@ -109,6 +109,8 @@ void parse_rule_block(Lines& lines, const std::string& symptom,
       rule.temporal.diagnostic = parse_side(lines, tok);
     } else if (tok[0] == "join" && tok.size() == 2) {
       rule.join_level = parse_location_type(tok[1]);
+    } else if (tok[0] == "origin") {
+      rule.origin = parse_quoted(lines, line);
     } else {
       fail(lines, "unknown rule attribute '" + tok[0] + "'");
     }
@@ -170,20 +172,29 @@ std::string render_dsl(const DiagnosisGraph& graph) {
     out << "}\n";
   }
   for (const DiagnosisRule& rule : graph.rules()) {
-    out << "rule " << rule.symptom << " -> " << rule.diagnostic << " {\n";
-    out << "  priority " << rule.priority << "\n";
-    out << "  symptom " << to_string(rule.temporal.symptom.option) << " "
-        << rule.temporal.symptom.left << " " << rule.temporal.symptom.right
-        << "\n";
-    out << "  diagnostic " << to_string(rule.temporal.diagnostic.option) << " "
-        << rule.temporal.diagnostic.left << " "
-        << rule.temporal.diagnostic.right << "\n";
-    out << "  join " << to_string(rule.join_level) << "\n";
-    out << "}\n";
+    out << render_rule_dsl(rule);
   }
   if (!graph.root().empty()) {
     out << "graph {\n  root " << graph.root() << "\n}\n";
   }
+  return out.str();
+}
+
+std::string render_rule_dsl(const DiagnosisRule& rule) {
+  std::ostringstream out;
+  out << "rule " << rule.symptom << " -> " << rule.diagnostic << " {\n";
+  out << "  priority " << rule.priority << "\n";
+  out << "  symptom " << to_string(rule.temporal.symptom.option) << " "
+      << rule.temporal.symptom.left << " " << rule.temporal.symptom.right
+      << "\n";
+  out << "  diagnostic " << to_string(rule.temporal.diagnostic.option) << " "
+      << rule.temporal.diagnostic.left << " "
+      << rule.temporal.diagnostic.right << "\n";
+  out << "  join " << to_string(rule.join_level) << "\n";
+  if (!rule.origin.empty()) {
+    out << "  origin \"" << rule.origin << "\"\n";
+  }
+  out << "}\n";
   return out.str();
 }
 

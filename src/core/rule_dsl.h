@@ -19,6 +19,7 @@
 //     symptom <start-end|start-start|end-end> <X> <Y>
 //     diagnostic <start-end|start-start|end-end> <X> <Y>
 //     join <location-type>         # the spatial joining level
+//     origin "<free text>"         # provenance (set on learned rules)
 //   }
 //
 //   graph { root <symptom-event> }
@@ -43,5 +44,10 @@ void load_dsl(std::string_view text, DiagnosisGraph& graph);
 
 /// Serializes a graph back to DSL text (stable round trip modulo comments).
 std::string render_dsl(const DiagnosisGraph& graph);
+
+/// Renders one rule block in the same shape render_dsl emits — the unit
+/// `grca learn` writes to reviewable DSL files (loadable back on top of any
+/// graph that defines both endpoint events).
+std::string render_rule_dsl(const DiagnosisRule& rule);
 
 }  // namespace grca::core

@@ -1,0 +1,250 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "learn/driver.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "core/rule_dsl.h"
+#include "obs/export.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace grca::learn {
+
+namespace {
+
+std::string ratio(double v) { return util::format_double(v, 4); }
+
+std::string ablate_spec(const std::pair<std::string, std::string>& edge) {
+  return edge.first + "->" + edge.second;
+}
+
+std::string temporal_text(const core::TemporalRule& t) {
+  std::ostringstream os;
+  os << "symptom " << core::to_string(t.symptom.option) << " " << t.symptom.left
+     << " " << t.symptom.right << "; diagnostic "
+     << core::to_string(t.diagnostic.option) << " " << t.diagnostic.left << " "
+     << t.diagnostic.right;
+  return os.str();
+}
+
+void append_score(std::ostringstream& os, std::size_t unknown,
+                  const apps::Score& score, double holdout_f1) {
+  os << "\"unknown\": " << unknown << ", \"truth\": " << score.truth_total
+     << ", \"diagnosed\": " << score.diagnosed_total
+     << ", \"matched\": " << score.matched
+     << ", \"correct\": " << score.correct
+     << ", \"precision\": " << ratio(score.precision())
+     << ", \"recall\": " << ratio(score.recall())
+     << ", \"f1\": " << ratio(score.f1())
+     << ", \"holdout_f1\": " << ratio(holdout_f1);
+}
+
+}  // namespace
+
+LearnRun LearnDriver::run(
+    const apps::Pipeline& pipeline, core::DiagnosisGraph graph,
+    const std::vector<sim::TruthEntry>& truth,
+    const std::function<std::string(const std::string&)>& canonical) const {
+  LearnRun run;
+  run.options = options_;
+  for (const auto& edge : options_.ablate) {
+    run.ablated_matched +=
+        graph.remove_rule(edge.first, edge.second) > 0 ? 1 : 0;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  run.result = run_learn_loop(pipeline, std::move(graph), truth, canonical,
+                              options_.loop);
+  auto t1 = std::chrono::steady_clock::now();
+  if (!options_.deterministic) {
+    run.elapsed_seconds = std::chrono::duration<double>(t1 - t0).count();
+  }
+  for (const auto& edge : options_.ablate) {
+    for (const core::DiagnosisRule& rule : run.result.accepted_rules) {
+      if (rule.symptom == edge.first && rule.diagnostic == edge.second) {
+        ++run.ablated_relearned;
+        break;
+      }
+    }
+  }
+  return run;
+}
+
+bool curve_monotone(const LearnRun& run) {
+  double prev = run.result.baseline_holdout_f1;
+  for (const IterationReport& ir : run.result.iterations) {
+    if (ir.holdout_f1 < prev) return false;
+    prev = ir.holdout_f1;
+  }
+  return true;
+}
+
+std::string render_learn_json(const LearnRun& run) {
+  const LearnResult& r = run.result;
+  const LearnOptions& loop = run.options.loop;
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"grca-learn-v1\",\n";
+  os << "  \"label\": \"" << obs::json_escape(run.options.label) << "\",\n";
+  os << "  \"seed\": " << run.options.seed << ",\n";
+  os << "  \"deterministic\": "
+     << (run.options.deterministic ? "true" : "false") << ",\n";
+  os << "  \"options\": {\"max_iterations\": " << loop.max_iterations
+     << ", \"candidate_budget\": " << loop.candidate_budget
+     << ", \"min_score\": " << ratio(loop.mine.nice.min_score)
+     << ", \"alpha\": " << ratio(loop.mine.nice.alpha)
+     << ", \"holdout_split\": " << r.holdout_split << "},\n";
+  os << "  \"ablated\": [";
+  for (std::size_t i = 0; i < run.options.ablate.size(); ++i) {
+    os << (i ? ", " : "") << '"'
+       << obs::json_escape(ablate_spec(run.options.ablate[i])) << '"';
+  }
+  os << "],\n";
+  os << "  \"ablated_matched\": " << run.ablated_matched << ",\n";
+  os << "  \"ablated_relearned\": " << run.ablated_relearned << ",\n";
+  os << "  \"baseline\": {";
+  append_score(os, r.baseline_unknown, r.baseline_full, r.baseline_holdout_f1);
+  os << "},\n";
+  os << "  \"iterations\": [\n";
+  for (std::size_t i = 0; i < r.iterations.size(); ++i) {
+    const IterationReport& ir = r.iterations[i];
+    os << "    {\"iteration\": " << ir.iteration
+       << ", \"unknown_before\": " << ir.unknown_before
+       << ", \"mined\": " << ir.mined << ", \"accepted\": " << ir.accepted
+       << ",\n     \"candidates\": [";
+    for (std::size_t j = 0; j < ir.candidates.size(); ++j) {
+      const CandidateReport& cr = ir.candidates[j];
+      os << (j ? ",\n       " : "\n       ");
+      os << "{\"symptom\": \"" << obs::json_escape(cr.rule.symptom)
+         << "\", \"diagnostic\": \"" << obs::json_escape(cr.rule.diagnostic)
+         << "\", \"join\": \"" << core::to_string(cr.rule.join_level)
+         << "\", \"priority\": " << cr.rule.priority
+         << ", \"temporal\": \"" << temporal_text(cr.rule.temporal)
+         << "\", \"mined_score\": " << ratio(cr.mined_score)
+         << ", \"mined_p\": " << ratio(cr.mined_p)
+         << ", \"samples\": " << cr.samples
+         << ", \"coverage\": " << ratio(cr.coverage)
+         << ", \"holdout_f1_before\": " << ratio(cr.holdout_f1_before)
+         << ", \"holdout_f1_after\": " << ratio(cr.holdout_f1_after)
+         << ", \"verdict\": \"" << cr.verdict << "\"}";
+    }
+    os << (ir.candidates.empty() ? "],\n" : "\n     ],\n");
+    os << "     ";
+    append_score(os, ir.unknown_before, ir.full, ir.holdout_f1);
+    os << '}' << (i + 1 < r.iterations.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n";
+  os << "  \"final\": {";
+  append_score(os, r.final_unknown, r.final_full, r.final_holdout_f1);
+  os << "},\n";
+  os << "  \"accepted_rules\": [";
+  for (std::size_t i = 0; i < r.accepted_rules.size(); ++i) {
+    os << (i ? ", " : "") << '"'
+       << obs::json_escape(core::render_rule_dsl(r.accepted_rules[i])) << '"';
+  }
+  os << "],\n";
+  os << "  \"candidates_evaluated\": " << r.candidates_evaluated << ",\n";
+  os << "  \"curve_monotone\": " << (curve_monotone(run) ? "true" : "false")
+     << ",\n";
+  os << "  \"stop_reason\": \"" << r.stop_reason << "\",\n";
+  os << "  \"converged\": "
+     << (r.stop_reason == "converged" ? "true" : "false");
+  if (!run.options.deterministic) {
+    os << ",\n  \"elapsed_seconds\": "
+       << util::format_double(run.elapsed_seconds, 3);
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string render_learn_gate_json(const LearnRun& run) {
+  const LearnResult& r = run.result;
+  std::ostringstream os;
+  os << "{\n";
+  bool first = true;
+  auto emit = [&](const std::string& key, const std::string& value) {
+    os << (first ? "" : ",\n") << "  \"" << obs::json_escape(key)
+       << "\": " << value;
+    first = false;
+  };
+  emit("learn.baseline_f1", ratio(r.baseline_full.f1()));
+  emit("learn.final_precision", ratio(r.final_full.precision()));
+  emit("learn.final_recall", ratio(r.final_full.recall()));
+  emit("learn.final_f1", ratio(r.final_full.f1()));
+  emit("learn.final_holdout_f1", ratio(r.final_holdout_f1));
+  emit("learn.curve_monotone", curve_monotone(run) ? "true" : "false");
+  if (!run.options.ablate.empty()) {
+    emit("learn.relearned_ablated",
+         run.ablated_relearned == run.options.ablate.size() ? "true"
+                                                            : "false");
+  }
+  emit("learn.iterations", std::to_string(r.iterations.size()));
+  emit("learn.accepted_count", std::to_string(r.accepted_rules.size()));
+  emit("learn.candidates_evaluated", std::to_string(r.candidates_evaluated));
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string render_learn_text(const LearnRun& run) {
+  const LearnResult& r = run.result;
+  std::ostringstream os;
+  os << "rule learning — " << run.options.label << " (seed "
+     << run.options.seed << ")\n";
+  if (!run.options.ablate.empty()) {
+    os << "ablated:";
+    for (const auto& edge : run.options.ablate) {
+      os << " " << ablate_spec(edge);
+    }
+    os << " (" << run.ablated_matched << " matched, " << run.ablated_relearned
+       << " re-learned)\n";
+  }
+  os << "baseline: f1 " << ratio(r.baseline_full.f1()) << " (precision "
+     << ratio(r.baseline_full.precision()) << ", recall "
+     << ratio(r.baseline_full.recall()) << "), unknown "
+     << r.baseline_unknown << "/" << r.baseline_full.diagnosed_total << "\n\n";
+
+  util::TextTable table({"Iter", "Unknown", "Mined", "Accepted", "Precision",
+                         "Recall", "F1", "Holdout-F1"});
+  for (const IterationReport& ir : r.iterations) {
+    table.add_row({std::to_string(ir.iteration),
+                   std::to_string(ir.unknown_before),
+                   std::to_string(ir.mined), std::to_string(ir.accepted),
+                   ratio(ir.full.precision()), ratio(ir.full.recall()),
+                   ratio(ir.full.f1()), ratio(ir.holdout_f1)});
+  }
+  os << table.render("accuracy curve") << "\n";
+  os << "final: f1 " << ratio(r.final_full.f1()) << " (precision "
+     << ratio(r.final_full.precision()) << ", recall "
+     << ratio(r.final_full.recall()) << "), unknown " << r.final_unknown
+     << "/" << r.final_full.diagnosed_total << "\n";
+  os << "stop: " << r.stop_reason << " after " << r.iterations.size()
+     << " iteration(s), " << r.candidates_evaluated
+     << " candidate(s) evaluated\n";
+  if (!r.accepted_rules.empty()) {
+    os << "\naccepted rules:\n";
+    for (const core::DiagnosisRule& rule : r.accepted_rules) {
+      os << core::render_rule_dsl(rule);
+    }
+  }
+  if (!run.options.deterministic) {
+    os << "\nelapsed: " << util::format_double(run.elapsed_seconds, 1)
+       << " s\n";
+  }
+  return os.str();
+}
+
+std::string render_learned_rules_dsl(const LearnRun& run) {
+  std::ostringstream os;
+  os << "# rules learned by `grca learn` on " << run.options.label
+     << " (seed " << run.options.seed << ")\n"
+     << "# review before folding into the library; load with --dsl on top\n"
+     << "# of a graph that defines the endpoint events.\n";
+  for (const core::DiagnosisRule& rule : run.result.accepted_rules) {
+    os << core::render_rule_dsl(rule);
+  }
+  return os.str();
+}
+
+}  // namespace grca::learn

@@ -1,0 +1,77 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The LearnDriver: the benchmark-style harness around the closed learn loop
+// (apps/benchmark.{h,cpp} is the sibling pattern). It applies the requested
+// rule ablations, runs the loop, and renders the per-iteration accuracy
+// curve as JSON ("grca-learn-v1"), a flat gate map for tools/bench_diff.py,
+// a human-readable text report, and the accepted rules as reviewable DSL.
+// With `deterministic` set every rendering is byte-stable for fixed inputs.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "learn/loop.h"
+
+namespace grca::learn {
+
+struct LearnDriverOptions {
+  LearnOptions loop;
+  /// Rules to drop from the starting graph (symptom, diagnostic) — the
+  /// rule-ablation benchmark mode.
+  std::vector<std::pair<std::string, std::string>> ablate;
+  /// Omit wall-clock timing from every rendering (byte-stable output).
+  bool deterministic = false;
+  /// Report metadata: what was learned on ("<topology>.<scenario>" or
+  /// "study:<name>") and the corpus seed.
+  std::string label;
+  std::uint64_t seed = 0;
+};
+
+struct LearnRun {
+  LearnDriverOptions options;
+  std::size_t ablated_matched = 0;    // ablate specs that removed a rule
+  std::size_t ablated_relearned = 0;  // ablated edges re-learned by the loop
+  LearnResult result;
+  double elapsed_seconds = 0.0;  // 0 when deterministic
+};
+
+class LearnDriver {
+ public:
+  explicit LearnDriver(LearnDriverOptions options)
+      : options_(std::move(options)) {}
+
+  /// Ablates, learns, post-checks. `graph` is the starting library (before
+  /// ablation); `truth` and `canonical` feed the scorer.
+  LearnRun run(const apps::Pipeline& pipeline, core::DiagnosisGraph graph,
+               const std::vector<sim::TruthEntry>& truth,
+               const std::function<std::string(const std::string&)>&
+                   canonical) const;
+
+  const LearnDriverOptions& options() const noexcept { return options_; }
+
+ private:
+  LearnDriverOptions options_;
+};
+
+/// True when the per-iteration held-out F1 curve never decreases (and never
+/// drops below the baseline) — the accept criterion's invariant, asserted by
+/// the CI ablation gate.
+bool curve_monotone(const LearnRun& run);
+
+/// The learn report document ("grca-learn-v1").
+std::string render_learn_json(const LearnRun& run);
+
+/// Flat {"learn.<metric>": value} map for tools/bench_diff.py gating.
+std::string render_learn_gate_json(const LearnRun& run);
+
+/// Human-readable accuracy curve + accepted rules for the terminal.
+std::string render_learn_text(const LearnRun& run);
+
+/// The accepted rules as DSL rule blocks (loadable via `--dsl` on top of
+/// any graph defining the endpoint events), with a review header comment.
+std::string render_learned_rules_dsl(const LearnRun& run);
+
+}  // namespace grca::learn

@@ -1,0 +1,87 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// The closed §II-E evolution loop: diagnose -> mine the unknown residue ->
+// propose candidate rules -> re-score against ground truth -> accept only
+// candidates that improve held-out F1 -> repeat until an iteration accepts
+// nothing (convergence) or the candidate budget is exhausted.
+//
+// The accept criterion evaluates each candidate on a held-out time slice of
+// the corpus (symptoms after the median truth timestamp), so the per
+// iteration held-out F1 curve is monotone non-decreasing by construction —
+// the property the CI ablation gate asserts. Scores on the full corpus ride
+// along for reporting.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/pipeline.h"
+#include "apps/scoring.h"
+#include "learn/mine.h"
+#include "learn/propose.h"
+
+namespace grca::learn {
+
+struct LearnOptions {
+  MineOptions mine;
+  ProposeOptions propose;
+  std::size_t max_iterations = 8;
+  /// Total candidates evaluated (diagnose + re-score passes) across the run.
+  std::size_t candidate_budget = 24;
+  /// Held-out F1 must improve by more than this for a candidate to land.
+  double accept_epsilon = 1e-9;
+  /// Train/held-out boundary (seconds). 0 = median truth timestamp.
+  util::TimeSec holdout_split = 0;
+  unsigned threads = 0;           // diagnosis fan-out (0 = hardware)
+  util::TimeSec tolerance = 30;   // scoring match tolerance
+};
+
+/// One evaluated candidate, accepted or not.
+struct CandidateReport {
+  core::DiagnosisRule rule;
+  double mined_score = 0.0;
+  double mined_p = 1.0;
+  std::size_t samples = 0;     // calibration co-occurrences
+  double coverage = 0.0;       // calibration window coverage
+  double holdout_f1_before = 0.0;
+  double holdout_f1_after = 0.0;
+  std::string verdict;  // "accepted" | "rejected" | "uncalibratable"
+};
+
+struct IterationReport {
+  std::size_t iteration = 0;       // 1-based
+  std::size_t unknown_before = 0;  // residue entering the iteration
+  std::size_t mined = 0;           // candidates surviving the NICE screen
+  std::vector<CandidateReport> candidates;
+  std::size_t accepted = 0;
+  apps::Score full;        // full-corpus score after the iteration
+  double holdout_f1 = 0.0; // held-out F1 after the iteration (monotone)
+};
+
+struct LearnResult {
+  apps::Score baseline_full;
+  double baseline_holdout_f1 = 0.0;
+  std::size_t baseline_unknown = 0;
+  util::TimeSec holdout_split = 0;  // resolved boundary actually used
+  std::vector<IterationReport> iterations;
+  std::vector<core::DiagnosisRule> accepted_rules;  // in acceptance order
+  core::DiagnosisGraph final_graph;
+  apps::Score final_full;
+  double final_holdout_f1 = 0.0;
+  std::size_t final_unknown = 0;
+  std::size_t candidates_evaluated = 0;
+  std::string stop_reason;  // "converged" | "candidate-budget" |
+                            // "max-iterations"
+};
+
+/// Runs the loop over `pipeline`'s event view, starting from `graph`
+/// (possibly ablated). Deterministic in (corpus, graph, options).
+LearnResult run_learn_loop(
+    const apps::Pipeline& pipeline, core::DiagnosisGraph graph,
+    const std::vector<sim::TruthEntry>& truth,
+    const std::function<std::string(const std::string&)>& canonical,
+    const LearnOptions& options);
+
+}  // namespace grca::learn

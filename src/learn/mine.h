@@ -1,0 +1,62 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Residue mining — the first half of the §II-E evolution loop. Symptoms the
+// current rule library leaves unexplained ("unknown" diagnoses) form a
+// residue series; the miner screens it with the NICE correlation tester
+// against the series of every candidate diagnostic event in the store
+// (everything not already a diagnostic of the root), grouped per location
+// type so new telemetry types never perturb the screening of existing ones.
+// Survivors of the significance + `min_score` effect-size floor come back
+// ranked best score first, ready for the proposal stage.
+//
+// Candidate series are built at *episode-onset* granularity: per-location
+// runs of an event (polled telemetry re-asserting a condition every cycle)
+// are merged into one episode and only the onset bin is marked. A fault that
+// re-fires an SNMP signature for hours would otherwise occupy most bins and
+// drown the correlation with its own one-shot symptom onsets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/correlation.h"
+#include "core/diagnosis_graph.h"
+#include "core/engine.h"
+#include "core/event_store.h"
+
+namespace grca::learn {
+
+struct MineOptions {
+  /// NICE parameters (bin comes from the symptom series; see `bin`).
+  core::NiceParams nice{.permutations = 200, .alpha = 0.01, .lag_slack = 1,
+                        .min_score = 0.15};
+  util::TimeSec bin = 300;
+  /// Keep at most this many mined candidates per round (best score first).
+  std::size_t max_candidates = 8;
+  /// Base seed for the permutation RNG; mixed with the location-type name
+  /// so each screening group draws an independent, stable null distribution.
+  std::uint64_t seed = 1;
+};
+
+/// One mined correlation: a candidate diagnostic event for the residue.
+struct MinedCandidate {
+  std::string event;
+  core::LocationType location_type;  // of the candidate's instances
+  core::CorrelationResult result;
+};
+
+struct MineOutcome {
+  std::size_t residue = 0;  // unknown diagnoses the series was built from
+  std::vector<MinedCandidate> candidates;  // best score first
+};
+
+/// Mines the unknown residue of `diagnoses` against every candidate event in
+/// `store`. Candidates exclude the graph root and events already reachable
+/// as a direct diagnostic of the root. Deterministic in (inputs, options).
+MineOutcome mine_residue(const std::vector<core::Diagnosis>& diagnoses,
+                         const core::EventStoreView& store,
+                         const core::DiagnosisGraph& graph,
+                         const MineOptions& options);
+
+}  // namespace grca::learn

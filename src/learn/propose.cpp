@@ -1,0 +1,119 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+
+#include "learn/propose.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace grca::learn {
+
+namespace {
+
+const std::vector<core::LocationType>& default_ladder() {
+  static const std::vector<core::LocationType> ladder = {
+      core::LocationType::kInterface, core::LocationType::kLogicalLink,
+      core::LocationType::kPhysicalLink, core::LocationType::kRouter,
+      core::LocationType::kPop};
+  return ladder;
+}
+
+std::string origin_text(const MinedCandidate& mined,
+                        const core::CalibrationResult& calibration,
+                        core::LocationType level) {
+  std::string text = "learned: nice score ";
+  text += util::format_double(mined.result.score, 4);
+  text += ", p ";
+  text += util::format_double(mined.result.p_value, 4);
+  text += ", ";
+  text += std::to_string(calibration.samples);
+  text += " samples at ";
+  text += core::to_string(level);
+  text += ", coverage ";
+  text += util::format_double(100.0 * calibration.coverage, 1);
+  text += "%";
+  return text;
+}
+
+}  // namespace
+
+std::optional<ProposedRule> propose_rule(const core::EventStoreView& store,
+                                         const core::LocationMapper& mapper,
+                                         const core::DiagnosisGraph& graph,
+                                         const MinedCandidate& mined,
+                                         const ProposeOptions& options) {
+  const std::string& root = graph.root();
+  const std::vector<core::LocationType>& ladder =
+      options.join_levels.empty() ? default_ladder() : options.join_levels;
+
+  // Walk the ladder specific-to-general and take the first level whose
+  // calibration clears the coverage floor (coincidence background dilutes
+  // coverage at coarser joins, so the first passing level is the causal
+  // one). Causes with spread onset lags — a congestion episode produces
+  // symptoms for hours after its start — never clear the floor at any
+  // level; for those, fall back to the best-covered calibration and let the
+  // held-out F1 gate decide (the engine joins on the diagnostic's full
+  // start..end interval, which the start-lag coverage metric understates).
+  std::optional<core::CalibrationResult> chosen;
+  core::LocationType chosen_level{};
+  std::optional<core::CalibrationResult> fallback;
+  core::LocationType fallback_level{};
+  for (core::LocationType level : ladder) {
+    auto calibration = core::calibrate_temporal(
+        store, mapper, root, mined.event, level, options.calibration);
+    if (!calibration) continue;
+    if (calibration->coverage >= options.min_coverage) {
+      chosen = *calibration;
+      chosen_level = level;
+      break;
+    }
+    if (!fallback || calibration->coverage > fallback->coverage) {
+      fallback = *calibration;
+      fallback_level = level;
+    }
+  }
+  if (!chosen && fallback) {
+    chosen = fallback;
+    chosen_level = fallback_level;
+  }
+  if (chosen) {
+    core::LocationType level = chosen_level;
+    const core::CalibrationResult& calibration = *chosen;
+    ProposedRule proposed;
+    proposed.calibration = calibration;
+    core::DiagnosisRule& rule = proposed.rule;
+    rule.symptom = root;
+    rule.diagnostic = mined.event;
+    rule.temporal = calibration.rule;
+    rule.join_level = level;
+    rule.priority = options.base_priority;
+    for (const core::DiagnosisRule& r : graph.rules_from(root)) {
+      rule.priority = std::max(rule.priority, r.priority +
+                                                  options.priority_step);
+    }
+    rule.origin = origin_text(mined, calibration, level);
+    if (!graph.has_event(mined.event)) {
+      core::EventDefinition def;
+      def.name = mined.event;
+      def.location_type = mined.location_type;
+      def.description = "mined by grca learn";
+      proposed.definition = std::move(def);
+    }
+
+    // The rule must keep the graph well-formed (defined endpoints, no
+    // cycle); a candidate that cannot be added is no candidate at all.
+    try {
+      core::DiagnosisGraph trial = graph;
+      if (proposed.definition) trial.define_event(*proposed.definition);
+      trial.add_rule(rule);
+      trial.validate();
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    return proposed;
+  }
+  return std::nullopt;
+}
+
+}  // namespace grca::learn

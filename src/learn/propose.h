@@ -1,0 +1,55 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Rule proposal — the second half of the §II-E evolution loop. Given a mined
+// (symptom, candidate-diagnostic) correlation, search the spatial join-level
+// ladder from most specific to most general through the LocationMapper, and
+// at each level learn temporal margins with calibrate_temporal(). The first
+// level whose calibration clears the sample and coverage floors wins: a join
+// coarser than the true causal locality still co-occurs, but its coincidence
+// background dilutes coverage, so specificity-first search recovers the
+// operator's intended join level from data.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/calibration.h"
+#include "core/diagnosis_graph.h"
+#include "core/location.h"
+#include "learn/mine.h"
+
+namespace grca::learn {
+
+struct ProposeOptions {
+  core::CalibrationOptions calibration;
+  /// Minimum fraction of measured lags the calibrated window must cover for
+  /// a join level to be accepted.
+  double min_coverage = 0.5;
+  /// Join-level ladder, most specific first; empty selects the default
+  /// {interface, logical-link, physical-link, router, pop}.
+  std::vector<core::LocationType> join_levels;
+  /// Learned priority = max priority among the symptom's existing rules plus
+  /// this step (`base_priority` when the symptom has none) — mined causes
+  /// outrank the rules that failed to explain the residue.
+  int priority_step = 5;
+  int base_priority = 100;
+};
+
+struct ProposedRule {
+  core::DiagnosisRule rule;
+  core::CalibrationResult calibration;
+  /// Definition to add before the rule when the diagnostic event is not in
+  /// the graph yet (its location type comes from the mined instances).
+  std::optional<core::EventDefinition> definition;
+};
+
+/// Builds a candidate rule root -> mined.event, or nullopt when no join
+/// level calibrates (or the rule would make the graph cyclic). Deterministic.
+std::optional<ProposedRule> propose_rule(const core::EventStoreView& store,
+                                         const core::LocationMapper& mapper,
+                                         const core::DiagnosisGraph& graph,
+                                         const MinedCandidate& mined,
+                                         const ProposeOptions& options);
+
+}  // namespace grca::learn

@@ -39,9 +39,34 @@
 //       metrics registry instead of the breakdown: per-source feed
 //       counts/lag/gaps, per-stage latency histograms, engine counters.
 //
-//   grca calibrate --study bgp|cdn|pim --data DIR
+//   grca calibrate --study bgp|cdn|pim --data DIR [--store DIR]
 //                  --symptom EVENT --diagnostic EVENT --join LEVEL
 //       Learn temporal margins for a rule from the archived data (§VI).
+//       --store reads events from a persisted event log instead of
+//       re-extracting, matching `diagnose --store`.
+//
+//   grca learn (--study bgp|cdn|pim|innet --data DIR [--store DIR]
+//              | --topology FILE --scenario CLASS [--days N] [--symptoms N]
+//                [--noise X] [--pers N] [--customers N])
+//              [--seed S] [--ablate SYM->DIAG]... [--dsl FILE]...
+//              [--max-iterations N] [--budget N] [--min-score X] [--alpha X]
+//              [--permutations N] [--threads N] [--deterministic]
+//              [--out FILE] [--gate-out FILE] [--rules-out FILE]
+//              [--metrics-out FILE] [--span-log FILE]
+//       Close the §II-E rule-learning loop: diagnose the corpus against the
+//       current rule library, mine the unknown residue with the NICE
+//       correlation tester, propose candidate rules (join-level search +
+//       temporal calibration), re-score against ground truth and accept
+//       only candidates that improve held-out F1 — until an iteration
+//       accepts nothing or the candidate budget runs out. Input is either a
+//       recorded corpus (--study/--data, optionally --store) or a
+//       regenerated benchmark cell (--topology/--scenario, same seeds as
+//       `grca benchmark`). --ablate drops rules from the starting library
+//       first (the rule-ablation benchmark: verify the loop re-learns
+//       them). --out writes the per-iteration accuracy-curve report JSON,
+//       --gate-out the flat metric map for tools/bench_diff.py, --rules-out
+//       the accepted rules as reviewable DSL. --deterministic drops
+//       wall-clock timing so every rendering is byte-stable.
 //
 //   grca replay [--study bgp|cdn|pim|innet] [--data DIR]
 //               [--rate N[x]|max] [--ingest-threads N] [--workers N]
@@ -160,6 +185,7 @@
 #include "core/knowledge_library.h"
 #include "core/rule_dsl.h"
 #include "core/trending.h"
+#include "learn/driver.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -199,8 +225,16 @@ namespace {
                 [--metrics-out FILE] [--store DIR] [--span-log FILE]
   grca metrics --study bgp|cdn|pim|innet --data DIR [--threads N]
                [--format prometheus|json] [--store DIR]
-  grca calibrate --study bgp|cdn|pim --data DIR --symptom EVENT
-                 --diagnostic EVENT --join LEVEL
+  grca calibrate --study bgp|cdn|pim --data DIR [--store DIR]
+                 --symptom EVENT --diagnostic EVENT --join LEVEL
+  grca learn (--study bgp|cdn|pim|innet --data DIR [--store DIR]
+             | --topology FILE --scenario CLASS [--days N] [--symptoms N]
+               [--noise X] [--pers N] [--customers N])
+             [--seed S] [--ablate SYM->DIAG]... [--dsl FILE]...
+             [--max-iterations N] [--budget N] [--min-score X] [--alpha X]
+             [--permutations N] [--threads N] [--deterministic] [--out FILE]
+             [--gate-out FILE] [--rules-out FILE] [--metrics-out FILE]
+             [--span-log FILE]
   grca replay [--study bgp|cdn|pim|innet] [--data DIR] [--rate N[x]|max]
               [--ingest-threads N] [--workers N] [--tick SEC]
               [--source-lag SEC] [--jitter SEC] [--seed S] [--days N]
@@ -556,9 +590,20 @@ int cmd_metrics(const Args& args) {
 int cmd_calibrate(const Args& args) {
   fs::path data(args.get("data"));
   sim::ReplayCorpus corpus = sim::read_corpus(data);
-  apps::Pipeline pipeline(corpus.network, corpus.records);
+  std::unique_ptr<apps::Pipeline> pipeline;
+  if (auto it = args.values.find("store"); it != args.values.end()) {
+    // Calibrate against the persisted event log (the same view `diagnose
+    // --store` reads) instead of re-extracting from raw telemetry.
+    auto pstore = std::make_shared<storage::PersistentEventStore>(
+        storage::PersistentEventStore::open(fs::path(it->second.back())));
+    pipeline = std::make_unique<apps::Pipeline>(corpus.network, corpus.records,
+                                                std::move(pstore));
+  } else {
+    pipeline =
+        std::make_unique<apps::Pipeline>(corpus.network, corpus.records);
+  }
   auto result = core::calibrate_temporal(
-      pipeline.store(), pipeline.mapper(), args.get("symptom"),
+      pipeline->events(), pipeline->mapper(), args.get("symptom"),
       args.get("diagnostic"), core::parse_location_type(args.get("join")));
   if (!result) {
     std::cout << "not enough co-occurrences to calibrate\n";
@@ -1187,6 +1232,153 @@ int cmd_benchmark(const Args& args) {
   return 0;
 }
 
+int cmd_learn(const Args& args) {
+  if (auto it = args.values.find("span-log"); it != args.values.end()) {
+    if (!obs::set_span_log(it->second.back())) {
+      usage("cannot write span log " + it->second.back());
+    }
+  }
+
+  learn::LearnDriverOptions options;
+  options.deterministic = args.flags.count("deterministic") > 0;
+  long max_iterations = args.get_long("max-iterations", 8);
+  if (max_iterations < 0) usage("--max-iterations must be >= 0");
+  options.loop.max_iterations = static_cast<std::size_t>(max_iterations);
+  long budget = args.get_long("budget", 24);
+  if (budget < 1) usage("--budget must be >= 1");
+  options.loop.candidate_budget = static_cast<std::size_t>(budget);
+  long threads = args.get_long("threads", 0);
+  if (threads < 0) usage("--threads must be >= 0");
+  options.loop.threads = static_cast<unsigned>(threads);
+  try {
+    options.loop.mine.nice.min_score =
+        std::stod(args.get("min-score", "0.15"));
+    options.loop.mine.nice.alpha = std::stod(args.get("alpha", "0.01"));
+  } catch (const std::exception&) {
+    usage("--min-score/--alpha: expected a number");
+  }
+  long permutations = args.get_long("permutations", 200);
+  if (permutations < 1) usage("--permutations must be >= 1");
+  options.loop.mine.nice.permutations =
+      static_cast<std::size_t>(permutations);
+  if (auto it = args.values.find("ablate"); it != args.values.end()) {
+    for (const std::string& spec : it->second) {
+      std::size_t arrow = spec.find("->");
+      std::string symptom(util::trim(spec.substr(0, arrow)));
+      std::string diagnostic(
+          arrow == std::string::npos ? "" : util::trim(spec.substr(arrow + 2)));
+      if (arrow == std::string::npos || symptom.empty() || diagnostic.empty()) {
+        usage("--ablate expects 'SYMPTOM->DIAGNOSTIC', got '" + spec + "'");
+      }
+      options.ablate.emplace_back(std::move(symptom), std::move(diagnostic));
+    }
+  }
+
+  // Input: a recorded corpus (--study/--data) or a regenerated benchmark
+  // cell (--topology/--scenario) with benchmark-identical cell seeding.
+  std::unique_ptr<sim::ReplayCorpus> corpus;
+  StudyHooks hooks{};
+  std::string app;
+  if (auto it = args.values.find("topology"); it != args.values.end()) {
+    fs::path file(it->second.back());
+    sim::ScenarioClass cls = sim::parse_scenario_class(args.get("scenario"));
+    app = sim::scenario_app(cls);
+    hooks = hooks_for(app);
+    topology::ImportOptions import_options;
+    import_options.pers_per_pop = static_cast<int>(args.get_long("pers", 2));
+    import_options.customers_per_per =
+        static_cast<int>(args.get_long("customers", 4));
+    topology::ImportStats stats;
+    topology::Network net =
+        topology::import_repetita_file(file.string(), import_options, &stats);
+    std::cout << "imported " << file.stem().string() << ": "
+              << stats.graph_nodes << " nodes, " << stats.graph_edges
+              << " edges -> " << stats.backbone_links << " backbone links\n";
+    sim::ScenarioParams params;
+    params.days = static_cast<int>(args.get_long("days", 3));
+    params.target_symptoms = static_cast<int>(args.get_long("symptoms", 120));
+    try {
+      params.noise = std::stod(args.get("noise", "1.0"));
+    } catch (const std::exception&) {
+      usage("--noise: expected a number, got '" + args.get("noise", "1.0") +
+            "'");
+    }
+    params.seed = apps::cell_seed(
+        static_cast<std::uint64_t>(args.get_long("seed", 29)),
+        file.stem().string(), sim::to_string(cls));
+    sim::StudyOutput study = sim::run_scenario(cls, net, params);
+    options.label = file.stem().string() + "." + sim::to_string(cls);
+    options.seed = params.seed;
+    corpus = std::make_unique<sim::ReplayCorpus>(sim::ReplayCorpus{
+        std::move(net), std::move(study.records), std::move(study.truth)});
+  } else {
+    app = args.get("study");
+    hooks = hooks_for(app);
+    corpus = std::make_unique<sim::ReplayCorpus>(
+        sim::read_corpus(fs::path(args.get("data"))));
+    options.label = "study:" + app;
+    options.seed = static_cast<std::uint64_t>(args.get_long("seed", 0));
+  }
+  if (corpus->truth.empty()) {
+    usage("learning needs ground-truth labels; the corpus has none");
+  }
+
+  std::unique_ptr<apps::Pipeline> pipeline;
+  if (auto it = args.values.find("store"); it != args.values.end()) {
+    auto pstore = std::make_shared<storage::PersistentEventStore>(
+        storage::PersistentEventStore::open(fs::path(it->second.back())));
+    pipeline = std::make_unique<apps::Pipeline>(
+        corpus->network, corpus->records, std::move(pstore));
+  } else {
+    pipeline = std::make_unique<apps::Pipeline>(
+        corpus->network, corpus->records, collector::ExtractOptions{},
+        observers_for(app, corpus->network));
+  }
+
+  core::DiagnosisGraph graph = hooks.graph();
+  if (auto it = args.values.find("dsl"); it != args.values.end()) {
+    for (const std::string& file : it->second) {
+      std::ifstream in(file);
+      if (!in) usage("cannot open DSL file " + file);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      core::load_dsl(ss.str(), graph);
+    }
+    graph.validate();
+  }
+
+  learn::LearnDriver driver(options);
+  learn::LearnRun run = driver.run(*pipeline, std::move(graph), corpus->truth,
+                                   hooks.canonical);
+  std::cout << learn::render_learn_text(run);
+
+  if (auto it = args.values.find("out"); it != args.values.end()) {
+    std::ofstream out(it->second.back());
+    if (!out) usage("cannot write " + it->second.back());
+    out << learn::render_learn_json(run);
+    std::cout << "report written to " << it->second.back() << "\n";
+  }
+  if (auto it = args.values.find("gate-out"); it != args.values.end()) {
+    std::ofstream out(it->second.back());
+    if (!out) usage("cannot write " + it->second.back());
+    out << learn::render_learn_gate_json(run);
+    std::cout << "gate metrics written to " << it->second.back() << "\n";
+  }
+  if (auto it = args.values.find("rules-out"); it != args.values.end()) {
+    std::ofstream out(it->second.back());
+    if (!out) usage("cannot write " + it->second.back());
+    out << learn::render_learned_rules_dsl(run);
+    std::cout << "learned rules written to " << it->second.back() << "\n";
+  }
+  if (auto it = args.values.find("metrics-out"); it != args.values.end()) {
+    write_metrics_file(fs::path(it->second.back()));
+  }
+
+  bool ok = run.options.ablate.empty() ||
+            run.ablated_relearned == run.options.ablate.size();
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1243,6 +1435,9 @@ int main(int argc, char** argv) {
     }
     if (command == "benchmark") {
       return cmd_benchmark(Args::parse(argc, argv, 2, {"deterministic"}));
+    }
+    if (command == "learn") {
+      return cmd_learn(Args::parse(argc, argv, 2, {"deterministic"}));
     }
     usage("unknown command '" + command + "'");
   } catch (const std::exception& e) {

@@ -195,6 +195,72 @@ TEST_P(NiceStrengthSweep, ScoreGrowsWithCoupling) {
 INSTANTIATE_TEST_SUITE_P(Couplings, NiceStrengthSweep,
                          ::testing::Values(0.7, 0.8, 0.9, 1.0));
 
+// ---- miner edge cases -------------------------------------------------
+
+TEST(Nice, AllZeroSeriesNeverSignificant) {
+  // A candidate that never fires is constant: correlation is undefined and
+  // must never screen in, whatever the symptom series looks like.
+  EventSeries symptom, silent;
+  symptom.bin = silent.bin = 300;
+  symptom.values.assign(500, 0.0);
+  silent.values.assign(500, 0.0);
+  for (int i = 0; i < 500; i += 7) symptom.values[i] = 1.0;
+  util::Rng rng(20);
+  CorrelationResult r = nice_test(symptom, silent, NiceParams{}, rng);
+  EXPECT_FALSE(r.significant);
+  EXPECT_EQ(r.score, 0.0);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(Nice, MinScoreFloorGatesSignificance) {
+  // A long weakly-coupled pair: the permutation test has the power to call
+  // it significant, but the effect size sits below an aggressive min_score
+  // floor. Same inputs, same RNG seed — only the floor differs.
+  util::Rng rng(21);
+  SeriesPair p = correlated_pair(rng, 4000, 0.08, 0.35);
+  util::Rng t1(22);
+  NiceParams open;
+  open.min_score = 0.0;
+  CorrelationResult loose = nice_test(p.a, p.b, open, t1);
+  ASSERT_TRUE(loose.significant) << "score=" << loose.score;
+  ASSERT_LT(loose.score, 0.9);
+  util::Rng t2(22);
+  NiceParams floored = open;
+  floored.min_score = loose.score + 1e-9;  // just above the observed score
+  CorrelationResult gated = nice_test(p.a, p.b, floored, t2);
+  EXPECT_FALSE(gated.significant);
+  EXPECT_EQ(gated.score, loose.score);  // floor gates the verdict, not the score
+  util::Rng t3(22);
+  NiceParams at_floor = open;
+  at_floor.min_score = loose.score;  // boundary: score >= min_score passes
+  EXPECT_TRUE(nice_test(p.a, p.b, at_floor, t3).significant);
+}
+
+TEST(Pearson, LagSlackIsAsymmetric) {
+  // b leads a by exactly one bin, so pairing a[i] with b[i + lag] is perfect
+  // at lag -1 and junk at lag +1. Guards against a sign flip in the lag
+  // convention silently surviving inside the symmetric slack window.
+  std::vector<double> a(200, 0.0), b(200, 0.0);
+  for (int i = 10; i < 190; i += 9) {
+    a[i] = 1.0;
+    b[i - 1] = 1.0;
+  }
+  double lead = circular_pearson(a, b, 0, -1);
+  double trail = circular_pearson(a, b, 0, 1);
+  double none = circular_pearson(a, b, 0, 0);
+  EXPECT_NEAR(lead, 1.0, 1e-12);
+  EXPECT_LT(trail, 0.5);
+  EXPECT_LT(none, 0.5);
+  EXPECT_GT(lead, trail);
+}
+
+TEST(Pearson, DegenerateInputsScoreZero) {
+  std::vector<double> constant(100, 1.0), varying(100, 0.0);
+  varying[3] = varying[50] = 1.0;
+  EXPECT_EQ(circular_pearson(constant, varying, 0, 0), 0.0);
+  EXPECT_EQ(circular_pearson(varying, constant, 5, 1), 0.0);
+}
+
 TEST(Screen, RanksSignificantCandidates) {
   util::Rng rng(11);
   SeriesPair strong = correlated_pair(rng, 2000, 0.05, 0.95);

@@ -1,0 +1,291 @@
+// Copyright (c) 2026 The G-RCA Reproduction Authors.
+// SPDX-License-Identifier: MIT
+//
+// Tests for the closed rule-learning loop (src/learn): residue mining edge
+// cases, the rule-DSL round trip at engine level, and the rule-ablation
+// recovery benchmark on the mini topology — ablate innet-loss-increase ->
+// link-loss, assert the loop re-learns it with a monotone held-out F1 curve
+// and byte-stable deterministic reports.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "apps/benchmark.h"
+#include "apps/innet_app.h"
+#include "apps/pipeline.h"
+#include "apps/scoring.h"
+#include "core/rule_dsl.h"
+#include "learn/driver.h"
+#include "learn/mine.h"
+#include "simulation/fault_scenarios.h"
+#include "topology/import.h"
+
+#ifndef GRCA_TEST_DATA_DIR
+#define GRCA_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace grca::learn {
+namespace {
+
+// ---- mining edge cases -------------------------------------------------
+
+TEST(MineResidue, EmptyUnknownSetMinesNothing) {
+  core::EventStore store;
+  for (int i = 0; i < 50; ++i) {
+    store.add(core::EventInstance{"candidate",
+                                  {i * 600, i * 600 + 30},
+                                  core::Location::router("r1"),
+                                  {}});
+  }
+  store.warm();
+  core::DiagnosisGraph graph = apps::innet::build_graph();
+
+  // All diagnoses explained: the residue is empty and the miner must return
+  // without touching the store's candidate series.
+  core::Diagnosis explained;
+  explained.symptom = core::EventInstance{
+      graph.root(), {300, 360}, core::Location::router("r1"), {}};
+  explained.causes.push_back(core::RootCause{"link-loss", 135, {}});
+  MineOutcome out =
+      mine_residue({explained}, store, graph, MineOptions{});
+  EXPECT_EQ(out.residue, 0u);
+  EXPECT_TRUE(out.candidates.empty());
+
+  // No diagnoses at all behaves the same.
+  out = mine_residue({}, store, graph, MineOptions{});
+  EXPECT_EQ(out.residue, 0u);
+  EXPECT_TRUE(out.candidates.empty());
+}
+
+TEST(MineResidue, RootAndExistingDiagnosticsAreNotCandidates) {
+  core::EventStore store;
+  core::DiagnosisGraph graph = apps::innet::build_graph();
+  const std::string& root = graph.root();
+  const std::string covered = graph.rules_from(root).front().diagnostic;
+  // Symptom residue and a perfectly-correlated covered diagnostic: the
+  // screen would accept it on the numbers, but it already has a rule.
+  for (int i = 0; i < 80; ++i) {
+    util::TimeSec at = i * 1800;
+    store.add(core::EventInstance{
+        root, {at, at + 60}, core::Location::router("r1"), {}});
+    store.add(core::EventInstance{
+        covered, {at, at + 60}, core::Location::router("r1"), {}});
+  }
+  store.warm();
+  std::vector<core::Diagnosis> diagnoses;
+  for (const core::EventInstance& e : store.all(root)) {
+    core::Diagnosis d;
+    d.symptom = e;  // no causes -> primary() == "unknown"
+    diagnoses.push_back(std::move(d));
+  }
+  MineOutcome out = mine_residue(diagnoses, store, graph, MineOptions{});
+  EXPECT_EQ(out.residue, diagnoses.size());
+  for (const MinedCandidate& c : out.candidates) {
+    EXPECT_NE(c.event, root);
+    EXPECT_NE(c.event, covered);
+  }
+}
+
+// ---- shared scenario fixture -------------------------------------------
+
+/// The CI ablation cell: mini topology, gray-failure scenario, benchmark
+/// cell seeding — identical inputs to `grca learn --topology ... --scenario
+/// gray-failure` and to the learn-smoke CI job.
+struct GrayCell {
+  topology::Network net;
+  sim::StudyOutput study;
+
+  static const GrayCell& get() {
+    static GrayCell cell = [] {
+      GrayCell c;
+      topology::ImportOptions io;
+      io.pers_per_pop = 2;
+      io.customers_per_per = 4;
+      c.net = topology::import_repetita_file(
+          std::string(GRCA_TEST_DATA_DIR) + "/mini.graph", io, nullptr);
+      sim::ScenarioParams params;
+      params.days = 3;
+      params.target_symptoms = 120;
+      params.seed = apps::cell_seed(29, "mini", "gray-failure");
+      c.study =
+          sim::run_scenario(sim::ScenarioClass::kGrayFailure, c.net, params);
+      return c;
+    }();
+    return cell;
+  }
+};
+
+std::vector<std::string> primaries(const std::vector<core::Diagnosis>& ds) {
+  std::vector<std::string> out;
+  out.reserve(ds.size());
+  for (const core::Diagnosis& d : ds) out.push_back(d.primary());
+  return out;
+}
+
+// ---- rule DSL round trip -----------------------------------------------
+
+TEST(RuleDsl, OriginAttributeRoundTrips) {
+  core::DiagnosisRule rule;
+  rule.symptom = "a";
+  rule.diagnostic = "b";
+  rule.priority = 135;
+  rule.join_level = core::LocationType::kInterface;
+  rule.origin = "learned: nice score 0.5320, p 0.0050";
+  std::string dsl = core::render_rule_dsl(rule);
+  EXPECT_NE(dsl.find("origin \"learned: nice score"), std::string::npos);
+
+  core::DiagnosisGraph graph;
+  graph.define_event({"a", core::LocationType::kRouter, "", "", ""});
+  graph.define_event({"b", core::LocationType::kInterface, "", "", ""});
+  core::load_dsl(dsl, graph);
+  ASSERT_EQ(graph.rules_from("a").size(), 1u);
+  const core::DiagnosisRule& back = graph.rules_from("a").front();
+  EXPECT_EQ(back.origin, rule.origin);
+  EXPECT_EQ(back.priority, 135);
+  EXPECT_EQ(back.join_level, core::LocationType::kInterface);
+}
+
+TEST(RuleDsl, GraphRoundTripPreservesDiagnoses) {
+  // Render the full innet graph to DSL, load it back, and require the two
+  // graphs to produce identical diagnoses on a real corpus — the engine
+  // cares about semantics, not formatting, so this is the true round trip.
+  const GrayCell& cell = GrayCell::get();
+  apps::Pipeline pipeline(cell.net, cell.study.records);
+
+  core::DiagnosisGraph original = apps::innet::build_graph();
+  core::DiagnosisGraph reloaded;
+  core::load_dsl(core::render_dsl(original), reloaded);
+  reloaded.validate();
+
+  std::vector<core::Diagnosis> a = pipeline.diagnose_all(original, 1);
+  std::vector<core::Diagnosis> b = pipeline.diagnose_all(reloaded, 1);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(primaries(a), primaries(b));
+}
+
+TEST(RuleDsl, LearnedRuleRoundTripsThroughEngine) {
+  // A rule the loop learned, re-rendered and re-loaded, must diagnose
+  // identically to the in-memory original (satellite: DSL round trip with
+  // engine-level identity).
+  const GrayCell& cell = GrayCell::get();
+  apps::Pipeline pipeline(cell.net, cell.study.records);
+
+  LearnDriverOptions options;
+  options.deterministic = true;
+  options.ablate = {{"innet-loss-increase", "link-loss"}};
+  LearnRun run = LearnDriver(options).run(pipeline, apps::innet::build_graph(),
+                                          cell.study.truth,
+                                          apps::innet::canonical_cause);
+  ASSERT_EQ(run.result.accepted_rules.size(), 1u);
+
+  core::DiagnosisGraph with_learned = apps::innet::build_graph();
+  with_learned.remove_rule("innet-loss-increase", "link-loss");
+  core::load_dsl(core::render_rule_dsl(run.result.accepted_rules.front()),
+                 with_learned);
+  with_learned.validate();
+  std::vector<core::Diagnosis> via_dsl =
+      pipeline.diagnose_all(with_learned, 1);
+  EXPECT_EQ(primaries(via_dsl),
+            primaries(pipeline.diagnose_all(run.result.final_graph, 1)));
+}
+
+// ---- the ablation recovery benchmark -----------------------------------
+
+TEST(LearnLoop, RelearnsAblatedRuleWithMonotoneCurve) {
+  const GrayCell& cell = GrayCell::get();
+  apps::Pipeline pipeline(cell.net, cell.study.records);
+
+  // Reference: the un-ablated library's full-corpus F1.
+  core::DiagnosisGraph intact = apps::innet::build_graph();
+  apps::Score reference = apps::score_diagnoses(
+      pipeline.diagnose_all(intact, 1), cell.study.truth,
+      apps::innet::canonical_cause);
+
+  LearnDriverOptions options;
+  options.deterministic = true;
+  options.label = "mini.gray-failure";
+  options.ablate = {{"innet-loss-increase", "link-loss"}};
+  LearnRun run = LearnDriver(options).run(pipeline, apps::innet::build_graph(),
+                                          cell.study.truth,
+                                          apps::innet::canonical_cause);
+
+  EXPECT_EQ(run.ablated_matched, 1u);
+  EXPECT_EQ(run.ablated_relearned, 1u);
+  EXPECT_EQ(run.result.stop_reason, "converged");
+  EXPECT_TRUE(curve_monotone(run));
+  EXPECT_LT(run.result.baseline_full.f1(), reference.f1());
+  // The re-learned library must recover to within 2% of the un-ablated F1.
+  EXPECT_GE(run.result.final_full.f1(), 0.98 * reference.f1());
+
+  ASSERT_EQ(run.result.accepted_rules.size(), 1u);
+  const core::DiagnosisRule& learned = run.result.accepted_rules.front();
+  EXPECT_EQ(learned.symptom, "innet-loss-increase");
+  EXPECT_EQ(learned.diagnostic, "link-loss");
+  EXPECT_FALSE(learned.origin.empty());
+}
+
+TEST(LearnLoop, DeterministicReportsAreByteStable) {
+  const GrayCell& cell = GrayCell::get();
+
+  auto render_once = [&] {
+    apps::Pipeline pipeline(cell.net, cell.study.records);
+    LearnDriverOptions options;
+    options.deterministic = true;
+    options.label = "mini.gray-failure";
+    options.ablate = {{"innet-loss-increase", "link-loss"}};
+    LearnRun run = LearnDriver(options).run(
+        pipeline, apps::innet::build_graph(), cell.study.truth,
+        apps::innet::canonical_cause);
+    return render_learn_json(run) + render_learn_gate_json(run) +
+           render_learned_rules_dsl(run);
+  };
+  std::string first = render_once();
+  std::string second = render_once();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.find("elapsed_seconds"), std::string::npos);
+}
+
+TEST(LearnLoop, ReportMatchesGoldenFixture) {
+  // Byte-for-byte against the committed fixture — any drift in scenario
+  // generation, mining, calibration, acceptance or rendering shows up as a
+  // failing diff. Regenerate with `grca learn --topology
+  // tests/data/mini.graph --scenario gray-failure --days 3 --symptoms 120
+  // --seed 29 --ablate 'innet-loss-increase->link-loss' --deterministic
+  // --out <fixture>`.
+  const GrayCell& cell = GrayCell::get();
+  apps::Pipeline pipeline(cell.net, cell.study.records);
+  LearnDriverOptions options;
+  options.deterministic = true;
+  options.label = "mini.gray-failure";
+  options.seed = apps::cell_seed(29, "mini", "gray-failure");
+  options.ablate = {{"innet-loss-increase", "link-loss"}};
+  LearnRun run = LearnDriver(options).run(pipeline, apps::innet::build_graph(),
+                                          cell.study.truth,
+                                          apps::innet::canonical_cause);
+  std::ifstream in(std::string(GRCA_TEST_DATA_DIR) +
+                   "/golden_learn_report.json");
+  ASSERT_TRUE(in) << "golden fixture missing";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(render_learn_json(run), golden.str());
+}
+
+TEST(LearnLoop, BudgetStopsTheLoop) {
+  const GrayCell& cell = GrayCell::get();
+  apps::Pipeline pipeline(cell.net, cell.study.records);
+  LearnDriverOptions options;
+  options.deterministic = true;
+  options.loop.candidate_budget = 0;  // exhausted before the first proposal
+  options.ablate = {{"innet-loss-increase", "link-loss"}};
+  LearnRun run = LearnDriver(options).run(pipeline, apps::innet::build_graph(),
+                                          cell.study.truth,
+                                          apps::innet::canonical_cause);
+  EXPECT_EQ(run.result.stop_reason, "candidate-budget");
+  EXPECT_EQ(run.result.candidates_evaluated, 0u);
+  EXPECT_TRUE(run.result.accepted_rules.empty());
+}
+
+}  // namespace
+}  // namespace grca::learn
